@@ -1,0 +1,142 @@
+// Command sabench runs a single evaluation application variant on the
+// simulated machine and prints its metrics — the workload-driver
+// counterpart of cmd/scatteradd's figure runners. It can also dump the
+// memory-reference trace of the run.
+//
+// Usage:
+//
+//	sabench -app histogram -variant hw        -n 32768 -range 2048
+//	sabench -app histogram -variant sortscan  -batch 256
+//	sabench -app histogram -variant privatize
+//	sabench -app histogram -variant overlap
+//	sabench -app spmv      -variant csr|ebehw|ebesw
+//	sabench -app moldyn    -variant nosa|hw|sw -mol 903 -cutoff 8
+//
+// Common flags: -trace FILE (dump the reference trace as CSV), -seed N.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scatteradd/internal/apps"
+	"scatteradd/internal/machine"
+	"scatteradd/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "histogram", "histogram | spmv | moldyn")
+	variant := flag.String("variant", "hw", "algorithm variant (see doc comment)")
+	n := flag.Int("n", 32768, "histogram input length")
+	rangeSize := flag.Int("range", 2048, "histogram index range")
+	batch := flag.Int("batch", 0, "software sort batch (0 = default 256)")
+	mol := flag.Int("mol", 903, "moldyn molecule count")
+	cutoff := flag.Float64("cutoff", 8.0, "moldyn neighbor cutoff")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	traceOut := flag.String("trace", "", "write the memory-reference trace CSV here")
+	flag.Parse()
+
+	if err := run(*app, *variant, *n, *rangeSize, *batch, *mol, *cutoff, *seed, *traceOut); err != nil {
+		fmt.Fprintf(os.Stderr, "sabench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, variant string, n, rangeSize, batch, mol int, cutoff float64, seed uint64, traceOut string) error {
+	m := machine.New(machine.DefaultConfig())
+	rec := trace.NewRecorder(0)
+	if traceOut != "" {
+		m.SetTracer(rec.Observe)
+	}
+
+	type verifier interface{ Verify(*machine.Machine) error }
+	var res machine.Result
+	var v verifier
+	var desc string
+
+	switch app {
+	case "histogram":
+		h := apps.NewHistogram(n, rangeSize, seed)
+		v, desc = h, fmt.Sprintf("histogram n=%d range=%d", n, rangeSize)
+		switch variant {
+		case "hw":
+			res = h.RunHW(m)
+		case "overlap":
+			res = h.RunHWOverlapped(m, 0)
+		case "sortscan":
+			res = h.RunSortScan(m, batch)
+		case "privatize":
+			res = h.RunPrivatization(m, 0)
+		default:
+			return fmt.Errorf("histogram variant %q (want hw, overlap, sortscan, privatize)", variant)
+		}
+	case "spmv":
+		s := apps.NewSpMV(8, 8, 5, seed)
+		v = s
+		desc = fmt.Sprintf("spmv %dx%d nnz=%d", s.Mesh.NumNodes, s.Mesh.NumNodes, s.CSR.NNZ())
+		switch variant {
+		case "csr":
+			res = s.RunCSR(m)
+		case "ebehw":
+			res = s.RunEBEHW(m)
+		case "ebesw":
+			res = s.RunEBESW(m, batch)
+		default:
+			return fmt.Errorf("spmv variant %q (want csr, ebehw, ebesw)", variant)
+		}
+	case "moldyn":
+		md := apps.NewMolDyn(mol, cutoff, seed)
+		v = md
+		desc = fmt.Sprintf("moldyn mol=%d pairs=%d sa-refs=%d", md.W.NumMol, len(md.Pairs), md.NumSARefs())
+		switch variant {
+		case "nosa":
+			res = md.RunNoSA(m)
+		case "hw":
+			res = md.RunHWSA(m)
+		case "sw":
+			res = md.RunSWSA(m, batch)
+		default:
+			return fmt.Errorf("moldyn variant %q (want nosa, hw, sw)", variant)
+		}
+	default:
+		return fmt.Errorf("unknown app %q (want histogram, spmv, moldyn)", app)
+	}
+
+	if err := v.Verify(m); err != nil {
+		return fmt.Errorf("result verification FAILED: %w", err)
+	}
+
+	fmt.Printf("%s, variant %s\n", desc, variant)
+	fmt.Printf("  cycles        %12d  (%.1f us at 1 GHz)\n", res.Cycles, float64(res.Cycles)/1000)
+	fmt.Printf("  fp ops        %12d\n", res.FPOps)
+	fmt.Printf("  mem refs      %12d\n", res.MemRefs)
+	sa, cs, ds := m.ComponentStats()
+	fmt.Printf("  scatter-add   %12d requests, %d combined, %d FU ops, %d stall cycles\n",
+		sa.SARequests, sa.Combined, sa.FUOps, sa.StallFull)
+	fmt.Printf("  cache         %12d hits, %d misses, %d write-backs\n", cs.Hits, cs.Misses, cs.WriteBacks)
+	fmt.Printf("  dram          %12d line reads, %d line writes, %.2f row-hit rate\n",
+		ds.Reads, ds.Writes, rowHitRate(ds.RowHits, ds.RowMisses))
+	fmt.Printf("  verified OK against the sequential reference\n")
+
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(f, rec.Records()); err != nil {
+			return err
+		}
+		fmt.Printf("  trace         %d references -> %s (%s)\n",
+			len(rec.Records()), traceOut, trace.Summarize(rec.Records()))
+	}
+	return nil
+}
+
+func rowHitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}

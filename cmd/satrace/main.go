@@ -1,0 +1,118 @@
+// Command satrace generates and inspects scatter-add reference traces —
+// the inputs of the paper's multi-node study (§4.5). It can dump a
+// workload's scatter-add stream as CSV, print its locality summary, or
+// summarize an existing trace file.
+//
+// Usage:
+//
+//	satrace [flags] gen        generate a trace and write CSV to -out (or stdout)
+//	satrace [flags] summary    generate a trace and print its locality summary
+//	satrace -in FILE summary   summarize an existing CSV trace
+//
+// Flags:
+//
+//	-workload  narrow | wide | mole | spas   (default narrow)
+//	-n         reference count for the histogram workloads (default 65536)
+//	-out/-in   file paths (default stdout/none)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scatteradd/internal/apps"
+	"scatteradd/internal/mem"
+	"scatteradd/internal/trace"
+	"scatteradd/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "narrow", "narrow | wide | mole | spas")
+	n := flag.Int("n", 65536, "reference count for the histogram workloads")
+	out := flag.String("out", "", "output file for gen (default stdout)")
+	in := flag.String("in", "", "existing trace CSV for summary")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: satrace [flags] gen|summary")
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	if err := run(cmd, *wl, *n, *out, *in); err != nil {
+		fmt.Fprintf(os.Stderr, "satrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd, wl string, n int, out, in string) error {
+	var recs []trace.Record
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		recs, err = trace.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		recs, err = generate(wl, n)
+		if err != nil {
+			return err
+		}
+	}
+	switch cmd {
+	case "gen":
+		w := os.Stdout
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return trace.WriteCSV(w, recs)
+	case "summary":
+		fmt.Println(trace.Summarize(recs))
+		return nil
+	}
+	return fmt.Errorf("unknown command %q (want gen or summary)", cmd)
+}
+
+// generate builds one of the §4.5 trace workloads.
+func generate(wl string, n int) ([]trace.Record, error) {
+	histogram := func(rangeSize int) []trace.Record {
+		idx := workload.UniformIndices(n, rangeSize, 0x7ace)
+		recs := make([]trace.Record, len(idx))
+		for i, x := range idx {
+			recs[i] = trace.Record{Kind: mem.AddI64, Addr: mem.Addr(x), Val: mem.I64(1)}
+		}
+		return recs
+	}
+	switch wl {
+	case "narrow":
+		return histogram(256), nil
+	case "wide":
+		return histogram(1 << 20), nil
+	case "mole":
+		md := apps.NewMolDyn(903, 8.0, 0x7ace)
+		addrs, vals := md.SARefs()
+		recs := make([]trace.Record, len(addrs))
+		for i := range addrs {
+			recs[i] = trace.Record{Kind: mem.AddF64, Addr: addrs[i] - md.ForceBase, Val: vals[i]}
+		}
+		return recs, nil
+	case "spas":
+		s := apps.NewSpMV(8, 8, 5, 0x7ace)
+		addrs, vals := s.EBERefs()
+		recs := make([]trace.Record, len(addrs))
+		for i := range addrs {
+			recs[i] = trace.Record{Kind: mem.AddF64, Addr: addrs[i] - s.YBase, Val: vals[i]}
+		}
+		return recs, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q (want narrow, wide, mole, spas)", wl)
+}

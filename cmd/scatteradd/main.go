@@ -1,0 +1,132 @@
+// Command scatteradd regenerates the tables and figures of "Scatter-Add in
+// Data Parallel Architectures" (HPCA 2005) on the simulated machine.
+//
+// Usage:
+//
+//	scatteradd [flags] <experiment>...
+//
+// Experiments: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
+// ablations, all.
+//
+// Flags:
+//
+//	-scale N   divide dataset sizes by N for a quick run (default 1 = paper scale)
+//	-csv       emit CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scatteradd"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "divide dataset sizes by N (1 = full paper scale)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	doPlot := flag.Bool("plot", false, "also render ASCII charts of the figures")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	o := scatteradd.ExpOptions{Scale: *scale}
+	for _, name := range flag.Args() {
+		if err := run(name, o, *csv, *doPlot); err != nil {
+			fmt.Fprintf(os.Stderr, "scatteradd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: scatteradd [-scale N] [-csv] <experiment>...
+
+experiments:
+  table1           machine parameters (paper Table 1)
+  fig6 .. fig13    regenerate the corresponding figure
+  ablations        design-choice studies beyond the paper
+  report           regenerate everything + check the paper's claims (markdown)
+  all              everything above
+
+`)
+	flag.PrintDefaults()
+}
+
+func run(name string, o scatteradd.ExpOptions, csv, doPlot bool) error {
+	emit := func(t scatteradd.ExpTable) {
+		if csv {
+			fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+	figure := func(n int) error {
+		start := time.Now()
+		t, err := scatteradd.Figure(n, o)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		if doPlot {
+			fmt.Println(scatteradd.PlotFigure(n, t))
+		}
+		if !csv {
+			fmt.Printf("(regenerated in %.1fs)\n\n", time.Since(start).Seconds())
+		}
+		return nil
+	}
+	switch name {
+	case "table1":
+		emit(scatteradd.Table1())
+	case "fig6":
+		return figure(6)
+	case "fig7":
+		return figure(7)
+	case "fig8":
+		return figure(8)
+	case "fig9":
+		return figure(9)
+	case "fig10":
+		return figure(10)
+	case "fig11":
+		return figure(11)
+	case "fig12":
+		return figure(12)
+	case "fig13":
+		return figure(13)
+	case "ablations":
+		for _, t := range scatteradd.Ablations(o) {
+			emit(t)
+		}
+	case "report":
+		md, checks := scatteradd.Report(o)
+		fmt.Print(md)
+		failed := 0
+		for _, c := range checks {
+			if !c.Pass {
+				failed++
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d of %d claim checks failed", failed, len(checks))
+		}
+		fmt.Fprintf(os.Stderr, "all %d claim checks passed\n", len(checks))
+	case "all":
+		emit(scatteradd.Table1())
+		for n := 6; n <= 13; n++ {
+			if err := figure(n); err != nil {
+				return err
+			}
+		}
+		for _, t := range scatteradd.Ablations(o) {
+			emit(t)
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q (want table1, fig6..fig13, ablations, all)", name)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+// MolDyn: the GROMACS-like water non-bonded force kernel in its three
+// algorithmic variants (paper §4.3, Figure 10):
+//
+//   - no scatter-add: duplicate every interaction so each molecule's forces
+//     accumulate privately (2x the computation);
+//   - software scatter-add: exploit Newton's third law, resolve force-array
+//     collisions with sort + segmented scan;
+//   - hardware scatter-add: exploit Newton's third law, let the memory
+//     system accumulate.
+//
+// Run with:
+//
+//	go run ./examples/moldyn
+package main
+
+import (
+	"fmt"
+
+	"scatteradd"
+)
+
+func main() {
+	// 216 water molecules with a 6.0 cutoff keeps this example snappy; the
+	// paper's configuration is 903 molecules (see cmd/scatteradd fig10).
+	md := scatteradd.NewMolDyn(216, 6.0, 7)
+	fmt.Printf("water box: %d molecules, %d neighbor pairs, %d scatter-add references\n\n",
+		md.W.NumMol, len(md.Pairs), md.NumSARefs())
+
+	run := func(name string, f func(*scatteradd.Machine) scatteradd.Result) scatteradd.Result {
+		m := scatteradd.NewMachine(scatteradd.DefaultConfig())
+		r := f(m)
+		if err := md.Verify(m); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-24s  %9d cycles  %9d fp ops  %9d mem refs\n", name, r.Cycles, r.FPOps, r.MemRefs)
+		return r
+	}
+
+	no := run("no scatter-add (2x work)", md.RunNoSA)
+	sw := run("software scatter-add", func(m *scatteradd.Machine) scatteradd.Result {
+		return md.RunSWSA(m, 0)
+	})
+	hw := run("hardware scatter-add", md.RunHWSA)
+
+	fmt.Printf("\nhardware scatter-add speedup over best software variant: %.2fx\n",
+		float64(min(no.Cycles, sw.Cycles))/float64(hw.Cycles))
+	fmt.Println("all three variants produced the same forces (verified against the sequential reference)")
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+// Queuealloc: data-parallel queue allocation with the fetch-and-add
+// extension of the scatter-add unit (paper §3.3: "a return path for the
+// original data before the addition is performed ... can be used to perform
+// parallel queue allocation on SIMD vector and stream systems").
+//
+// A thousand parallel producers each claim a slot in one of four output
+// queues with a single FetchAddI64 on the queue's tail counter; the
+// combining store serializes the counter updates in the memory system, so
+// every producer receives a unique slot with no locks and no retries.
+//
+// Run with:
+//
+//	go run ./examples/queuealloc
+package main
+
+import (
+	"fmt"
+
+	"scatteradd"
+)
+
+func main() {
+	m := scatteradd.NewMachine(scatteradd.DefaultConfig())
+
+	const queues = 4
+	const producers = 1000
+	tails := scatteradd.Addr(0) // queue tail counters live at [0, queues)
+
+	// Each producer picks a queue (hash of its id) and requests one slot.
+	addrs := make([]scatteradd.Addr, producers)
+	queueOf := make([]int, producers)
+	for i := range addrs {
+		q := (i * 2654435761) % queues
+		queueOf[i] = q
+		addrs[i] = tails + scatteradd.Addr(q)
+	}
+
+	// One data-parallel fetch-and-add; responses carry each producer's slot.
+	slots := make([]int64, producers)
+	op := scatteradd.ScatterAdd("alloc", scatteradd.FetchAddI64, addrs,
+		[]scatteradd.Word{scatteradd.I64(1)})
+	op.OnResp = func(r scatteradd.Response) {
+		slots[r.ID] = scatteradd.AsI64(r.Val) // pre-update value = my slot
+	}
+	res := m.RunOp(op)
+
+	// Verify: within each queue the slots are exactly 0..count-1, no
+	// duplicates, no gaps.
+	counts := make([]int64, queues)
+	seen := make([]map[int64]bool, queues)
+	for q := range seen {
+		seen[q] = map[int64]bool{}
+	}
+	for i := 0; i < producers; i++ {
+		q := queueOf[i]
+		if seen[q][slots[i]] {
+			panic(fmt.Sprintf("queue %d: slot %d allocated twice", q, slots[i]))
+		}
+		seen[q][slots[i]] = true
+		counts[q]++
+	}
+	m.FlushCaches()
+	for q := 0; q < queues; q++ {
+		tail := m.Store().LoadI64(tails + scatteradd.Addr(q))
+		if tail != counts[q] {
+			panic(fmt.Sprintf("queue %d: tail %d != %d producers", q, tail, counts[q]))
+		}
+		for s := int64(0); s < counts[q]; s++ {
+			if !seen[q][s] {
+				panic(fmt.Sprintf("queue %d: slot %d never allocated", q, s))
+			}
+		}
+	}
+
+	fmt.Printf("%d producers allocated unique slots across %d queues\n", producers, queues)
+	for q := 0; q < queues; q++ {
+		fmt.Printf("  queue %d: %d slots (dense, no duplicates)\n", q, counts[q])
+	}
+	fmt.Printf("in %d simulated cycles (%.2f allocations/cycle), lock-free\n",
+		res.Cycles, float64(producers)/float64(res.Cycles))
+}

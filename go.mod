@@ -1,0 +1,3 @@
+module scatteradd
+
+go 1.22

@@ -1,0 +1,68 @@
+package apps
+
+import (
+	"testing"
+
+	"scatteradd/internal/machine"
+	"scatteradd/internal/mem"
+)
+
+// The paper (§3.3) notes that although the hardware reorders the additions,
+// "it is consistent in the hardware and repeatable for each run of the
+// program". The simulator must therefore be bit-for-bit deterministic:
+// identical configuration and workload give identical cycle counts and
+// identical memory images, including the floating-point results whose
+// summation order the hardware chose.
+
+func TestHistogramRunsAreDeterministic(t *testing.T) {
+	run := func() (machine.Result, []int64) {
+		h := NewHistogram(4096, 512, 99)
+		m := fastMachine()
+		res := h.RunHW(m)
+		m.FlushCaches()
+		return res, m.Store().ReadI64Slice(h.BinBase, h.Range)
+	}
+	r1, bins1 := run()
+	r2, bins2 := run()
+	if r1.Cycles != r2.Cycles || r1.FPOps != r2.FPOps || r1.MemRefs != r2.MemRefs {
+		t.Fatalf("metrics differ: %+v vs %+v", r1, r2)
+	}
+	for i := range bins1 {
+		if bins1[i] != bins2[i] {
+			t.Fatalf("bin %d differs", i)
+		}
+	}
+}
+
+func TestFloatReorderingIsRepeatable(t *testing.T) {
+	// FP scatter-add results may differ from the sequential order, but the
+	// hardware's chosen order must repeat exactly across runs.
+	run := func() []uint64 {
+		md := NewMolDyn(27, 5.0, 7)
+		m := fastMachine()
+		md.RunHWSA(m)
+		m.FlushCaches()
+		out := make([]uint64, len(md.RefForce))
+		for i := range out {
+			out[i] = m.Store().Load(md.ForceBase + mem.Addr(i))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("force word %d: %x vs %x — FP results not bit-repeatable", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSoftwareVariantsAreDeterministic(t *testing.T) {
+	run := func() uint64 {
+		h := NewHistogram(2000, 256, 5)
+		m := fastMachine()
+		return h.RunSortScan(m, 0).Cycles
+	}
+	if run() != run() {
+		t.Fatal("sort&scan cycle count not deterministic")
+	}
+}

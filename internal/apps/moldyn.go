@@ -1,0 +1,256 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"scatteradd/internal/machine"
+	"scatteradd/internal/mem"
+	"scatteradd/internal/softscatter"
+	"scatteradd/internal/workload"
+)
+
+// Model constants for the non-bonded water kernel cost (per atom pair:
+// distance, inverse square root iterations, Coulomb, and for the O-O pair
+// Lennard-Jones — comparable to GROMACS's water-loop operation count).
+const (
+	flopsPerAtomPair = 78
+	atomPairsPerMol  = workload.AtomsPerMol * workload.AtomsPerMol
+	// Words gathered per directed pair entry: both molecules' 3 atoms x
+	// (3 coordinates + charge).
+	wordsPerPairGather = 2 * workload.AtomsPerMol * 4
+	// Force components updated per molecule pair (both molecules).
+	forceRefsPerPair = 2 * workload.AtomsPerMol * 3
+)
+
+// MolDyn is the molecular-dynamics workload: the non-bonded force
+// calculation for a box of water molecules over one timestep (§4.1, the
+// GROMACS water kernel).
+type MolDyn struct {
+	W     *workload.WaterBox
+	Pairs [][2]int32 // half neighbor list (Newton's third law)
+	Full  [][]int32  // full neighbor list (duplicated computation)
+
+	PosBase   mem.Addr // atom data: 4 words per atom (x, y, z, charge)
+	ForceBase mem.Addr // 3 words per atom
+	ListBase  mem.Addr
+
+	RefForce []float64 // sequential reference forces (3 per atom)
+}
+
+// NewMolDyn builds nMol water molecules with a neighbor list at the given
+// cutoff. nMol=903 and cutoff≈9 reproduce the paper's scale (Figure 10; the
+// force array spans 903*3*3 = 8127 indices, the paper's ~8192).
+func NewMolDyn(nMol int, cutoff float64, seed uint64) *MolDyn {
+	w := workload.NewWaterBox(nMol, 3.1, seed)
+	md := &MolDyn{
+		W:     w,
+		Pairs: w.HalfNeighborPairs(cutoff),
+	}
+	md.Full = w.FullNeighborList(cutoff)
+	atoms := nMol * workload.AtomsPerMol
+	align := func(a mem.Addr) mem.Addr { return (a + 4095) &^ 4095 }
+	md.PosBase = 0
+	md.ForceBase = align(mem.Addr(atoms * 4))
+	md.ListBase = align(md.ForceBase + mem.Addr(atoms*3))
+	md.RefForce = md.referenceForces()
+	return md
+}
+
+// NumSARefs returns the number of scatter-add references the Newton's-law
+// variants issue (Figure 13's GROMACS trace size).
+func (md *MolDyn) NumSARefs() int { return len(md.Pairs) * forceRefsPerPair }
+
+// pairForces computes the force contributions of one molecule pair: the
+// first 9 values are +f on molecule i's atoms (3 atoms x 3 components), the
+// next 9 are -f on molecule j's atoms. LJ acts on the O-O pair; Coulomb on
+// all 9 atom pairs. Softened at short range to keep the synthetic
+// configuration numerically tame.
+func (md *MolDyn) pairForces(i, j int32) [forceRefsPerPair]float64 {
+	var out [forceRefsPerPair]float64
+	q := workload.Charges()
+	for a := 0; a < workload.AtomsPerMol; a++ {
+		ia := int(i)*workload.AtomsPerMol + a
+		for b := 0; b < workload.AtomsPerMol; b++ {
+			jb := int(j)*workload.AtomsPerMol + b
+			d := md.W.Disp(ia, jb)
+			r2 := d[0]*d[0] + d[1]*d[1] + d[2]*d[2] + 0.25 // softening
+			invR2 := 1 / r2
+			invR := math.Sqrt(invR2)
+			scale := q[a] * q[b] * invR * invR2 // Coulomb: qq/r^3 * d
+			if a == 0 && b == 0 {
+				sr6 := invR2 * invR2 * invR2 * 9.0 // sigma^6 = 9
+				scale += (12*sr6*sr6 - 6*sr6) * invR2 * 0.1
+			}
+			for c := 0; c < 3; c++ {
+				f := scale * d[c]
+				out[a*3+c] += f
+				out[workload.AtomsPerMol*3+b*3+c] -= f
+			}
+		}
+	}
+	return out
+}
+
+// referenceForces accumulates all pair forces sequentially.
+func (md *MolDyn) referenceForces() []float64 {
+	f := make([]float64, md.W.NumMol*workload.AtomsPerMol*3)
+	for _, p := range md.Pairs {
+		pf := md.pairForces(p[0], p[1])
+		for a := 0; a < workload.AtomsPerMol; a++ {
+			for c := 0; c < 3; c++ {
+				f[(int(p[0])*workload.AtomsPerMol+a)*3+c] += pf[a*3+c]
+				f[(int(p[1])*workload.AtomsPerMol+a)*3+c] += pf[(workload.AtomsPerMol+a)*3+c]
+			}
+		}
+	}
+	return f
+}
+
+// Init writes atom data (positions + charges) into memory. Forces start at
+// zero.
+func (md *MolDyn) Init(m *machine.Machine) {
+	st := m.Store()
+	q := workload.Charges()
+	for atom, p := range md.W.Pos {
+		base := md.PosBase + mem.Addr(atom*4)
+		st.StoreF64(base, p[0])
+		st.StoreF64(base+1, p[1])
+		st.StoreF64(base+2, p[2])
+		st.StoreF64(base+3, q[atom%workload.AtomsPerMol])
+	}
+	// Neighbor list image (molecule ids), used by the list-load streams.
+	w := 0
+	for _, p := range md.Pairs {
+		st.StoreI64(md.ListBase+mem.Addr(w), int64(p[0])<<32|int64(p[1]))
+		w++
+	}
+}
+
+// gatherAddrsForPair returns the 24 atom-data addresses of a molecule pair.
+func (md *MolDyn) gatherAddrsForPair(i, j int32, out []mem.Addr) []mem.Addr {
+	for _, mol := range [2]int32{i, j} {
+		for a := 0; a < workload.AtomsPerMol; a++ {
+			base := md.PosBase + mem.Addr((int(mol)*workload.AtomsPerMol+a)*4)
+			out = append(out, base, base+1, base+2, base+3)
+		}
+	}
+	return out
+}
+
+// forceAddr returns the force-array address of (molecule, atom, component).
+func (md *MolDyn) forceAddr(mol int32, atom, comp int) mem.Addr {
+	return md.ForceBase + mem.Addr((int(mol)*workload.AtomsPerMol+atom)*3+comp)
+}
+
+// RunNoSA executes the duplicated-computation variant: iterate the full
+// neighbor list so each molecule's forces are accumulated privately and
+// written once, at the cost of computing every interaction twice (§4.3).
+func (md *MolDyn) RunNoSA(m *machine.Machine) machine.Result {
+	md.Init(m)
+	var total machine.Result
+	entries := 0
+	var gAddrs []mem.Addr
+	for i, neigh := range md.Full {
+		for _, j := range neigh {
+			gAddrs = md.gatherAddrsForPair(int32(i), j, gAddrs)
+			entries++
+		}
+	}
+	total.Add(m.RunOp(machine.LoadStream("md-list", md.ListBase, entries)))
+	total.Add(m.RunOp(machine.Gather("md-gather", gAddrs)))
+	total.Add(m.RunOp(machine.Kernel("md-force2x",
+		float64(entries*atomPairsPerMol*flopsPerAtomPair),
+		float64(entries*(wordsPerPairGather+workload.AtomsPerMol*3)))))
+	// Forces were accumulated in the SRF per center molecule: one stream
+	// write of the whole force array.
+	forces := make([]mem.Word, len(md.RefForce))
+	for i, f := range md.RefForce {
+		forces[i] = mem.F64(f)
+	}
+	total.Add(m.RunOp(machine.StoreStream("md-fwrite", md.ForceBase, forces)))
+	return total
+}
+
+// newtonPrefix returns the operations shared by the scatter-add variants:
+// stream the half list, gather both molecules' atom data, and run the force
+// kernel once per pair.
+func (md *MolDyn) newtonPrefix() []machine.Op {
+	var gAddrs []mem.Addr
+	for _, p := range md.Pairs {
+		gAddrs = md.gatherAddrsForPair(p[0], p[1], gAddrs)
+	}
+	n := len(md.Pairs)
+	return []machine.Op{
+		machine.LoadStream("md-list", md.ListBase, n),
+		machine.Gather("md-gather", gAddrs),
+		machine.Kernel("md-force",
+			float64(n*atomPairsPerMol*flopsPerAtomPair),
+			float64(n*(wordsPerPairGather+forceRefsPerPair))),
+	}
+}
+
+// saRefs returns the scatter-add address and value streams of the
+// Newton's-law variants.
+func (md *MolDyn) saRefs() (addrs []mem.Addr, vals []mem.Word) {
+	addrs = make([]mem.Addr, 0, md.NumSARefs())
+	vals = make([]mem.Word, 0, md.NumSARefs())
+	for _, p := range md.Pairs {
+		pf := md.pairForces(p[0], p[1])
+		for a := 0; a < workload.AtomsPerMol; a++ {
+			for c := 0; c < 3; c++ {
+				addrs = append(addrs, md.forceAddr(p[0], a, c))
+				vals = append(vals, mem.F64(pf[a*3+c]))
+			}
+		}
+		for a := 0; a < workload.AtomsPerMol; a++ {
+			for c := 0; c < 3; c++ {
+				addrs = append(addrs, md.forceAddr(p[1], a, c))
+				vals = append(vals, mem.F64(pf[(workload.AtomsPerMol+a)*3+c]))
+			}
+		}
+	}
+	return addrs, vals
+}
+
+// SARefs exposes the scatter-add reference stream (Figure 13's "mole"
+// trace).
+func (md *MolDyn) SARefs() ([]mem.Addr, []mem.Word) { return md.saRefs() }
+
+// RunHWSA executes the Newton's-third-law variant with hardware
+// scatter-add.
+func (md *MolDyn) RunHWSA(m *machine.Machine) machine.Result {
+	md.Init(m)
+	var total machine.Result
+	for _, op := range md.newtonPrefix() {
+		total.Add(m.RunOp(op))
+	}
+	addrs, vals := md.saRefs()
+	total.Add(m.RunOp(machine.ScatterAdd("md-sa", mem.AddF64, addrs, vals)))
+	return total
+}
+
+// RunSWSA executes the Newton's-third-law variant with the software sort +
+// segmented scan scatter-add.
+func (md *MolDyn) RunSWSA(m *machine.Machine, batch int) machine.Result {
+	md.Init(m)
+	var total machine.Result
+	for _, op := range md.newtonPrefix() {
+		total.Add(m.RunOp(op))
+	}
+	addrs, vals := md.saRefs()
+	total.Add(softscatter.SortScan(m, mem.AddF64, addrs, vals, batch))
+	return total
+}
+
+// Verify compares the force array against the sequential reference.
+func (md *MolDyn) Verify(m *machine.Machine) error {
+	m.FlushCaches()
+	got := m.Store().ReadF64Slice(md.ForceBase, len(md.RefForce))
+	for i, want := range md.RefForce {
+		if math.Abs(got[i]-want) > 1e-6*math.Max(1, math.Abs(want)) {
+			return fmt.Errorf("moldyn: force[%d] = %g, want %g", i, got[i], want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"scatteradd/internal/machine"
+	"scatteradd/internal/mem"
+	"scatteradd/internal/softscatter"
+	"scatteradd/internal/workload"
+)
+
+// SpMV is the sparse matrix-vector multiply workload (§4.1): a synthetic
+// cubic-Lagrange finite-element matrix multiplied by a dense vector, in
+// compressed-sparse-row form (gather based, no scatter-add) and in
+// element-by-element form (more computation, fewer memory references,
+// requires scatter-add).
+type SpMV struct {
+	Mesh *workload.FEMMesh
+	CSR  *workload.CSRMatrix
+	X    []float64
+	RefY []float64
+
+	// Memory layout (word addresses).
+	XBase, YBase           mem.Addr
+	ValBase, ColBase       mem.Addr // CSR arrays
+	RowBase                mem.Addr
+	ElemMatBase, ElemNodes mem.Addr // EBE arrays
+}
+
+// NewSpMV builds the workload from an nx x ny x nz mesh (8 x 8 x 5 matches
+// the paper's scale: 1,920 elements, ~10k DOF, ~44 nnz/row) and a seeded
+// random x vector.
+func NewSpMV(nx, ny, nz int, seed uint64) *SpMV {
+	mesh := workload.NewFEMMesh(nx, ny, nz)
+	csr := mesh.AssembleCSR()
+	r := workload.NewRNG(seed)
+	x := make([]float64, mesh.NumNodes)
+	for i := range x {
+		x[i] = r.Float64()*2 - 1
+	}
+	s := &SpMV{Mesh: mesh, CSR: csr, X: x, RefY: csr.MulVec(x)}
+	// Lay arrays out in disjoint, line-aligned regions.
+	n := mem.Addr(mesh.NumNodes)
+	align := func(a mem.Addr) mem.Addr { return (a + 4095) &^ 4095 }
+	s.XBase = 0
+	s.YBase = align(n)
+	s.ValBase = align(s.YBase + n)
+	s.ColBase = align(s.ValBase + mem.Addr(csr.NNZ()))
+	s.RowBase = align(s.ColBase + mem.Addr(csr.NNZ()))
+	s.ElemMatBase = align(s.RowBase + n + 1)
+	s.ElemNodes = align(s.ElemMatBase + mem.Addr(len(mesh.Elems)*workload.ElemNodes*workload.ElemNodes))
+	return s
+}
+
+// Init writes x, the CSR arrays, and the EBE element data into memory.
+// y starts at zero.
+func (s *SpMV) Init(m *machine.Machine) {
+	st := m.Store()
+	st.WriteF64Slice(s.XBase, s.X)
+	st.WriteF64Slice(s.ValBase, s.CSR.Val)
+	for i, c := range s.CSR.Col {
+		st.StoreI64(s.ColBase+mem.Addr(i), int64(c))
+	}
+	for i, p := range s.CSR.RowPtr {
+		st.StoreI64(s.RowBase+mem.Addr(i), int64(p))
+	}
+	for e := range s.Mesh.Elems {
+		k := s.Mesh.ElementMatrix(e)
+		base := s.ElemMatBase + mem.Addr(e*workload.ElemNodes*workload.ElemNodes)
+		for i := 0; i < workload.ElemNodes; i++ {
+			for j := 0; j < workload.ElemNodes; j++ {
+				st.StoreF64(base+mem.Addr(i*workload.ElemNodes+j), k[i][j])
+			}
+		}
+		nbase := s.ElemNodes + mem.Addr(e*workload.ElemNodes)
+		for i, nd := range s.Mesh.Elems[e] {
+			st.StoreI64(nbase+mem.Addr(i), int64(nd))
+		}
+	}
+}
+
+// RunCSR executes the gather-based CSR algorithm: stream the values,
+// columns and row pointers, gather x, multiply-accumulate, and store y.
+func (s *SpMV) RunCSR(m *machine.Machine) machine.Result {
+	s.Init(m)
+	nnz := s.CSR.NNZ()
+	n := s.Mesh.NumNodes
+	xAddrs := make([]mem.Addr, nnz)
+	for i, c := range s.CSR.Col {
+		xAddrs[i] = s.XBase + mem.Addr(c)
+	}
+	y := make([]mem.Word, n)
+	for i, v := range s.RefY {
+		y[i] = mem.F64(v) // values the kernel computes; timing is simulated
+	}
+	prog := []machine.Op{
+		machine.LoadStream("csr-val", s.ValBase, nnz),
+		machine.LoadStream("csr-col", s.ColBase, nnz),
+		machine.LoadStream("csr-row", s.RowBase, n+1),
+		machine.Gather("csr-x", xAddrs),
+		machine.Kernel("csr-mac", float64(2*nnz), float64(4*nnz)),
+		machine.Scatter("csr-y", seqAddrs(s.YBase, n), y),
+	}
+	return m.Run(prog)
+}
+
+// ebeContributions computes, per element-node reference, the value the EBE
+// algorithm scatter-adds into y (k_e · x_e restricted to each node).
+func (s *SpMV) ebeContributions() (addrs []mem.Addr, vals []mem.Word) {
+	for e := range s.Mesh.Elems {
+		k := s.Mesh.ElementMatrix(e)
+		elem := &s.Mesh.Elems[e]
+		var xe [workload.ElemNodes]float64
+		for i := 0; i < workload.ElemNodes; i++ {
+			xe[i] = s.X[elem[i]]
+		}
+		for i := 0; i < workload.ElemNodes; i++ {
+			sum := 0.0
+			for j := 0; j < workload.ElemNodes; j++ {
+				sum += k[i][j] * xe[j]
+			}
+			addrs = append(addrs, s.YBase+mem.Addr(elem[i]))
+			vals = append(vals, mem.F64(sum))
+		}
+	}
+	return addrs, vals
+}
+
+// EBERefs exposes the element-by-element scatter-add reference stream
+// (Figure 13's "spas" trace).
+func (s *SpMV) EBERefs() ([]mem.Addr, []mem.Word) { return s.ebeContributions() }
+
+// ebePrefix returns the stream operations shared by both EBE variants:
+// stream the element matrices and node lists, gather x at every element
+// node, and run the dense per-element multiplications.
+func (s *SpMV) ebePrefix() []machine.Op {
+	ne := len(s.Mesh.Elems)
+	en := workload.ElemNodes
+	xAddrs := make([]mem.Addr, 0, ne*en)
+	for e := range s.Mesh.Elems {
+		for _, nd := range s.Mesh.Elems[e] {
+			xAddrs = append(xAddrs, s.XBase+mem.Addr(nd))
+		}
+	}
+	matWords := ne * en * en
+	return []machine.Op{
+		machine.LoadStream("ebe-mat", s.ElemMatBase, matWords),
+		machine.LoadStream("ebe-nodes", s.ElemNodes, ne*en),
+		machine.Gather("ebe-x", xAddrs),
+		machine.Kernel("ebe-dense", float64(2*matWords), float64(matWords+3*ne*en)),
+	}
+}
+
+// RunEBEHW executes element-by-element SpMV with the hardware scatter-add.
+func (s *SpMV) RunEBEHW(m *machine.Machine) machine.Result {
+	s.Init(m)
+	var total machine.Result
+	for _, op := range s.ebePrefix() {
+		total.Add(m.RunOp(op))
+	}
+	addrs, vals := s.ebeContributions()
+	total.Add(m.RunOp(machine.ScatterAdd("ebe-sa", mem.AddF64, addrs, vals)))
+	return total
+}
+
+// RunEBESW executes element-by-element SpMV with the software sort +
+// segmented scan scatter-add (0 selects the default batch).
+func (s *SpMV) RunEBESW(m *machine.Machine, batch int) machine.Result {
+	s.Init(m)
+	var total machine.Result
+	for _, op := range s.ebePrefix() {
+		total.Add(m.RunOp(op))
+	}
+	addrs, vals := s.ebeContributions()
+	total.Add(softscatter.SortScan(m, mem.AddF64, addrs, vals, batch))
+	return total
+}
+
+// Verify compares y in the machine's memory against the sequential CSR
+// reference within a relative tolerance (scatter-add reorders FP sums).
+func (s *SpMV) Verify(m *machine.Machine) error {
+	m.FlushCaches()
+	got := m.Store().ReadF64Slice(s.YBase, s.Mesh.NumNodes)
+	for i, want := range s.RefY {
+		if math.Abs(got[i]-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			return fmt.Errorf("spmv: y[%d] = %g, want %g", i, got[i], want)
+		}
+	}
+	return nil
+}
+
+// seqAddrs returns base..base+n-1.
+func seqAddrs(base mem.Addr, n int) []mem.Addr {
+	out := make([]mem.Addr, n)
+	for i := range out {
+		out[i] = base + mem.Addr(i)
+	}
+	return out
+}

@@ -1,0 +1,708 @@
+// Package cache models the address-partitioned banked stream cache of the
+// simulated node (paper §4.2: 1 MB, 8 banks, 64 GB/s, "an address
+// partitioned on-chip data cache serves as a bandwidth amplifier for
+// memory"). Each Bank is a set-associative write-back, write-allocate cache
+// slice with MSHRs and a write-back queue, fronted by a word-granular port
+// (port.Word) and backed by the line-granular DRAM model.
+//
+// Banks also implement the multi-node cache-combining optimization of §3.2:
+// in CombineLocal mode a miss allocates the line filled with the combining
+// identity instead of fetching it from the (remote) owner, and evicted lines
+// are surfaced through PopEvict for the node to convert into sum-back
+// scatter-add requests. StartFlush begins the paper's flush-with-sum-back
+// synchronization step.
+package cache
+
+import (
+	"fmt"
+
+	"scatteradd/internal/dram"
+	"scatteradd/internal/mem"
+	"scatteradd/internal/sim"
+)
+
+// Mode selects how a Bank handles misses and evictions.
+type Mode uint8
+
+const (
+	// Normal: misses fetch from DRAM; dirty evictions write back to DRAM.
+	Normal Mode = iota
+	// CombineLocal: misses allocate an identity-filled line locally (no
+	// fetch); dirty evictions are surfaced via PopEvict as partial sums.
+	CombineLocal
+)
+
+// Config holds per-cache parameters. Values describe the whole cache; each
+// bank models 1/Banks of the lines.
+type Config struct {
+	Banks      int // number of banks (address partitioned by line)
+	TotalLines int // lines across all banks (1 MB / 64 B = 16384)
+	Ways       int // set associativity
+	HitLatency int // cycles from accept to response on a hit
+	MSHRs      int // outstanding misses per bank
+	PortWidth  int // word requests consumed per bank per cycle
+	InQDepth   int // front-side input queue entries per bank
+	RespQDepth int // front-side response queue entries per bank
+	WBQDepth   int // write-back queue entries per bank
+
+	// WriteNoAllocate sends word-write misses to a small per-bank
+	// write-combining buffer instead of fetching the line: a fully written
+	// line goes straight to DRAM with no fill traffic (ideal for the
+	// sequential result streams of the scatter phase, §3.1); partially
+	// written lines spill through a fetch-and-merge. Off by default (the
+	// baseline machine write-allocates).
+	WriteNoAllocate bool
+	WCBEntries      int // write-combining buffer entries per bank (default 8)
+}
+
+// DefaultConfig returns the Table 1 stream cache: 1 MB, 8 banks, 64 GB/s
+// (one word per bank per cycle at 1 GHz).
+func DefaultConfig() Config {
+	return Config{
+		Banks:      8,
+		TotalLines: (1 << 20) / mem.LineBytes,
+		Ways:       4,
+		HitLatency: 2,
+		MSHRs:      8,
+		PortWidth:  1,
+		InQDepth:   8,
+		RespQDepth: 16,
+		WBQDepth:   8,
+	}
+}
+
+// Stats aggregates cache activity.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64 // demand misses that allocated an MSHR
+	MergedMiss uint64 // requests merged into an existing MSHR
+	Evictions  uint64
+	WriteBacks uint64 // dirty lines written to DRAM
+	SumBacks   uint64 // partial lines surfaced in CombineLocal mode
+	Stalls     uint64 // cycles the bank head request could not proceed
+
+	WCBMerges    uint64 // writes absorbed by the write-combining buffer
+	WCBFullLines uint64 // fully written lines sent to DRAM without a fill
+	WCBSpills    uint64 // partial lines spilled via fetch-and-merge
+}
+
+type line struct {
+	valid    bool
+	dirty    bool
+	partial  bool // CombineLocal: holds partial sums, not authoritative data
+	tag      uint64
+	lastUsed uint64
+	kind     mem.Kind // combine kind for partial lines
+	data     [mem.LineWords]mem.Word
+}
+
+type mshr struct {
+	valid       bool
+	line        mem.Addr // line-aligned address
+	issued      bool     // fill request accepted by DRAM
+	filled      bool     // line is resident; pending drains as respQ allows
+	pending     []mem.Request
+	pendingFill *[mem.LineWords]mem.Word // fill data staged while eviction is blocked
+}
+
+// EvictedLine is a partial-sum line surfaced by a CombineLocal bank.
+type EvictedLine struct {
+	Line mem.Addr
+	Kind mem.Kind
+	Data [mem.LineWords]mem.Word
+}
+
+// wcbEntry is one write-combining buffer slot.
+type wcbEntry struct {
+	valid    bool
+	line     mem.Addr
+	mask     uint8 // bit i set = word i written
+	lastUsed uint64
+	data     [mem.LineWords]mem.Word
+}
+
+const fullMask = uint8(1<<mem.LineWords - 1)
+
+// Bank is one slice of the stream cache.
+type Bank struct {
+	cfg    Config
+	mode   Mode
+	index  int // this bank's number (for set mapping)
+	sets   int
+	lines  []line // sets*ways, row-major by set
+	mshrs  []mshr
+	dram   *dram.DRAM
+	inQ    *sim.Queue[mem.Request]
+	respQ  *sim.Delay[mem.Response]
+	wbQ    *sim.Queue[dram.LineReq]
+	evictQ *sim.Queue[EvictedLine]
+	wcb    []wcbEntry
+	stats  Stats
+
+	flushing bool
+	flushPos int // next line index to examine during flush
+
+	zeroKind mem.Kind // combine kind for zero-allocation in CombineLocal
+}
+
+// NewBank constructs bank index of a cache described by cfg, backed by d.
+// d may be nil only in CombineLocal mode, where misses never fetch.
+func NewBank(cfg Config, index int, d *dram.DRAM, mode Mode) *Bank {
+	if cfg.Banks <= 0 || cfg.TotalLines%cfg.Banks != 0 {
+		panic(fmt.Sprintf("cache: TotalLines %d not divisible by Banks %d", cfg.TotalLines, cfg.Banks))
+	}
+	perBank := cfg.TotalLines / cfg.Banks
+	if cfg.Ways <= 0 || perBank%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache: lines per bank %d not divisible by ways %d", perBank, cfg.Ways))
+	}
+	if mode == Normal && d == nil {
+		panic("cache: Normal mode requires a DRAM backend")
+	}
+	b := &Bank{
+		cfg:      cfg,
+		mode:     mode,
+		index:    index,
+		sets:     perBank / cfg.Ways,
+		lines:    make([]line, perBank),
+		mshrs:    make([]mshr, cfg.MSHRs),
+		dram:     d,
+		inQ:      sim.NewQueue[mem.Request](cfg.InQDepth),
+		respQ:    sim.NewDelay[mem.Response](cfg.HitLatency, cfg.RespQDepth),
+		wbQ:      sim.NewQueue[dram.LineReq](cfg.WBQDepth),
+		evictQ:   sim.NewQueue[EvictedLine](cfg.WBQDepth),
+		zeroKind: mem.AddF64,
+	}
+	if cfg.WriteNoAllocate {
+		n := cfg.WCBEntries
+		if n <= 0 {
+			n = 8
+		}
+		b.wcb = make([]wcbEntry, n)
+	}
+	return b
+}
+
+// SetZeroKind configures the combining identity used for zero-allocated
+// lines in CombineLocal mode.
+func (b *Bank) SetZeroKind(k mem.Kind) { b.zeroKind = k }
+
+// Stats returns a copy of the activity counters.
+func (b *Bank) Stats() Stats { return b.stats }
+
+// BankOf maps a line-aligned address to its bank number. Successive lines
+// map to successive banks; a narrow index range therefore concentrates on
+// few banks — the paper's "hot bank effect" (§4.3, Figure 7).
+func BankOf(a mem.Addr, banks int) int {
+	return int((uint64(a) / mem.LineWords) % uint64(banks))
+}
+
+// setTag computes the set index and tag of a line-aligned address for this
+// bank.
+func (b *Bank) setTag(a mem.Addr) (int, uint64) {
+	local := (uint64(a) / mem.LineWords) / uint64(b.cfg.Banks)
+	return int(local % uint64(b.sets)), local / uint64(b.sets)
+}
+
+// lookup returns the way holding the line, or -1.
+func (b *Bank) lookup(set int, tag uint64) int {
+	base := set * b.cfg.Ways
+	for w := 0; w < b.cfg.Ways; w++ {
+		ln := &b.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victim returns the way to replace in set (invalid first, else LRU among
+// unpinned lines), or -1 when every way is pinned by a draining MSHR.
+func (b *Bank) victim(set int) int {
+	base := set * b.cfg.Ways
+	best, bestUsed := -1, ^uint64(0)
+	for w := 0; w < b.cfg.Ways; w++ {
+		ln := &b.lines[base+w]
+		if !ln.valid {
+			return w
+		}
+		if ln.lastUsed < bestUsed && !b.pinnedLine(set, w) {
+			best, bestUsed = w, ln.lastUsed
+		}
+	}
+	return best
+}
+
+// lineAddrOf reconstructs the line-aligned global address of a cached line.
+func (b *Bank) lineAddrOf(set int, tag uint64) mem.Addr {
+	local := tag*uint64(b.sets) + uint64(set)
+	return mem.Addr((local*uint64(b.cfg.Banks) + uint64(b.index)) * mem.LineWords)
+}
+
+// evict removes the line at (set, way), queueing any write-back or sum-back.
+// It reports whether eviction was possible (queues had room).
+func (b *Bank) evict(set, way int) bool {
+	ln := &b.lines[set*b.cfg.Ways+way]
+	if !ln.valid {
+		return true
+	}
+	addr := b.lineAddrOf(set, ln.tag)
+	if ln.dirty {
+		if ln.partial {
+			if b.evictQ.Full() {
+				return false
+			}
+			b.evictQ.MustPush(EvictedLine{Line: addr, Kind: ln.kind, Data: ln.data})
+			b.stats.SumBacks++
+		} else {
+			if b.wbQ.Full() {
+				return false
+			}
+			b.wbQ.MustPush(dram.LineReq{Line: addr, Write: true, Data: ln.data})
+			b.stats.WriteBacks++
+		}
+	}
+	ln.valid = false
+	b.stats.Evictions++
+	return true
+}
+
+// install places data into the cache for the given line, evicting as needed.
+// Reports false when the victim could not be evicted this cycle.
+func (b *Bank) install(now uint64, a mem.Addr, data [mem.LineWords]mem.Word, partial bool) bool {
+	set, tag := b.setTag(a)
+	way := b.victim(set)
+	if way < 0 || !b.evict(set, way) {
+		return false
+	}
+	ln := &b.lines[set*b.cfg.Ways+way]
+	*ln = line{valid: true, tag: tag, lastUsed: now, data: data, partial: partial, kind: b.zeroKind}
+	return true
+}
+
+// apply performs a word operation on a resident line and, when a response is
+// due, pushes it. The caller has verified respQ capacity.
+func (b *Bank) apply(now uint64, ln *line, r mem.Request) {
+	ln.lastUsed = now
+	off := r.Addr.LineOffset()
+	switch r.Kind {
+	case mem.Read:
+		b.respQ.Push(now, mem.Response{ID: r.ID, Kind: mem.Read, Addr: r.Addr, Val: ln.data[off], Node: r.Node})
+	case mem.Write:
+		ln.data[off] = r.Val
+		ln.dirty = true
+	default:
+		// Scatter-add kinds reach the bank directly only in CombineLocal
+		// mode, where the bank itself merges into the partial line. (In the
+		// full machine the scatter-add unit splits RMWs into Read+Write
+		// before they reach the cache.)
+		old := ln.data[off]
+		ln.data[off] = mem.Combine(r.Kind, old, r.Val)
+		ln.dirty = true
+		ln.kind = r.Kind
+		if r.Kind.IsFetch() {
+			b.respQ.Push(now, mem.Response{ID: r.ID, Kind: r.Kind, Addr: r.Addr, Val: old, Node: r.Node})
+		}
+	}
+}
+
+// CanAccept reports whether the input queue has room.
+func (b *Bank) CanAccept(now uint64) bool { return !b.inQ.Full() }
+
+// Accept submits a word request to the bank.
+func (b *Bank) Accept(now uint64, r mem.Request) bool {
+	if BankOf(r.Addr.Line(), b.cfg.Banks) != b.index {
+		panic(fmt.Sprintf("cache: address %d routed to wrong bank %d", r.Addr, b.index))
+	}
+	return b.inQ.Push(r)
+}
+
+// PopResponse returns one completed response, if ready.
+func (b *Bank) PopResponse(now uint64) (mem.Response, bool) {
+	return b.respQ.Pop(now)
+}
+
+// PopEvict returns one evicted partial-sum line (CombineLocal mode).
+func (b *Bank) PopEvict() (EvictedLine, bool) { return b.evictQ.Pop() }
+
+// mshrFor returns the MSHR tracking the line, or nil.
+func (b *Bank) mshrFor(a mem.Addr) *mshr {
+	for i := range b.mshrs {
+		if b.mshrs[i].valid && b.mshrs[i].line == a {
+			return &b.mshrs[i]
+		}
+	}
+	return nil
+}
+
+// freeMSHR returns an unused MSHR, or nil.
+func (b *Bank) freeMSHR() *mshr {
+	for i := range b.mshrs {
+		if !b.mshrs[i].valid {
+			return &b.mshrs[i]
+		}
+	}
+	return nil
+}
+
+// Fill delivers a DRAM read completion for a line owned by this bank.
+func (b *Bank) Fill(now uint64, a mem.Addr, data [mem.LineWords]mem.Word) {
+	m := b.mshrFor(a)
+	if m == nil {
+		panic(fmt.Sprintf("cache: fill for line %d with no MSHR", a))
+	}
+	if !b.install(now, a, data, false) {
+		// Victim eviction blocked on a full write-back queue: stage the data
+		// in the MSHR's holding register and retry on the next Tick.
+		m.pendingFill = &data
+		return
+	}
+	b.completeMSHR(now, m)
+}
+
+// completeMSHR marks the line resident and drains as many pending requests
+// as the response queue allows; the rest drain on subsequent Ticks while
+// the line stays pinned (see victim).
+func (b *Bank) completeMSHR(now uint64, m *mshr) {
+	m.filled = true
+	b.drainMSHR(now, m)
+}
+
+// drainMSHR services pending requests of a filled MSHR against the resident
+// line, respecting response-queue capacity, and frees the MSHR when empty.
+func (b *Bank) drainMSHR(now uint64, m *mshr) {
+	set, tag := b.setTag(m.line)
+	way := b.lookup(set, tag)
+	if way < 0 {
+		panic(fmt.Sprintf("cache: filled MSHR for line %d but line not resident", m.line))
+	}
+	ln := &b.lines[set*b.cfg.Ways+way]
+	for len(m.pending) > 0 {
+		r := m.pending[0]
+		needsResp := r.Kind == mem.Read || r.Kind.IsFetch()
+		if needsResp && b.respQ.Full() {
+			return
+		}
+		b.apply(now, ln, r)
+		m.pending = m.pending[1:]
+	}
+	*m = mshr{}
+}
+
+// pinnedLine reports whether a filled MSHR still references the line at
+// (set, way); such lines must not be evicted until the MSHR drains.
+func (b *Bank) pinnedLine(set, way int) bool {
+	ln := &b.lines[set*b.cfg.Ways+way]
+	if !ln.valid {
+		return false
+	}
+	addr := b.lineAddrOf(set, ln.tag)
+	for i := range b.mshrs {
+		m := &b.mshrs[i]
+		if m.valid && m.filled && m.line == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick processes queued requests, retries blocked fills, and drains the
+// write-back queue to DRAM.
+func (b *Bank) Tick(now uint64) {
+	// Drain filled MSHRs and retry fills blocked on eviction.
+	for i := range b.mshrs {
+		m := &b.mshrs[i]
+		if !m.valid {
+			continue
+		}
+		if m.filled {
+			b.drainMSHR(now, m)
+			continue
+		}
+		if m.pendingFill != nil {
+			if b.install(now, m.line, *m.pendingFill, false) {
+				m.pendingFill = nil
+				b.completeMSHR(now, m)
+			}
+		}
+	}
+
+	// Issue MSHR fetches that have not reached DRAM yet.
+	if b.mode == Normal {
+		for i := range b.mshrs {
+			m := &b.mshrs[i]
+			if m.valid && !m.issued && m.pendingFill == nil {
+				if b.dram.CanAccept(m.line) && b.dram.Accept(now, dram.LineReq{Line: m.line}) {
+					m.issued = true
+				}
+			}
+		}
+	}
+
+	// Front-side request processing.
+	for k := 0; k < b.cfg.PortWidth; k++ {
+		if !b.processOne(now) {
+			break
+		}
+	}
+
+	// Flush walk: evict up to one line per cycle.
+	if b.flushing {
+		b.stepFlush()
+	}
+
+	// Drain write-backs to DRAM.
+	for b.dram != nil {
+		wb, ok := b.wbQ.Peek()
+		if !ok {
+			break
+		}
+		if !b.dram.CanAccept(wb.Line) || !b.dram.Accept(now, wb) {
+			break
+		}
+		b.wbQ.Pop()
+	}
+}
+
+// wcbFind returns the write-combining entry for a line, or -1.
+func (b *Bank) wcbFind(line mem.Addr) int {
+	for i := range b.wcb {
+		if b.wcb[i].valid && b.wcb[i].line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// wcbVictim returns a free or LRU write-combining entry.
+func (b *Bank) wcbVictim() int {
+	best, bestUsed := 0, ^uint64(0)
+	for i := range b.wcb {
+		if !b.wcb[i].valid {
+			return i
+		}
+		if b.wcb[i].lastUsed < bestUsed {
+			best, bestUsed = i, b.wcb[i].lastUsed
+		}
+	}
+	return best
+}
+
+// spillWCB empties entry i: a fully written line goes straight to the
+// write-back queue (no fill); a partial line converts into an MSHR
+// fetch-and-merge whose pending list replays the buffered word writes.
+// It reports false when the needed queue or MSHR was unavailable.
+func (b *Bank) spillWCB(i int) bool {
+	e := &b.wcb[i]
+	if e.mask == fullMask {
+		if b.wbQ.Full() {
+			return false
+		}
+		b.wbQ.MustPush(dram.LineReq{Line: e.line, Write: true, Data: e.data})
+		b.stats.WCBFullLines++
+		e.valid = false
+		return true
+	}
+	m := b.mshrFor(e.line)
+	if m == nil {
+		m = b.freeMSHR()
+		if m == nil {
+			return false
+		}
+		*m = mshr{valid: true, line: e.line}
+		b.stats.Misses++
+	}
+	for w := 0; w < mem.LineWords; w++ {
+		if e.mask&(1<<w) != 0 {
+			m.pending = append(m.pending, mem.Request{Kind: mem.Write, Addr: e.line + mem.Addr(w), Val: e.data[w]})
+		}
+	}
+	b.stats.WCBSpills++
+	e.valid = false
+	return true
+}
+
+// wcbWrite absorbs a write miss into the combining buffer; reports whether
+// it made progress.
+func (b *Bank) wcbWrite(now uint64, r mem.Request) bool {
+	line := r.Addr.Line()
+	i := b.wcbFind(line)
+	if i < 0 {
+		i = b.wcbVictim()
+		if b.wcb[i].valid && !b.spillWCB(i) {
+			b.stats.Stalls++
+			return false
+		}
+		b.wcb[i] = wcbEntry{valid: true, line: line}
+	}
+	e := &b.wcb[i]
+	e.data[r.Addr.LineOffset()] = r.Val
+	e.mask |= 1 << r.Addr.LineOffset()
+	e.lastUsed = now
+	b.stats.WCBMerges++
+	if e.mask == fullMask && !b.wbQ.Full() {
+		b.wbQ.MustPush(dram.LineReq{Line: e.line, Write: true, Data: e.data})
+		b.stats.WCBFullLines++
+		e.valid = false
+	}
+	return true
+}
+
+// processOne handles the head input request; reports whether it made
+// progress (so the caller can consume up to PortWidth per cycle).
+func (b *Bank) processOne(now uint64) bool {
+	r, ok := b.inQ.Peek()
+	if !ok {
+		return false
+	}
+	needsResp := r.Kind == mem.Read || r.Kind.IsFetch()
+	if needsResp && b.respQ.Full() {
+		b.stats.Stalls++
+		return false
+	}
+	lineAddr := r.Addr.Line()
+	set, tag := b.setTag(lineAddr)
+	if b.cfg.WriteNoAllocate {
+		resident := b.lookup(set, tag) >= 0
+		if r.Kind == mem.Write && !resident && b.mshrFor(lineAddr) == nil {
+			if !b.wcbWrite(now, r) {
+				return false
+			}
+			b.inQ.Pop()
+			return true
+		}
+		// Any other access to a combining-buffer line spills it first, so
+		// the subsequent fill merges the buffered writes before this
+		// request is serviced.
+		if i := b.wcbFind(lineAddr); i >= 0 {
+			if !b.spillWCB(i) {
+				b.stats.Stalls++
+				return false
+			}
+		}
+	}
+	if way := b.lookup(set, tag); way >= 0 {
+		b.stats.Hits++
+		b.apply(now, &b.lines[set*b.cfg.Ways+way], r)
+		b.inQ.Pop()
+		return true
+	}
+	// Miss.
+	if b.mode == CombineLocal {
+		// Zero-allocate with the combining identity (paper §3.2: "it is
+		// simply allocated with a value of 0 instead of being read").
+		var data [mem.LineWords]mem.Word
+		id := mem.Identity(b.zeroKind)
+		for i := range data {
+			data[i] = id
+		}
+		if !b.install(now, lineAddr, data, true) {
+			b.stats.Stalls++
+			return false
+		}
+		way := b.lookup(set, tag)
+		b.stats.Misses++
+		b.apply(now, &b.lines[set*b.cfg.Ways+way], r)
+		b.inQ.Pop()
+		return true
+	}
+	if m := b.mshrFor(lineAddr); m != nil {
+		m.pending = append(m.pending, r)
+		b.stats.MergedMiss++
+		b.inQ.Pop()
+		return true
+	}
+	m := b.freeMSHR()
+	if m == nil {
+		b.stats.Stalls++
+		return false
+	}
+	*m = mshr{valid: true, line: lineAddr, pending: []mem.Request{r}}
+	b.stats.Misses++
+	b.inQ.Pop()
+	return true
+}
+
+// StartFlush begins evicting every valid line (used for the multi-node
+// flush-with-sum-back synchronization and for end-of-phase write-back).
+func (b *Bank) StartFlush() {
+	b.flushing = true
+	b.flushPos = 0
+}
+
+// stepFlush evicts the next valid line, one per cycle.
+func (b *Bank) stepFlush() {
+	for b.flushPos < len(b.lines) {
+		i := b.flushPos
+		if b.lines[i].valid {
+			set, way := i/b.cfg.Ways, i%b.cfg.Ways
+			if !b.evict(set, way) {
+				return // queue full; retry next cycle
+			}
+			b.flushPos++
+			return
+		}
+		b.flushPos++
+	}
+	b.flushing = false
+}
+
+// Flushing reports whether a flush walk is still in progress.
+func (b *Bank) Flushing() bool { return b.flushing }
+
+// Busy reports whether the bank still holds unfinished work (excluding
+// clean/dirty resident lines, which persist across phases).
+func (b *Bank) Busy() bool {
+	if !b.inQ.Empty() || b.respQ.Len() > 0 || !b.wbQ.Empty() || !b.evictQ.Empty() || b.flushing {
+		return true
+	}
+	for i := range b.mshrs {
+		if b.mshrs[i].valid {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushFunctional writes every dirty non-partial line into the DRAM store
+// in zero simulated time. Call it after a run completes, before reading
+// results back from the store.
+func (b *Bank) FlushFunctional() {
+	if b.dram == nil {
+		return
+	}
+	for i := range b.lines {
+		ln := &b.lines[i]
+		if ln.valid && ln.dirty && !ln.partial {
+			set := i / b.cfg.Ways
+			addr := b.lineAddrOf(set, ln.tag)
+			b.dram.Store().StoreLine(addr, &ln.data)
+			ln.dirty = false
+		}
+	}
+	for i := range b.wcb {
+		e := &b.wcb[i]
+		if !e.valid {
+			continue
+		}
+		for w := 0; w < mem.LineWords; w++ {
+			if e.mask&(1<<w) != 0 {
+				b.dram.Store().StoreWord(e.line+mem.Addr(w), e.data[w])
+			}
+		}
+		e.valid = false
+	}
+}
+
+// ResidentPartialLines returns the partial lines still resident (testing and
+// final-drain support in CombineLocal mode).
+func (b *Bank) ResidentPartialLines() []EvictedLine {
+	var out []EvictedLine
+	for i := range b.lines {
+		ln := &b.lines[i]
+		if ln.valid && ln.partial && ln.dirty {
+			set := i / b.cfg.Ways
+			out = append(out, EvictedLine{Line: b.lineAddrOf(set, ln.tag), Kind: ln.kind, Data: ln.data})
+		}
+	}
+	return out
+}

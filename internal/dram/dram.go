@@ -1,0 +1,306 @@
+// Package dram models off-chip memory timing.
+//
+// Two models are provided:
+//
+//   - DRAM: a channel/bank model with open-row state and memory access
+//     scheduling (FR-FCFS, after Rixner et al., which the paper cites as the
+//     mechanism that keeps Merrimac's effective DRAM throughput close to
+//     peak). It transacts in whole cache lines and backs the stream cache.
+//
+//   - Uniform: the simplified memory used by the paper's sensitivity study
+//     (§4.4): a fixed latency plus a fixed minimum interval between
+//     successive word accesses ("memory throughput is held constant at 1
+//     word every 2 cycles"). It transacts in words and is used in the
+//     no-cache configurations of Figures 11 and 12.
+//
+// Both models are functional as well as timed: they own a mem.Store that
+// holds the authoritative memory image, so simulations produce real values.
+package dram
+
+import (
+	"fmt"
+
+	"scatteradd/internal/mem"
+)
+
+// LineReq is a whole-cache-line transaction presented to the DRAM model.
+// For writes, Data carries the line to be written; for reads, Data is
+// ignored on input and returned in the LineResp.
+type LineReq struct {
+	ID    uint64
+	Line  mem.Addr // line-aligned word address
+	Write bool
+	Data  [mem.LineWords]mem.Word
+}
+
+// LineResp is the completion of a read LineReq. Writes complete silently.
+type LineResp struct {
+	ID   uint64
+	Line mem.Addr
+	Data [mem.LineWords]mem.Word
+}
+
+// SchedPolicy selects the per-channel scheduling discipline.
+type SchedPolicy uint8
+
+const (
+	// FRFCFS prefers row-hit requests over older row-miss requests
+	// (first-ready, first-come-first-served).
+	FRFCFS SchedPolicy = iota
+	// FIFO services requests strictly in arrival order (ablation baseline).
+	FIFO
+)
+
+func (p SchedPolicy) String() string {
+	if p == FIFO {
+		return "FIFO"
+	}
+	return "FR-FCFS"
+}
+
+// Config holds the DRAM timing parameters. The defaults (DefaultConfig)
+// realize the paper's Table 1: 16 channels and 38.4 GB/s peak bandwidth at
+// 1 GHz.
+type Config struct {
+	Channels        int         // independent DRAM channels
+	BanksPerChannel int         // internal banks per channel
+	RowLines        int         // cache lines per DRAM row (row size / 64B)
+	TCas            int         // cycles from issue to data for a row hit
+	TRowMiss        int         // additional cycles for precharge+activate
+	BusCyclesPerLn  int         // data-bus occupancy per line transfer
+	QueueDepth      int         // per-channel request queue entries
+	Policy          SchedPolicy // scheduling discipline
+}
+
+// DefaultConfig returns the Table 1 DRAM configuration: 16 channels whose
+// aggregate peak bandwidth is 64B/27cyc * 16 = 37.9 GB/s at 1 GHz (the paper
+// quotes 38.4 GB/s).
+func DefaultConfig() Config {
+	return Config{
+		Channels:        16,
+		BanksPerChannel: 8,
+		RowLines:        32, // 2 KB rows
+		TCas:            20,
+		TRowMiss:        30,
+		BusCyclesPerLn:  27,
+		QueueDepth:      16,
+		Policy:          FRFCFS,
+	}
+}
+
+// Stats aggregates DRAM activity counters.
+type Stats struct {
+	Reads     uint64 // line reads serviced
+	Writes    uint64 // line writes serviced
+	RowHits   uint64
+	RowMisses uint64
+	BusCycles uint64 // cycles any channel's data bus was busy
+	Stalls    uint64 // Accept attempts refused because a queue was full
+}
+
+// BytesTransferred reports the total data moved over all channels.
+func (s Stats) BytesTransferred() uint64 {
+	return (s.Reads + s.Writes) * mem.LineBytes
+}
+
+type chanReq struct {
+	req     LineReq
+	arrival uint64
+}
+
+type pendingResp struct {
+	resp  LineResp
+	ready uint64
+}
+
+type bank struct {
+	openRow   int64 // -1 when no row is open
+	busyUntil uint64
+}
+
+type channel struct {
+	queue   []chanReq
+	banks   []bank
+	busFree uint64 // first cycle the data bus is free
+	pending []pendingResp
+	resps   []LineResp
+}
+
+// DRAM is the multi-channel line-granular memory model.
+type DRAM struct {
+	cfg      Config
+	store    *mem.Store
+	channels []channel
+	stats    Stats
+	rrChan   int // round-robin pointer for response draining
+}
+
+// New returns a DRAM with the given configuration, owning a fresh store.
+func New(cfg Config) *DRAM {
+	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 || cfg.QueueDepth <= 0 {
+		panic(fmt.Sprintf("dram: invalid config %+v", cfg))
+	}
+	d := &DRAM{cfg: cfg, store: mem.NewStore(), channels: make([]channel, cfg.Channels)}
+	for i := range d.channels {
+		banks := make([]bank, cfg.BanksPerChannel)
+		for b := range banks {
+			banks[b].openRow = -1
+		}
+		d.channels[i].banks = banks
+	}
+	return d
+}
+
+// Store exposes the functional memory image (for zero-time initialization
+// and result readback).
+func (d *DRAM) Store() *mem.Store { return d.store }
+
+// Stats returns a copy of the activity counters.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// Config returns the configuration the DRAM was built with.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// lineIndex returns the global line number of a line-aligned address.
+func lineIndex(line mem.Addr) uint64 { return uint64(line) / mem.LineWords }
+
+// channelOf maps a line to its channel (line interleaving).
+func (d *DRAM) channelOf(line mem.Addr) int {
+	return int(lineIndex(line) % uint64(d.cfg.Channels))
+}
+
+// bankRowOf maps a line to (bank, row) within its channel.
+func (d *DRAM) bankRowOf(line mem.Addr) (int, int64) {
+	li := lineIndex(line) / uint64(d.cfg.Channels) // channel-local line number
+	b := int(li % uint64(d.cfg.BanksPerChannel))
+	row := int64(li / uint64(d.cfg.BanksPerChannel) / uint64(d.cfg.RowLines))
+	return b, row
+}
+
+// CanAccept reports whether a request for the given line can be enqueued.
+func (d *DRAM) CanAccept(line mem.Addr) bool {
+	return len(d.channels[d.channelOf(line)].queue) < d.cfg.QueueDepth
+}
+
+// Accept enqueues a line transaction. It reports false (and counts a stall)
+// when the target channel queue is full. Write data is applied to the
+// functional store immediately; timing is charged when the request is
+// scheduled.
+func (d *DRAM) Accept(now uint64, r LineReq) bool {
+	if r.Line != r.Line.Line() {
+		panic(fmt.Sprintf("dram: unaligned line address %d", r.Line))
+	}
+	ch := &d.channels[d.channelOf(r.Line)]
+	if len(ch.queue) >= d.cfg.QueueDepth {
+		d.stats.Stalls++
+		return false
+	}
+	if r.Write {
+		d.store.StoreLine(r.Line, &r.Data)
+	}
+	ch.queue = append(ch.queue, chanReq{req: r, arrival: now})
+	return true
+}
+
+// schedule picks the index in ch.queue to service next under the configured
+// policy, or -1 if nothing can start this cycle.
+func (d *DRAM) schedule(now uint64, ch *channel) int {
+	if len(ch.queue) == 0 {
+		return -1
+	}
+	if ch.busFree > now {
+		return -1
+	}
+	pick := -1
+	if d.cfg.Policy == FRFCFS {
+		// First pass: oldest row hit on a ready bank.
+		for i := range ch.queue {
+			b, row := d.bankRowOf(ch.queue[i].req.Line)
+			bk := &ch.banks[b]
+			if bk.busyUntil <= now && bk.openRow == row {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		// Oldest request on a ready bank.
+		for i := range ch.queue {
+			b, _ := d.bankRowOf(ch.queue[i].req.Line)
+			if ch.banks[b].busyUntil <= now {
+				pick = i
+				break
+			}
+			if d.cfg.Policy == FIFO {
+				return -1 // strict order: head blocked means all blocked
+			}
+		}
+	}
+	return pick
+}
+
+// Tick advances all channels by one cycle.
+func (d *DRAM) Tick(now uint64) {
+	for ci := range d.channels {
+		ch := &d.channels[ci]
+		// Retire pending reads whose data has arrived.
+		for len(ch.pending) > 0 && ch.pending[0].ready <= now {
+			ch.resps = append(ch.resps, ch.pending[0].resp)
+			ch.pending = ch.pending[1:]
+		}
+		i := d.schedule(now, ch)
+		if i < 0 {
+			continue
+		}
+		cr := ch.queue[i]
+		ch.queue = append(ch.queue[:i], ch.queue[i+1:]...)
+		b, row := d.bankRowOf(cr.req.Line)
+		bk := &ch.banks[b]
+		lat := uint64(d.cfg.TCas)
+		if bk.openRow == row {
+			d.stats.RowHits++
+		} else {
+			d.stats.RowMisses++
+			lat += uint64(d.cfg.TRowMiss)
+			bk.openRow = row
+		}
+		bus := uint64(d.cfg.BusCyclesPerLn)
+		bk.busyUntil = now + lat + bus
+		ch.busFree = now + lat + bus // serialize transfers on the channel bus
+		d.stats.BusCycles += bus
+		if cr.req.Write {
+			d.stats.Writes++
+			continue // data already in store; no response
+		}
+		d.stats.Reads++
+		resp := LineResp{ID: cr.req.ID, Line: cr.req.Line}
+		d.store.LoadLine(cr.req.Line, &resp.Data)
+		ch.pending = append(ch.pending, pendingResp{resp: resp, ready: now + lat + bus})
+	}
+}
+
+// PopResponse returns a completed read, draining channels round-robin.
+func (d *DRAM) PopResponse(now uint64) (LineResp, bool) {
+	for k := 0; k < len(d.channels); k++ {
+		ci := (d.rrChan + k) % len(d.channels)
+		ch := &d.channels[ci]
+		if len(ch.resps) > 0 {
+			r := ch.resps[0]
+			ch.resps = ch.resps[1:]
+			d.rrChan = (ci + 1) % len(d.channels)
+			return r, true
+		}
+	}
+	return LineResp{}, false
+}
+
+// Busy reports whether any request is queued, in flight, or undelivered.
+func (d *DRAM) Busy() bool {
+	for i := range d.channels {
+		ch := &d.channels[i]
+		if len(ch.queue) > 0 || len(ch.pending) > 0 || len(ch.resps) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package dram
+
+import (
+	"fmt"
+
+	"scatteradd/internal/mem"
+)
+
+// Uniform is the simplified memory model of the paper's sensitivity study
+// (§4.4): "we run the experiments without a cache, and implement memory as a
+// uniform bandwidth and latency structure. Throughput is modeled by a fixed
+// cycle interval between successive memory word accesses, and latency by a
+// fixed value." It transacts in single words and implements port.Word.
+type Uniform struct {
+	latency  uint64 // cycles from issue to response
+	interval uint64 // minimum cycles between successive word accesses
+	store    *mem.Store
+
+	queue    []mem.Request // accepted, not yet issued
+	depth    int
+	nextFree uint64 // first cycle the next access may issue
+	pending  []pendingWord
+	resps    []mem.Response
+
+	reads, writes uint64
+}
+
+type pendingWord struct {
+	resp  mem.Response
+	ready uint64
+}
+
+// NewUniform returns a uniform memory with the given access latency,
+// inter-access interval (both in cycles), and request-queue depth.
+func NewUniform(latency, interval, depth int) *Uniform {
+	if latency < 0 || interval < 1 || depth < 1 {
+		panic(fmt.Sprintf("dram: invalid uniform memory parameters lat=%d int=%d depth=%d",
+			latency, interval, depth))
+	}
+	return &Uniform{
+		latency:  uint64(latency),
+		interval: uint64(interval),
+		store:    mem.NewStore(),
+		depth:    depth,
+	}
+}
+
+// Store exposes the functional memory image.
+func (u *Uniform) Store() *mem.Store { return u.store }
+
+// Accesses reports the number of word reads and writes serviced.
+func (u *Uniform) Accesses() (reads, writes uint64) { return u.reads, u.writes }
+
+// CanAccept reports whether the request queue has room.
+func (u *Uniform) CanAccept(now uint64) bool { return len(u.queue) < u.depth }
+
+// Accept enqueues a word read or write. Scatter-add kinds are rejected with
+// a panic: the uniform memory sits below the scatter-add unit, which has
+// already reduced them to reads and writes.
+func (u *Uniform) Accept(now uint64, r mem.Request) bool {
+	if r.Kind != mem.Read && r.Kind != mem.Write {
+		panic(fmt.Sprintf("dram: uniform memory cannot service %v", r.Kind))
+	}
+	if len(u.queue) >= u.depth {
+		return false
+	}
+	u.queue = append(u.queue, r)
+	return true
+}
+
+// Tick issues at most one queued access per cycle, respecting the
+// inter-access interval, and retires pending responses.
+func (u *Uniform) Tick(now uint64) {
+	if len(u.queue) > 0 && now >= u.nextFree {
+		r := u.queue[0]
+		u.queue = u.queue[1:]
+		u.nextFree = now + u.interval
+		if r.Kind == mem.Write {
+			u.writes++
+			u.store.StoreWord(r.Addr, r.Val)
+			return
+		}
+		u.reads++
+		u.pending = append(u.pending, pendingWord{
+			resp: mem.Response{
+				ID: r.ID, Kind: mem.Read, Addr: r.Addr,
+				Val: u.store.Load(r.Addr), Node: r.Node,
+			},
+			ready: now + u.latency,
+		})
+	}
+}
+
+// PopResponse returns one completed read response, if ready.
+func (u *Uniform) PopResponse(now uint64) (mem.Response, bool) {
+	if len(u.pending) > 0 && u.pending[0].ready <= now {
+		r := u.pending[0].resp
+		u.pending = u.pending[1:]
+		return r, true
+	}
+	return mem.Response{}, false
+}
+
+// Busy reports whether any access is queued or in flight.
+func (u *Uniform) Busy() bool { return len(u.queue) > 0 || len(u.pending) > 0 }

@@ -1,0 +1,117 @@
+package dram
+
+import (
+	"testing"
+
+	"scatteradd/internal/mem"
+	"scatteradd/internal/port"
+)
+
+var _ port.Word = (*Uniform)(nil)
+
+func TestUniformLatency(t *testing.T) {
+	u := NewUniform(10, 2, 4)
+	u.Store().StoreWord(5, 77)
+	if !u.Accept(0, mem.Request{ID: 1, Kind: mem.Read, Addr: 5}) {
+		t.Fatal("accept failed")
+	}
+	u.Tick(0) // issues at cycle 0, ready at 10
+	for now := uint64(1); now < 10; now++ {
+		u.Tick(now)
+		if _, ok := u.PopResponse(now); ok {
+			t.Fatalf("response ready too early at %d", now)
+		}
+	}
+	r, ok := u.PopResponse(10)
+	if !ok || r.Val != 77 || r.ID != 1 {
+		t.Fatalf("response = %+v ok=%v", r, ok)
+	}
+}
+
+func TestUniformThroughputInterval(t *testing.T) {
+	// With interval 4, n accesses take at least 4n cycles of issue time.
+	u := NewUniform(0, 4, 16)
+	for i := 0; i < 4; i++ {
+		u.Accept(0, mem.Request{ID: uint64(i), Kind: mem.Write, Addr: mem.Addr(i), Val: 1})
+	}
+	issued := 0
+	for now := uint64(0); now < 16; now++ {
+		before, _ := u.Accesses()
+		u.Tick(now)
+		_, after := u.Accesses()
+		if after > uint64(issued) {
+			issued = int(after)
+		}
+		_ = before
+	}
+	_, w := u.Accesses()
+	if w != 4 {
+		t.Fatalf("writes issued = %d want 4 (interval pacing)", w)
+	}
+	// Verify pacing: re-run counting the cycle of the final issue.
+	u2 := NewUniform(0, 4, 16)
+	for i := 0; i < 4; i++ {
+		u2.Accept(0, mem.Request{ID: uint64(i), Kind: mem.Write, Addr: mem.Addr(i), Val: 1})
+	}
+	lastIssue := uint64(0)
+	for now := uint64(0); now < 64; now++ {
+		_, before := u2.Accesses()
+		u2.Tick(now)
+		_, after := u2.Accesses()
+		if after > before {
+			lastIssue = now
+		}
+	}
+	if lastIssue != 12 { // issues at 0,4,8,12
+		t.Fatalf("last issue at cycle %d, want 12", lastIssue)
+	}
+}
+
+func TestUniformWriteThenRead(t *testing.T) {
+	u := NewUniform(3, 1, 8)
+	u.Accept(0, mem.Request{ID: 1, Kind: mem.Write, Addr: 42, Val: mem.F64(2.5)})
+	u.Accept(0, mem.Request{ID: 2, Kind: mem.Read, Addr: 42})
+	var got *mem.Response
+	for now := uint64(0); now < 100 && got == nil; now++ {
+		u.Tick(now)
+		if r, ok := u.PopResponse(now); ok {
+			got = &r
+		}
+	}
+	if got == nil || mem.AsF64(got.Val) != 2.5 {
+		t.Fatalf("read after write: %+v", got)
+	}
+	if u.Busy() {
+		t.Fatal("should be idle")
+	}
+}
+
+func TestUniformBackpressure(t *testing.T) {
+	u := NewUniform(5, 10, 2)
+	if !u.Accept(0, mem.Request{Kind: mem.Read, Addr: 1}) ||
+		!u.Accept(0, mem.Request{Kind: mem.Read, Addr: 2}) {
+		t.Fatal("initial accepts failed")
+	}
+	if u.CanAccept(0) || u.Accept(0, mem.Request{Kind: mem.Read, Addr: 3}) {
+		t.Fatal("accept should fail when queue full")
+	}
+}
+
+func TestUniformRejectsScatterAdd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	u := NewUniform(1, 1, 2)
+	u.Accept(0, mem.Request{Kind: mem.AddF64, Addr: 0, Val: mem.F64(1)})
+}
+
+func TestUniformInvalidParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewUniform(1, 0, 2)
+}

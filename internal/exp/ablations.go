@@ -1,0 +1,240 @@
+package exp
+
+import (
+	"scatteradd/internal/apps"
+	"scatteradd/internal/dram"
+	"scatteradd/internal/machine"
+	"scatteradd/internal/mem"
+	"scatteradd/internal/multinode"
+	"scatteradd/internal/workload"
+)
+
+// Ablations beyond the paper's figures, exercising the design choices
+// DESIGN.md calls out. Each returns a Table like the figure runners.
+
+// AblationDRAMSched compares FR-FCFS memory access scheduling (the paper's
+// cited mechanism) against strict FIFO on a cache-hostile histogram.
+func AblationDRAMSched(o Options) Table {
+	t := Table{
+		Title:  "Ablation: DRAM scheduling policy (histogram n=16384, range 1M)",
+		Header: []string{"policy", "us", "row_hit_rate"},
+	}
+	n := o.scaled(16384)
+	for _, pol := range []dram.SchedPolicy{dram.FRFCFS, dram.FIFO} {
+		cfg := machine.DefaultConfig()
+		cfg.DRAM.Policy = pol
+		m := machine.New(cfg)
+		h := apps.NewHistogram(n, 1<<20, 0xAB1)
+		res := h.RunHW(m)
+		mustVerify(m, h, "ablation dram histogram")
+		_, _, st := m.ComponentStats()
+		hitRate := float64(st.RowHits) / float64(st.RowHits+st.RowMisses)
+		t.Rows = append(t.Rows, []string{pol.String(), f(us(res.Cycles)), f(hitRate)})
+	}
+	return t
+}
+
+// AblationSAPlacement compares one scatter-add unit per cache bank (the
+// paper's Figure 4a placement) against a single unit at a single memory
+// interface port.
+func AblationSAPlacement(o Options) Table {
+	t := Table{
+		Title:  "Ablation: scatter-add unit placement (histogram n=16384, range 2048)",
+		Header: []string{"placement", "us"},
+	}
+	n := o.scaled(16384)
+	for _, banks := range []int{8, 1} {
+		cfg := machine.DefaultConfig()
+		cfg.Cache.Banks = banks
+		cfg.Cache.PortWidth = 8 / banks // keep total cache bandwidth fixed
+		cfg.SA.PortWidth = 8 / banks
+		m := machine.New(cfg)
+		h := apps.NewHistogram(n, 2048, 0xAB2)
+		res := h.RunHW(m)
+		mustVerify(m, h, "ablation placement histogram")
+		label := "per-bank (8 units)"
+		if banks == 1 {
+			label = "memory interface (1 unit)"
+		}
+		t.Rows = append(t.Rows, []string{label, f(us(res.Cycles))})
+	}
+	return t
+}
+
+// AblationBatchSize sweeps the software sort&scan batch size (the paper
+// reports 256 as its optimum on Merrimac).
+func AblationBatchSize(o Options) Table {
+	t := Table{
+		Title:  "Ablation: sort&scan batch size (histogram n=8192, range 2048)",
+		Header: []string{"batch", "us"},
+		Notes:  []string{"paper: 256 was the best batch size on Merrimac"},
+	}
+	n := o.scaled(8192)
+	for _, batch := range []int{32, 64, 128, 256, 512, 1024, 2048, 4096} {
+		h := apps.NewHistogram(n, 2048, 0xAB3)
+		m := paperMachine()
+		res := h.RunSortScan(m, batch)
+		mustVerify(m, h, "ablation batch histogram")
+		t.Rows = append(t.Rows, []string{d(uint64(batch)), f(us(res.Cycles))})
+	}
+	return t
+}
+
+// AblationEagerCombine compares the paper's combining store against the
+// EagerCombine extension (pre-combining buffered operands while the memory
+// value is outstanding) on a high-collision histogram.
+func AblationEagerCombine(o Options) Table {
+	t := Table{
+		Title:  "Ablation: eager operand pre-combining (histogram n=16384, range 64)",
+		Header: []string{"mode", "us", "fu_ops"},
+	}
+	n := o.scaled(16384)
+	for _, eager := range []bool{false, true} {
+		cfg := machine.DefaultConfig()
+		cfg.SA.EagerCombine = eager
+		m := machine.New(cfg)
+		h := apps.NewHistogram(n, 64, 0xAB4)
+		res := h.RunHW(m)
+		mustVerify(m, h, "ablation eager histogram")
+		sa, _, _ := m.ComponentStats()
+		label := "paper (chain after fill)"
+		if eager {
+			label = "eager pre-combine"
+		}
+		t.Rows = append(t.Rows, []string{label, f(us(res.Cycles)), d(sa.FUOps)})
+	}
+	return t
+}
+
+// AblationOverlap measures §1's overlap claim — "the processor's main
+// execution unit can continue running the program, while the sums are being
+// updated in memory" — on the paper's own motivating pipeline: a histogram
+// whose bins feed an equalization computation. Sequentially, the
+// equalization kernel waits for the scatter-add to drain; with an
+// asynchronous scatter-add it runs concurrently on the clusters (the
+// equalization of the *previous* frame, in a streaming pipeline).
+func AblationOverlap(o Options) Table {
+	t := Table{
+		Title:  "Ablation: overlapping scatter-add with compute (histogram + equalization kernel)",
+		Header: []string{"schedule", "us"},
+		Notes:  []string{"paper §1: the core continues running while the scatter-add units work"},
+	}
+	n := o.scaled(32768)
+	h := apps.NewHistogram(n, 2048, 0xAB6)
+	equalize := machine.Kernel("equalize", float64(8*n), float64(2*n))
+
+	mSeq := paperMachine()
+	seq := h.RunHW(mSeq)
+	seq.Add(mSeq.RunOp(equalize))
+	mustVerify(mSeq, h, "ablation overlap sequential")
+
+	mOvl := paperMachine()
+	h.Init(mOvl)
+	var ovl machine.Result
+	ovl.Add(mOvl.RunOp(machine.LoadStream("hist-load", h.DataBase, h.N)))
+	ovl.Add(mOvl.RunOp(machine.IntKernel("hist-map", float64(h.N), float64(2*h.N))))
+	sa := machine.ScatterAdd("hist-sa", mem.AddI64, workload.IndicesToAddrs(h.Idx, h.BinBase),
+		[]mem.Word{mem.I64(1)})
+	sa.Async = true
+	ovl.Add(mOvl.RunOp(sa))
+	ovl.Add(mOvl.RunOp(equalize)) // runs while the scatter-add drains
+	ovl.Add(mOvl.RunOp(machine.Fence()))
+	mustVerify(mOvl, h, "ablation overlap async")
+
+	t.Rows = append(t.Rows,
+		[]string{"sequential", f(us(seq.Cycles))},
+		[]string{"async scatter-add + overlapped kernel", f(us(ovl.Cycles))},
+	)
+	return t
+}
+
+// AblationWritePolicy compares write-allocate (the baseline) against
+// write-no-allocate with a write-combining buffer on a pure result-stream
+// write (the scatter phase of §3.1): full-line combining eliminates the
+// fill traffic that write-allocate pays.
+func AblationWritePolicy(o Options) Table {
+	t := Table{
+		Title:  "Ablation: cache write policy on a 32K-word result stream",
+		Header: []string{"policy", "us", "dram_reads", "dram_writes"},
+	}
+	n := o.scaled(32768)
+	vals := make([]mem.Word, n)
+	for i := range vals {
+		vals[i] = mem.F64(float64(i))
+	}
+	for _, noAlloc := range []bool{false, true} {
+		cfg := machine.DefaultConfig()
+		cfg.Cache.WriteNoAllocate = noAlloc
+		m := machine.New(cfg)
+		res := m.RunOp(machine.StoreStream("result", 0, vals))
+		m.FlushCaches()
+		for i := 0; i < n; i += n / 16 {
+			if m.Store().LoadF64(mem.Addr(i)) != float64(i) {
+				panic("exp: write-policy ablation produced wrong data")
+			}
+		}
+		_, _, ds := m.ComponentStats()
+		label := "write-allocate"
+		if noAlloc {
+			label = "write-no-allocate + WCB"
+		}
+		t.Rows = append(t.Rows, []string{label, f(us(res.Cycles)), d(ds.Reads), d(ds.Writes)})
+	}
+	return t
+}
+
+// AblationHierarchical evaluates the paper's §5 future-work proposal:
+// arranging the nodes in a logical hierarchy so multi-node combining occurs
+// in logarithmic instead of linear complexity. The workload is a hot-owner
+// trace (one node owns every target bin), where linear sum-back funnels all
+// other nodes' partial lines into the owner's single network port.
+func AblationHierarchical(o Options) Table {
+	t := Table{
+		Title:  "Ablation: linear vs hierarchical (logarithmic) multi-node combining (hot-owner histogram)",
+		Header: []string{"sum-back", "nodes", "GB/s"},
+		Notes:  []string{"the paper proposes hierarchical combining as future work (§5)"},
+	}
+	const rng = 128
+	n := o.scaled(65536)
+	refs := make([]multinode.Ref, n)
+	idx := workload.UniformIndices(n, rng, 0xAB7)
+	for i, x := range idx {
+		refs[i] = multinode.Ref{Addr: mem.Addr(x), Val: mem.I64(1)}
+	}
+	span := mem.Addr(rng+mem.LineWords) &^ (mem.LineWords - 1) // node 0 owns all bins
+	for _, hier := range []bool{false, true} {
+		for _, nodes := range []int{2, 4, 8} {
+			cfg := multinode.DefaultConfig(nodes, 1, span)
+			cfg.Combining = true
+			cfg.Hierarchical = hier
+			s := multinode.New(cfg, mem.AddI64)
+			res := s.RunTrace(refs)
+			label := "linear"
+			if hier {
+				label = "hierarchical"
+			}
+			t.Rows = append(t.Rows, []string{label, d(uint64(nodes)), f(res.GBps())})
+		}
+	}
+	return t
+}
+
+// AblationCombiningStore sweeps the combining-store size on the full
+// machine (the paper sweeps it only on the simplified memory of §4.4).
+func AblationCombiningStore(o Options) Table {
+	t := Table{
+		Title:  "Ablation: combining-store entries on the full machine (histogram n=16384, range 64K)",
+		Header: []string{"entries", "us"},
+	}
+	n := o.scaled(16384)
+	for _, entries := range []int{2, 4, 8, 16, 32, 64} {
+		cfg := machine.DefaultConfig()
+		cfg.SA.Entries = entries
+		m := machine.New(cfg)
+		h := apps.NewHistogram(n, 65536, 0xAB5)
+		res := h.RunHW(m)
+		mustVerify(m, h, "ablation cs histogram")
+		t.Rows = append(t.Rows, []string{d(uint64(entries)), f(us(res.Cycles))})
+	}
+	return t
+}

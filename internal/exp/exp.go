@@ -1,0 +1,104 @@
+// Package exp contains the experiment runners that regenerate every table
+// and figure of the paper's evaluation (§4). Each Fig* function returns a
+// Table whose rows correspond to the points of the original figure; the
+// cmd/scatteradd CLI prints them and bench_test.go wraps them as Go
+// benchmarks.
+//
+// Options.Scale shrinks dataset sizes for quick runs (1 = the paper's full
+// sizes); the shapes are preserved at reduced scales.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment: a title, column headers, and rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string // paper-vs-measured commentary
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header + rows).
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Options control experiment scale.
+type Options struct {
+	// Scale divides dataset sizes (1 = full paper scale; 4 = quarter data).
+	Scale int
+}
+
+// DefaultOptions runs at the paper's full dataset sizes.
+func DefaultOptions() Options { return Options{Scale: 1} }
+
+func (o Options) scaled(n int) int {
+	if o.Scale <= 1 {
+		return n
+	}
+	s := n / o.Scale
+	if s < 16 {
+		s = 16
+	}
+	return s
+}
+
+// us converts 1 GHz cycles to microseconds (the paper's time axis).
+func us(cycles uint64) float64 { return float64(cycles) / 1000.0 }
+
+// f formats a float compactly.
+func f(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// d formats an integer.
+func d(v uint64) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+
+	"scatteradd/internal/mem"
+	"scatteradd/internal/multinode"
+	"scatteradd/internal/workload"
+)
+
+// trace is one Figure 13 workload: a scatter-add reference stream and its
+// combine kind.
+type trace struct {
+	name string
+	kind mem.Kind
+	refs []multinode.Ref
+	span mem.Addr // index-space size (max address + 1)
+}
+
+// traceConfig is one line of Figure 13.
+type traceConfig struct {
+	label     string
+	bandwidth int // words/cycle per node (1 = low, 8 = high)
+	combining bool
+}
+
+// narrowTrace and wideTrace are the two histogram datasets of §4.5: 64K
+// scatter-add references over a 256-entry (narrow) or 1M-entry (wide)
+// index range.
+func histTrace(name string, n, rng int, seed uint64) trace {
+	idx := workload.UniformIndices(n, rng, seed)
+	refs := make([]multinode.Ref, n)
+	for i, x := range idx {
+		refs[i] = multinode.Ref{Addr: mem.Addr(x), Val: mem.I64(1)}
+	}
+	return trace{name: name, kind: mem.AddI64, refs: refs, span: mem.Addr(rng)}
+}
+
+// moleTrace extracts the molecular-dynamics scatter-add reference stream
+// (§4.5: "GROMACS uses the first 590K references which span 8,192 unique
+// indices").
+func moleTrace(o Options) trace {
+	md := Fig10Input(o)
+	addrs, vals := md.SARefs()
+	limit := 590_000
+	if len(addrs) > limit {
+		addrs, vals = addrs[:limit], vals[:limit]
+	}
+	refs := make([]multinode.Ref, len(addrs))
+	var maxA mem.Addr
+	for i := range addrs {
+		a := addrs[i] - md.ForceBase
+		refs[i] = multinode.Ref{Addr: a, Val: vals[i]}
+		if a > maxA {
+			maxA = a
+		}
+	}
+	return trace{name: "mole", kind: mem.AddF64, refs: refs, span: maxA + 1}
+}
+
+// spasTrace extracts the EBE SpMV scatter-add stream (§4.5: "SPAS uses the
+// full set of 38K references over 10,240 indices").
+func spasTrace(o Options) trace {
+	s := Fig9Input(o)
+	addrs, vals := s.EBERefs()
+	refs := make([]multinode.Ref, len(addrs))
+	var maxA mem.Addr
+	for i := range addrs {
+		a := addrs[i] - s.YBase
+		refs[i] = multinode.Ref{Addr: a, Val: vals[i]}
+		if a > maxA {
+			maxA = a
+		}
+	}
+	return trace{name: "spas", kind: mem.AddF64, refs: refs, span: maxA + 1}
+}
+
+// runTracePoint replays one trace on one configuration and node count,
+// returning GB/s.
+func runTracePoint(tr trace, tc traceConfig, nodes int) float64 {
+	span := (tr.span/mem.Addr(nodes) + mem.LineWords) &^ (mem.LineWords - 1)
+	cfg := multinode.DefaultConfig(nodes, tc.bandwidth, span)
+	cfg.Combining = tc.combining
+	s := multinode.New(cfg, tr.kind)
+	return s.RunTrace(tr.refs).GBps()
+}
+
+// Fig13 reproduces Figure 13: multi-node scatter-add throughput (GB/s) for
+// 1-8 nodes across the four traces and their network/combining
+// configurations.
+func Fig13(o Options) Table {
+	t := Table{
+		Title:  "Figure 13: multi-node scatter-add bandwidth (GB/s) vs node count",
+		Header: []string{"config", "1", "2", "4", "8"},
+		Notes: []string{
+			"paper: wide scales perfectly at high BW, is network-bound at low BW (combining does not help);",
+			"narrow: high BW scales 7.1x, low BW flat, low BW + combining scales 5.7x;",
+			"mole/spas: combining helps, high BW improves scaling further",
+		},
+	}
+	n := o.scaled(65536)
+	traces := map[string]trace{
+		"narrow": histTrace("narrow", n, 256, 0xF16_13),
+		"wide":   histTrace("wide", n, 1<<20, 0xF16_13+1),
+		"mole":   moleTrace(o),
+		"spas":   spasTrace(o),
+	}
+	lines := []struct {
+		trace string
+		cfg   traceConfig
+	}{
+		{"narrow", traceConfig{"narrow-high", 8, false}},
+		{"narrow", traceConfig{"narrow-low", 1, false}},
+		{"narrow", traceConfig{"narrow-low-comb", 1, true}},
+		{"wide", traceConfig{"wide-high", 8, false}},
+		{"wide", traceConfig{"wide-low", 1, false}},
+		{"wide", traceConfig{"wide-low-comb", 1, true}},
+		{"mole", traceConfig{"mole-low-comb", 1, true}},
+		{"mole", traceConfig{"mole-high-comb", 8, true}},
+		{"spas", traceConfig{"spas-low-comb", 1, true}},
+		{"spas", traceConfig{"spas-high-comb", 8, true}},
+	}
+	for _, ln := range lines {
+		tr := traces[ln.trace]
+		row := []string{ln.cfg.label}
+		for _, nodes := range []int{1, 2, 4, 8} {
+			row = append(row, fmt.Sprintf("%.2f", runTracePoint(tr, ln.cfg, nodes)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

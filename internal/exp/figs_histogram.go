@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"fmt"
+
+	"scatteradd/internal/apps"
+	"scatteradd/internal/machine"
+)
+
+// paperMachine returns the Table 1 configuration.
+func paperMachine() *machine.Machine {
+	return machine.New(machine.DefaultConfig())
+}
+
+// mustVerify panics when an application run produced a wrong result — every
+// experiment doubles as a correctness check.
+func mustVerify(m *machine.Machine, v interface{ Verify(*machine.Machine) error }, what string) {
+	if err := v.Verify(m); err != nil {
+		panic(fmt.Sprintf("exp: %s failed verification: %v", what, err))
+	}
+}
+
+// Fig6 reproduces Figure 6: histogram execution time for input lengths
+// 256-8192 over a 2,048-bin range, hardware scatter-add versus software
+// sort + segmented scan. The paper reports both scaling O(n) with hardware
+// 3x-11x faster.
+func Fig6(o Options) Table {
+	t := Table{
+		Title:  "Figure 6: histogram vs input length (range 2048), HW scatter-add vs sort&segmented-scan",
+		Header: []string{"n", "hw_us", "sortscan_us", "speedup"},
+		Notes: []string{
+			"paper: both O(n); HW wins by 3x (small n) up to 11x (large n)",
+		},
+	}
+	const rng = 2048
+	// Figure 6's input sizes are themselves the x-axis; Scale only trims the
+	// largest points on quick runs.
+	for _, n := range []int{256, 512, 1024, 2048, 4096, 8192} {
+		if o.Scale > 1 && n > 8192/o.Scale {
+			continue
+		}
+		h := apps.NewHistogram(n, rng, 0xF16_6+uint64(n))
+		mHW := paperMachine()
+		hw := h.RunHW(mHW)
+		mustVerify(mHW, h, "fig6 HW histogram")
+		mSW := paperMachine()
+		sw := h.RunSortScan(mSW, 0)
+		mustVerify(mSW, h, "fig6 SW histogram")
+		t.Rows = append(t.Rows, []string{
+			d(uint64(n)), f(us(hw.Cycles)), f(us(sw.Cycles)),
+			f(float64(sw.Cycles) / float64(hw.Cycles)),
+		})
+	}
+	return t
+}
+
+// Fig7 reproduces Figure 7: histogram execution time for 32,768 inputs over
+// index ranges 1 to 4M. The paper shows the hardware's hot-bank penalty at
+// tiny ranges, a fast middle region, and a cache-overflow knee at large
+// ranges; sort&scan is flat until large ranges.
+func Fig7(o Options) Table {
+	t := Table{
+		Title:  "Figure 7: histogram vs index range (n=32768), HW scatter-add vs sort&segmented-scan",
+		Header: []string{"range", "hw_us", "sortscan_us"},
+		Notes: []string{
+			"paper: HW slow at tiny ranges (hot bank), fastest mid-range, degrades past cache capacity;",
+			"sort&scan roughly flat with a rise at very large ranges",
+		},
+	}
+	n := o.scaled(32768)
+	for _, rng := range []int{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20} {
+		h := apps.NewHistogram(n, rng, 0xF16_7+uint64(rng))
+		mHW := paperMachine()
+		hw := h.RunHW(mHW)
+		mustVerify(mHW, h, "fig7 HW histogram")
+		mSW := paperMachine()
+		sw := h.RunSortScan(mSW, 0)
+		mustVerify(mSW, h, "fig7 SW histogram")
+		t.Rows = append(t.Rows, []string{d(uint64(rng)), f(us(hw.Cycles)), f(us(sw.Cycles))})
+	}
+	return t
+}
+
+// Fig8 reproduces Figure 8: histogram with privatization versus hardware
+// scatter-add for input lengths 1,024 and 32,768 over ranges 128-8,192.
+// The paper shows privatization's O(m*n) cost growing with the range,
+// with hardware more than an order of magnitude faster at large ranges.
+func Fig8(o Options) Table {
+	t := Table{
+		Title:  "Figure 8: histogram, HW scatter-add vs privatization (n in {1024, 32768})",
+		Header: []string{"range", "n", "hw_us", "privatization_us", "speedup"},
+		Notes: []string{
+			"paper: privatization time grows with range (O(mn)); HW speedup exceeds 10x at large ranges",
+		},
+	}
+	for _, n0 := range []int{1024, 32768} {
+		n := o.scaled(n0)
+		for _, rng := range []int{128, 512, 2048, 8192} {
+			h := apps.NewHistogram(n, rng, 0xF16_8+uint64(rng*n0))
+			mHW := paperMachine()
+			hw := h.RunHW(mHW)
+			mustVerify(mHW, h, "fig8 HW histogram")
+			mPr := paperMachine()
+			pr := h.RunPrivatization(mPr, 0)
+			mustVerify(mPr, h, "fig8 privatization histogram")
+			t.Rows = append(t.Rows, []string{
+				d(uint64(rng)), d(uint64(n)), f(us(hw.Cycles)), f(us(pr.Cycles)),
+				f(float64(pr.Cycles) / float64(hw.Cycles)),
+			})
+		}
+	}
+	return t
+}

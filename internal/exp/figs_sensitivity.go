@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"scatteradd/internal/apps"
+	"scatteradd/internal/machine"
+)
+
+// sensitivityMachine builds the §4.4 configuration: no cache, one
+// scatter-add unit with the given combining-store size and FU latency, in
+// front of a uniform memory with the given latency and word interval.
+func sensitivityMachine(entries, fuLat, memLat, interval int) *machine.Machine {
+	cfg := machine.DefaultConfig()
+	cfg.SA.Entries = entries
+	cfg.SA.FULatency = fuLat
+	// Let the input queue keep the single unit fed regardless of store size.
+	cfg.SA.InQDepth = 16
+	cfg.UniformMem = &machine.UniformMemConfig{Latency: memLat, Interval: interval}
+	return machine.New(cfg)
+}
+
+// runSensitivity times one histogram scatter-add on the simplified system.
+func runSensitivity(entries, fuLat, memLat, interval, n, rng int) float64 {
+	h := apps.NewHistogram(n, rng, 0xF16_11)
+	m := sensitivityMachine(entries, fuLat, memLat, interval)
+	res := h.RunHW(m)
+	mustVerify(m, h, "sensitivity histogram")
+	return us(res.Cycles)
+}
+
+// Fig11 reproduces Figure 11: histogram runtime versus combining-store size
+// for memory latencies 8-256 (FU latency 4) and FU latencies 2-16 (memory
+// latency 16); memory throughput one word per 2 cycles; 512 inputs over
+// 65,536 bins.
+func Fig11(o Options) Table {
+	t := Table{
+		Title:  "Figure 11: sensitivity to combining-store size, memory latency, and FU latency (us)",
+		Header: []string{"cs_entries", "mem8_fu4", "mem16_fu4", "mem64_fu4", "mem256_fu4", "mem16_fu2", "mem16_fu8", "mem16_fu16"},
+		Notes: []string{
+			"paper: with 16 entries performance is nearly latency-independent;",
+			"64 entries tolerate even 256-cycle memory latency",
+		},
+	}
+	n, rng := o.scaled(512), 65536
+	for _, cs := range []int{2, 4, 8, 16, 64} {
+		row := []string{d(uint64(cs))}
+		for _, memLat := range []int{8, 16, 64, 256} {
+			row = append(row, f(runSensitivity(cs, 4, memLat, 2, n, rng)))
+		}
+		for _, fuLat := range []int{2, 8, 16} {
+			row = append(row, f(runSensitivity(cs, fuLat, 16, 2, n, rng)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig12 reproduces Figure 12: histogram runtime versus combining-store size
+// and memory throughput (1 word per 1/2/4/16 cycles) for 16 bins (high
+// combining locality) and 65,536 bins (no locality).
+func Fig12(o Options) Table {
+	t := Table{
+		Title:  "Figure 12: sensitivity to combining-store size and memory throughput (us)",
+		Header: []string{"cs_entries", "int1_bins16", "int1_bins64K", "int2_bins16", "int2_bins64K", "int4_bins16", "int4_bins64K", "int16_bins16", "int16_bins64K"},
+		Notes: []string{
+			"paper: low throughput cannot be overcome even by 64 entries for the wide case;",
+			"with 16 bins, combining absorbs most requests and throughput matters far less",
+		},
+	}
+	n := o.scaled(512)
+	for _, cs := range []int{2, 4, 8, 16, 64} {
+		row := []string{d(uint64(cs))}
+		for _, interval := range []int{1, 2, 4, 16} {
+			for _, bins := range []int{16, 65536} {
+				row = append(row, f(runSensitivity(cs, 4, 16, interval, n, bins)))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"scatteradd/internal/plot"
+)
+
+// cellF parses a numeric cell, returning NaN-ish failure as ok=false.
+func cellF(t Table, row, col int) (float64, bool) {
+	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	return v, err == nil
+}
+
+// colSeries builds one series from an x column and a y column.
+func colSeries(t Table, label string, xCol, yCol int) plot.Series {
+	s := plot.Series{Label: label}
+	for r := range t.Rows {
+		x, okx := cellF(t, r, xCol)
+		y, oky := cellF(t, r, yCol)
+		if okx && oky {
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, y)
+		}
+	}
+	return s
+}
+
+// bars renders a horizontal bar chart of one numeric column, labeled by the
+// first column — used for the grouped-bar figures (9 and 10).
+func bars(t Table, valueCol int, unit string) string {
+	var b strings.Builder
+	maxV, maxLabel := 0.0, 0
+	for r := range t.Rows {
+		if v, ok := cellF(t, r, valueCol); ok && v > maxV {
+			maxV = v
+		}
+		if len(t.Rows[r][0]) > maxLabel {
+			maxLabel = len(t.Rows[r][0])
+		}
+	}
+	if maxV == 0 {
+		return "(no plottable values)\n"
+	}
+	const width = 50
+	fmt.Fprintf(&b, "%s (%s)\n", t.Header[valueCol], unit)
+	for r := range t.Rows {
+		v, ok := cellF(t, r, valueCol)
+		if !ok {
+			continue
+		}
+		n := int(v / maxV * width)
+		fmt.Fprintf(&b, "  %-*s %s %.3g\n", maxLabel, t.Rows[r][0], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Plot renders an ASCII chart of a figure's table, mirroring the paper's
+// own presentation (log-log curves for 6-8, grouped bars for 9-10, curve
+// families for 11-13). fig identifies which figure produced t.
+func Plot(fig int, t Table) string {
+	switch fig {
+	case 6:
+		return plot.Render([]plot.Series{
+			colSeries(t, "scatter-add", 0, 1),
+			colSeries(t, "sort&seg-scan", 0, 2),
+		}, plot.Options{Title: t.Title, LogX: true, LogY: true, XLabel: "n", YLabel: "us"})
+	case 7:
+		return plot.Render([]plot.Series{
+			colSeries(t, "scatter-add", 0, 1),
+			colSeries(t, "sort&seg-scan", 0, 2),
+		}, plot.Options{Title: t.Title, LogX: true, LogY: true, XLabel: "range", YLabel: "us"})
+	case 8:
+		// Split the hw/privatization series by input size (column 1).
+		sizes := map[string]bool{}
+		var series []plot.Series
+		for r := range t.Rows {
+			n := t.Rows[r][1]
+			if sizes[n] {
+				continue
+			}
+			sizes[n] = true
+			hw := plot.Series{Label: "scatter-add n=" + n}
+			pr := plot.Series{Label: "privatization n=" + n}
+			for rr := range t.Rows {
+				if t.Rows[rr][1] != n {
+					continue
+				}
+				x, _ := cellF(t, rr, 0)
+				if y, ok := cellF(t, rr, 2); ok {
+					hw.X = append(hw.X, x)
+					hw.Y = append(hw.Y, y)
+				}
+				if y, ok := cellF(t, rr, 3); ok {
+					pr.X = append(pr.X, x)
+					pr.Y = append(pr.Y, y)
+				}
+			}
+			series = append(series, hw, pr)
+		}
+		return plot.Render(series, plot.Options{Title: t.Title, LogX: true, LogY: true, XLabel: "range", YLabel: "us"})
+	case 9, 10:
+		return bars(t, 1, "Mcycles")
+	case 11, 12:
+		var series []plot.Series
+		for c := 1; c < len(t.Header); c++ {
+			series = append(series, colSeries(t, t.Header[c], 0, c))
+		}
+		return plot.Render(series, plot.Options{Title: t.Title, LogX: true, LogY: true, XLabel: "CS entries", YLabel: "us"})
+	case 13:
+		nodes := []float64{1, 2, 4, 8}
+		var series []plot.Series
+		for r := range t.Rows {
+			s := plot.Series{Label: t.Rows[r][0]}
+			for c := 1; c <= 4 && c < len(t.Rows[r]); c++ {
+				if y, ok := cellF(t, r, c); ok {
+					s.X = append(s.X, nodes[c-1])
+					s.Y = append(s.Y, y)
+				}
+			}
+			series = append(series, s)
+		}
+		return plot.Render(series, plot.Options{Title: t.Title, XLabel: "nodes", YLabel: "GB/s"})
+	}
+	return fmt.Sprintf("(no plot defined for figure %d)\n", fig)
+}

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotFig6Style(t *testing.T) {
+	tab := Table{
+		Title:  "f6",
+		Header: []string{"n", "hw_us", "sortscan_us", "speedup"},
+		Rows: [][]string{
+			{"256", "1", "4", "4"},
+			{"1024", "2", "16", "8"},
+		},
+	}
+	out := Plot(6, tab)
+	if !strings.Contains(out, "scatter-add") || !strings.Contains(out, "sort&seg-scan") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestPlotFig8SplitsBySize(t *testing.T) {
+	tab := Table{
+		Title:  "f8",
+		Header: []string{"range", "n", "hw_us", "privatization_us", "speedup"},
+		Rows: [][]string{
+			{"128", "1024", "1", "2", "2"},
+			{"512", "1024", "1.5", "5", "3"},
+			{"128", "32768", "10", "20", "2"},
+			{"512", "32768", "12", "60", "5"},
+		},
+	}
+	out := Plot(8, tab)
+	for _, want := range []string{"scatter-add n=1024", "privatization n=32768"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing series %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotBarsForFig9(t *testing.T) {
+	tab := Table{
+		Title:  "f9",
+		Header: []string{"variant", "cycles_M", "fp_ops_M", "mem_refs_M"},
+		Rows: [][]string{
+			{"CSR", "0.4", "0.9", "1.4"},
+			{"EBE HW", "0.3", "1.6", "0.9"},
+		},
+	}
+	out := Plot(9, tab)
+	if !strings.Contains(out, "CSR") || !strings.Contains(out, "#") {
+		t.Fatalf("bar chart missing:\n%s", out)
+	}
+}
+
+func TestPlotFig13SeriesPerConfig(t *testing.T) {
+	tab := Table{
+		Title:  "f13",
+		Header: []string{"config", "1", "2", "4", "8"},
+		Rows: [][]string{
+			{"narrow-high", "35", "56", "90", "150"},
+			{"wide-low", "1", "2", "6", "15"},
+		},
+	}
+	out := Plot(13, tab)
+	if !strings.Contains(out, "narrow-high") || !strings.Contains(out, "wide-low") {
+		t.Fatalf("series missing:\n%s", out)
+	}
+	if !strings.Contains(out, "GB/s") {
+		t.Fatalf("axis label missing:\n%s", out)
+	}
+}
+
+func TestPlotUnknownFigure(t *testing.T) {
+	if out := Plot(99, Table{}); !strings.Contains(out, "no plot defined") {
+		t.Fatalf("unexpected: %q", out)
+	}
+}
+
+func TestBarsEmptyValues(t *testing.T) {
+	tab := Table{Header: []string{"a", "b"}, Rows: [][]string{{"x", "notanumber"}}}
+	if out := bars(tab, 1, "u"); !strings.Contains(out, "no plottable") {
+		t.Fatalf("unexpected: %q", out)
+	}
+}

@@ -1,0 +1,33 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportAllClaimsPassAtReducedScale(t *testing.T) {
+	md, checks := Report(Options{Scale: 8})
+	if len(checks) < 10 {
+		t.Fatalf("only %d checks", len(checks))
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("%s: %q failed (%s)", c.Figure, c.Claim, c.Detail)
+		}
+	}
+	for _, want := range []string{
+		"# Reproduction report",
+		"## Figure 6",
+		"## Figure 13",
+		"## Claim checks",
+		"| Fig. 9 |",
+		"PASS",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	if strings.Contains(md, "| FAIL |") {
+		t.Fatal("report contains failing checks")
+	}
+}

@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"fmt"
+
+	"scatteradd/internal/machine"
+	"scatteradd/internal/mem"
+	"scatteradd/internal/saunit"
+)
+
+// Table1 renders the simulated machine parameters in the form of the
+// paper's Table 1, derived from the live default configuration so the
+// printed numbers can never drift from what the simulator actually runs.
+func Table1() Table {
+	cfg := machine.DefaultConfig()
+	dramGBs := float64(mem.LineBytes) / float64(cfg.DRAM.BusCyclesPerLn) * float64(cfg.DRAM.Channels)
+	cacheGBs := float64(cfg.Cache.Banks*cfg.Cache.PortWidth) * mem.WordBytes
+	srfGBs := cfg.SRFWordsPerCycle * mem.WordBytes
+	area, frac := saunit.AreaEstimate(cfg.Cache.Banks, cfg.SA.Entries)
+	t := Table{
+		Title:  "Table 1: machine parameters (1 GHz)",
+		Header: []string{"parameter", "value", "paper"},
+	}
+	add := func(name string, value, paper string) {
+		t.Rows = append(t.Rows, []string{name, value, paper})
+	}
+	add("stream cache banks", d(uint64(cfg.Cache.Banks)), "8")
+	add("scatter-add units per bank", "1", "1")
+	add("scatter-add FU latency", d(uint64(cfg.SA.FULatency)), "4")
+	add("combining store entries", d(uint64(cfg.SA.Entries)), "8")
+	add("DRAM interface channels", d(uint64(cfg.DRAM.Channels)), "16")
+	add("address generators", d(uint64(cfg.AGs)), "2")
+	add("peak DRAM bandwidth", fmt.Sprintf("%.1f GB/s", dramGBs), "38.4 GB/s")
+	add("stream cache bandwidth", fmt.Sprintf("%.0f GB/s", cacheGBs), "64 GB/s")
+	add("clusters", d(uint64(cfg.Clusters)), "16")
+	add("peak FP ops per cycle", fmt.Sprintf("%.0f", cfg.PeakFlopsPerCycle()), "128")
+	add("SRF bandwidth", fmt.Sprintf("%.0f GB/s", srfGBs), "512 GB/s")
+	add("stream cache size", fmt.Sprintf("%d KB", cfg.Cache.TotalLines*mem.LineBytes/1024), "1 MB")
+	add("scatter-add area (8 units)", fmt.Sprintf("%.1f mm2 (%.1f%% of 10x10mm die)", area, frac*100), "<2% of die")
+	return t
+}

@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"testing"
+
+	"scatteradd/internal/mem"
+)
+
+// asyncAddrs builds a scatter-add address pattern over a range.
+func asyncAddrs(n, rng int) []mem.Addr {
+	addrs := make([]mem.Addr, n)
+	seed := uint64(77)
+	for i := range addrs {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		addrs[i] = mem.Addr(seed % uint64(rng))
+	}
+	return addrs
+}
+
+func TestAsyncOverlapFasterThanSync(t *testing.T) {
+	// scatter-add followed by an independent kernel: issuing the scatter-add
+	// asynchronously should overlap it with the kernel (§1: "the processor's
+	// main execution unit can continue running the program, while the sums
+	// are being updated in memory").
+	addrs := asyncAddrs(4096, 1024)
+	one := []mem.Word{mem.I64(1)}
+	kernel := Kernel("work", 200000, 0) // ~1563 cycles of compute
+
+	sync := New(smallConfig())
+	sa := ScatterAdd("sa", mem.AddI64, addrs, one)
+	rSync := sync.Run([]Op{sa, kernel})
+
+	async := New(smallConfig())
+	saAsync := sa
+	saAsync.Async = true
+	rAsync := async.Run([]Op{saAsync, kernel, Fence()})
+
+	if rAsync.Cycles >= rSync.Cycles {
+		t.Fatalf("async %d cycles not faster than sync %d", rAsync.Cycles, rSync.Cycles)
+	}
+	// Both orders must produce the same sums.
+	sync.FlushCaches()
+	async.FlushCaches()
+	for i := 0; i < 1024; i++ {
+		a, b := sync.Store().LoadI64(mem.Addr(i)), async.Store().LoadI64(mem.Addr(i))
+		if a != b {
+			t.Fatalf("bin %d: sync %d vs async %d", i, a, b)
+		}
+	}
+}
+
+func TestFenceAloneIsCheap(t *testing.T) {
+	m := New(smallConfig())
+	res := m.RunOp(Fence())
+	if res.Cycles != 0 {
+		t.Fatalf("empty fence took %d cycles", res.Cycles)
+	}
+}
+
+func TestAsyncRespectsAGLimit(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AGs = 2
+	m := New(cfg)
+	mk := func(base mem.Addr) Op {
+		op := ScatterAdd("sa", mem.AddI64, []mem.Addr{base, base + 1, base + 2, base + 3}, []mem.Word{mem.I64(1)})
+		op.Async = true
+		return op
+	}
+	r1 := m.RunOp(mk(0))
+	r2 := m.RunOp(mk(100))
+	if r1.Cycles != 0 || r2.Cycles != 0 {
+		t.Fatalf("async starts should be immediate with free AGs: %d, %d", r1.Cycles, r2.Cycles)
+	}
+	r3 := m.RunOp(mk(200)) // must wait for an AG
+	if r3.Cycles == 0 {
+		t.Fatal("third async op should have waited for an address generator")
+	}
+	m.RunOp(Fence())
+	m.FlushCaches()
+	for _, base := range []mem.Addr{0, 100, 200} {
+		for i := mem.Addr(0); i < 4; i++ {
+			if got := m.Store().LoadI64(base + i); got != 1 {
+				t.Fatalf("addr %d = %d", base+i, got)
+			}
+		}
+	}
+}
+
+func TestAsyncGatherDeliversAllResponses(t *testing.T) {
+	m := New(smallConfig())
+	m.Store().WriteI64Slice(0, []int64{10, 11, 12, 13, 14, 15, 16, 17})
+	var got []int64
+	op := Gather("g", []mem.Addr{7, 0, 3, 3})
+	op.Async = true
+	op.OnResp = func(r mem.Response) { got = append(got, mem.AsI64(r.Val)) }
+	m.RunOp(op)
+	m.RunOp(Fence())
+	if len(got) != 4 {
+		t.Fatalf("got %d responses", len(got))
+	}
+	sum := int64(0)
+	for _, v := range got {
+		sum += v
+	}
+	if sum != 17+10+13+13 {
+		t.Fatalf("response values wrong: %v", got)
+	}
+}
+
+func TestTwoConcurrentStreamsInterleave(t *testing.T) {
+	// Two async streams to disjoint regions should finish in less time than
+	// the sum of running them back-to-back... at minimum, both must land.
+	m := New(smallConfig())
+	a := StoreStream("s1", 0, make([]mem.Word, 512))
+	b := StoreStream("s2", 4096, make([]mem.Word, 512))
+	a.Async, b.Async = true, true
+	for i := range a.Vals {
+		a.Vals[i] = mem.I64(int64(i))
+		b.Vals[i] = mem.I64(int64(-i))
+	}
+	m.RunOp(a)
+	m.RunOp(b)
+	m.RunOp(Fence())
+	m.FlushCaches()
+	if m.Store().LoadI64(100) != 100 || m.Store().LoadI64(4096+100) != -100 {
+		t.Fatal("concurrent streams corrupted data")
+	}
+}

@@ -1,0 +1,166 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scatteradd/internal/dram"
+	"scatteradd/internal/mem"
+)
+
+// The simulator's defining meta-property: timing parameters (cache size,
+// bank count, combining-store size, FU latency, DRAM model, write policy)
+// must never change functional results — only cycle counts. These tests
+// sweep configurations and demand bit-identical integer scatter-add output.
+
+// configVariants returns a spread of legal machine configurations.
+func configVariants() []Config {
+	var out []Config
+	base := DefaultConfig()
+	base.KernelStartup = 4
+	base.MemOpStartup = 2
+
+	small := base
+	small.Cache.TotalLines = 128
+	small.Cache.Ways = 2
+
+	oneBank := base
+	oneBank.Cache.Banks = 1
+	oneBank.Cache.PortWidth = 8
+	oneBank.SA.PortWidth = 8
+
+	tinyCS := base
+	tinyCS.SA.Entries = 2
+	tinyCS.SA.InQDepth = 2
+
+	slowFU := base
+	slowFU.SA.FULatency = 13
+
+	fifo := base
+	fifo.DRAM.Policy = dram.FIFO
+
+	noAlloc := base
+	noAlloc.Cache.WriteNoAllocate = true
+	noAlloc.Cache.WCBEntries = 2
+
+	ordered := base
+	ordered.SA.OrderedChains = true
+
+	eager := base
+	eager.SA.EagerCombine = true
+
+	uniform := base
+	uniform.UniformMem = &UniformMemConfig{Latency: 37, Interval: 3}
+
+	narrowAG := base
+	narrowAG.AGWidth = 1
+
+	return append(out, base, small, oneBank, tinyCS, slowFU, fifo, noAlloc, ordered, eager, uniform, narrowAG)
+}
+
+func TestScatterAddInvariantAcrossConfigs(t *testing.T) {
+	const rng = 300
+	addrs := asyncAddrs(3000, rng)
+	vals := make([]mem.Word, len(addrs))
+	for i := range vals {
+		vals[i] = mem.I64(int64(i%17 - 8))
+	}
+	ref := map[mem.Addr]int64{}
+	for i, a := range addrs {
+		ref[a] += mem.AsI64(vals[i])
+	}
+	for ci, cfg := range configVariants() {
+		m := New(cfg)
+		m.Run([]Op{ScatterAdd("x", mem.AddI64, addrs, vals)})
+		m.FlushCaches()
+		for a, want := range ref {
+			if got := m.Store().LoadI64(a); got != want {
+				t.Fatalf("config %d: addr %d = %d want %d", ci, a, got, want)
+			}
+		}
+	}
+}
+
+func TestMixedProgramInvariantAcrossConfigs(t *testing.T) {
+	// A program with writes, gathers, kernels, and scatter-adds.
+	writeVals := make([]mem.Word, 200)
+	for i := range writeVals {
+		writeVals[i] = mem.F64(float64(i) / 3)
+	}
+	saAddrs := asyncAddrs(800, 64)
+	for ci, cfg := range configVariants() {
+		m := New(cfg)
+		gatherSum := 0.0
+		g := Gather("g", seqAddrsTest(1024, 200))
+		g.OnResp = func(r mem.Response) { gatherSum += mem.AsF64(r.Val) }
+		m.Run([]Op{
+			StoreStream("w", 1024, writeVals),
+			g,
+			Kernel("k", 1000, 500),
+			ScatterAdd("sa", mem.AddF64, saAddrs, []mem.Word{mem.F64(0.25)}),
+		})
+		m.FlushCaches()
+		wantSum := 0.0
+		for i := range writeVals {
+			wantSum += float64(i) / 3
+		}
+		if gatherSum < wantSum-1e-9 || gatherSum > wantSum+1e-9 {
+			t.Fatalf("config %d: gather sum %g want %g", ci, gatherSum, wantSum)
+		}
+		total := 0.0
+		for i := 0; i < 64; i++ {
+			total += m.Store().LoadF64(mem.Addr(i))
+		}
+		if want := 800 * 0.25; total < want-1e-9 || total > want+1e-9 {
+			t.Fatalf("config %d: scatter-add total %g want %g", ci, total, want)
+		}
+	}
+}
+
+// Property: for arbitrary small inputs, a random pair of configurations
+// agrees exactly.
+func TestConfigPairEquivalenceProperty(t *testing.T) {
+	variants := configVariants()
+	f := func(idx []uint8, c1, c2 uint8) bool {
+		if len(idx) == 0 {
+			return true
+		}
+		cfgA := variants[int(c1)%len(variants)]
+		cfgB := variants[int(c2)%len(variants)]
+		addrs := make([]mem.Addr, len(idx))
+		vals := make([]mem.Word, len(idx))
+		for i, x := range idx {
+			addrs[i] = mem.Addr(x % 100)
+			vals[i] = mem.I64(int64(x))
+		}
+		run := func(cfg Config) map[mem.Addr]int64 {
+			m := New(cfg)
+			m.Run([]Op{ScatterAdd("p", mem.AddI64, addrs, vals)})
+			m.FlushCaches()
+			out := map[mem.Addr]int64{}
+			for _, a := range addrs {
+				out[a] = m.Store().LoadI64(a)
+			}
+			return out
+		}
+		ra, rb := run(cfgA), run(cfgB)
+		for a, v := range ra {
+			if rb[a] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// seqAddrsTest returns base..base+n-1 (test-local helper).
+func seqAddrsTest(base mem.Addr, n int) []mem.Addr {
+	out := make([]mem.Addr, n)
+	for i := range out {
+		out[i] = base + mem.Addr(i)
+	}
+	return out
+}

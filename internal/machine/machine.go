@@ -1,0 +1,584 @@
+// Package machine models a single node of the simulated stream processor
+// (the paper's Table 1 configuration, patterned on Merrimac): 16 data
+// parallel clusters executing kernels out of a stream register file, two
+// address generators feeding an address-partitioned stream cache of 8 banks
+// with one scatter-add unit per bank, and 16 DRAM channels behind the cache.
+//
+// Programs are sequences of stream operations (kernel executions and
+// memory-stream transfers), mirroring the gather/compute/scatter phase
+// structure of §3.1. Kernels are modeled by a throughput cost (peak FP rate
+// and SRF bandwidth bound, plus a startup overhead that models priming the
+// stream pipeline); memory operations are simulated cycle by cycle through
+// the scatter-add units, cache banks, and DRAM.
+//
+// The machine also supports the cache-less "uniform memory" configuration
+// of the sensitivity study (§4.4): one scatter-add unit in front of a
+// fixed-latency, fixed-interval word memory.
+package machine
+
+import (
+	"fmt"
+
+	"scatteradd/internal/cache"
+	"scatteradd/internal/dram"
+	"scatteradd/internal/mem"
+	"scatteradd/internal/saunit"
+)
+
+// UniformMemConfig selects the cache-less sensitivity-study memory system.
+type UniformMemConfig struct {
+	Latency  int // cycles from issue to data
+	Interval int // minimum cycles between successive word accesses
+}
+
+// Config describes one node.
+type Config struct {
+	// Compute model (Table 1).
+	Clusters         int     // 16
+	MaddsPerCluster  int     // 4 multiply-adds per cycle per cluster
+	SRFWordsPerCycle float64 // SRF bandwidth in words/cycle (512 GB/s -> 64)
+	KernelStartup    int     // cycles to launch a kernel
+	MemOpStartup     int     // cycles to prime a memory stream operation
+
+	// Address generators.
+	AGs     int // concurrent memory stream operations supported
+	AGWidth int // requests issued per cycle per active stream
+
+	Cache cache.Config
+	SA    saunit.Config
+	DRAM  dram.Config
+
+	// UniformMem, when non-nil, replaces the cache and DRAM with a single
+	// scatter-add unit in front of a uniform word memory (§4.4).
+	UniformMem *UniformMemConfig
+}
+
+// DefaultConfig returns the paper's Table 1 machine.
+func DefaultConfig() Config {
+	return Config{
+		Clusters:         16,
+		MaddsPerCluster:  4,
+		SRFWordsPerCycle: 64,
+		KernelStartup:    64,
+		MemOpStartup:     24,
+		AGs:              2,
+		AGWidth:          8,
+		Cache:            cache.DefaultConfig(),
+		SA:               saunit.DefaultConfig(),
+		DRAM:             dram.DefaultConfig(),
+	}
+}
+
+// PeakFlopsPerCycle returns the peak FP operations per cycle (Table 1: 128,
+// counting each multiply-add as two operations).
+func (c Config) PeakFlopsPerCycle() float64 {
+	return float64(c.Clusters * c.MaddsPerCluster * 2)
+}
+
+// OpKind distinguishes stream operations.
+type OpKind uint8
+
+const (
+	// OpMem is a memory stream transfer (load/store/gather/scatter/
+	// scatter-add), simulated through the memory system.
+	OpMem OpKind = iota
+	// OpKernel is a compute kernel, modeled by its cost bound.
+	OpKernel
+	// OpFence waits for every outstanding memory stream (including
+	// asynchronous ones) to complete and the memory system to drain.
+	OpFence
+)
+
+// Op is one stream operation. Construct ops with the helper constructors.
+type Op struct {
+	Name string
+	Kind OpKind
+
+	// Memory operations.
+	MemKind mem.Kind
+	Addrs   []mem.Addr // explicit addresses; nil means Base..Base+N-1
+	Base    mem.Addr
+	N       int
+	Vals    []mem.Word         // write/scatter-add data; len 1 broadcasts
+	OnResp  func(mem.Response) // optional read/fetch response sink
+
+	// Async starts the memory stream on a free address generator and
+	// returns immediately, letting later kernels (and further streams, up
+	// to the AG count) execute concurrently — the paper's observation that
+	// "the processor's main execution unit can continue running the
+	// program, while the sums are being updated in memory". Synchronize
+	// with Fence.
+	Async bool
+
+	// Kernel operations.
+	Flops  float64 // total FP operations
+	IntOps float64 // non-FP operations (comparisons, index math); cost
+	// like Flops but excluded from the FP Operations metric
+	SRFWords float64 // total SRF words moved
+}
+
+// addr returns the i-th address of a memory op.
+func (o *Op) addr(i int) mem.Addr {
+	if o.Addrs != nil {
+		return o.Addrs[i]
+	}
+	return o.Base + mem.Addr(i)
+}
+
+// val returns the i-th data value of a memory op.
+func (o *Op) val(i int) mem.Word {
+	if len(o.Vals) == 0 {
+		return 0
+	}
+	if len(o.Vals) == 1 {
+		return o.Vals[0]
+	}
+	return o.Vals[i]
+}
+
+// count returns the number of requests the op issues.
+func (o *Op) count() int {
+	if o.Addrs != nil {
+		return len(o.Addrs)
+	}
+	return o.N
+}
+
+// LoadStream reads n consecutive words starting at base (a stream load).
+func LoadStream(name string, base mem.Addr, n int) Op {
+	return Op{Name: name, Kind: OpMem, MemKind: mem.Read, Base: base, N: n}
+}
+
+// StoreStream writes vals to consecutive words starting at base.
+func StoreStream(name string, base mem.Addr, vals []mem.Word) Op {
+	return Op{Name: name, Kind: OpMem, MemKind: mem.Write, Base: base, N: len(vals), Vals: vals}
+}
+
+// Gather reads the given addresses (an indexed load).
+func Gather(name string, addrs []mem.Addr) Op {
+	return Op{Name: name, Kind: OpMem, MemKind: mem.Read, Addrs: addrs}
+}
+
+// Scatter writes vals[i] to addrs[i] (an indexed store).
+func Scatter(name string, addrs []mem.Addr, vals []mem.Word) Op {
+	if len(addrs) != len(vals) {
+		panic(fmt.Sprintf("machine: scatter with %d addrs, %d vals", len(addrs), len(vals)))
+	}
+	return Op{Name: name, Kind: OpMem, MemKind: mem.Write, Addrs: addrs, Vals: vals}
+}
+
+// ScatterAdd atomically combines vals[i] into addrs[i] with the given RMW
+// kind. vals of length 1 broadcasts a scalar (the paper's second form).
+func ScatterAdd(name string, kind mem.Kind, addrs []mem.Addr, vals []mem.Word) Op {
+	if !kind.IsScatterAdd() {
+		panic(fmt.Sprintf("machine: ScatterAdd with non-RMW kind %v", kind))
+	}
+	if len(vals) != 1 && len(vals) != len(addrs) {
+		panic(fmt.Sprintf("machine: scatter-add with %d addrs, %d vals", len(addrs), len(vals)))
+	}
+	return Op{Name: name, Kind: OpMem, MemKind: kind, Addrs: addrs, Vals: vals}
+}
+
+// Fence waits for all outstanding memory streams to complete.
+func Fence() Op {
+	return Op{Name: "fence", Kind: OpFence}
+}
+
+// Kernel models a compute kernel with the given total FP-operation count and
+// SRF word traffic.
+func Kernel(name string, flops, srfWords float64) Op {
+	return Op{Name: name, Kind: OpKernel, Flops: flops, SRFWords: srfWords}
+}
+
+// IntKernel models a compute kernel of non-FP operations (comparisons,
+// index arithmetic): it costs execution time like Kernel but does not count
+// toward the FP Operations metric.
+func IntKernel(name string, intOps, srfWords float64) Op {
+	return Op{Name: name, Kind: OpKernel, IntOps: intOps, SRFWords: srfWords}
+}
+
+// Result accumulates the paper's three reported metrics plus component
+// detail.
+type Result struct {
+	Cycles  uint64 // execution cycles
+	FPOps   uint64 // kernel flops + scatter-add FU operations
+	MemRefs uint64 // processor-issued word memory references
+
+	SAStats    saunit.Stats
+	CacheStats cache.Stats
+	DRAMStats  dram.Stats
+}
+
+// Add accumulates other into r.
+func (r *Result) Add(other Result) {
+	r.Cycles += other.Cycles
+	r.FPOps += other.FPOps
+	r.MemRefs += other.MemRefs
+}
+
+// memStream is one in-flight memory stream operation bound to an address
+// generator.
+type memStream struct {
+	op          Op
+	tag         uint64 // request-ID tag (ID = tag<<32 | index)
+	n           int
+	issued      int
+	responses   int
+	needResp    bool
+	startupLeft int // cycles of AG/pipeline priming before first issue
+}
+
+// done reports whether the stream has issued everything and received every
+// expected response (writes and scatter-adds complete at issue; their drain
+// is covered by the memory system's Busy state).
+func (s *memStream) done() bool {
+	return s.issued == s.n && (!s.needResp || s.responses == s.n)
+}
+
+// Machine is one simulated node.
+type Machine struct {
+	cfg     Config
+	dram    *dram.DRAM
+	uniform *dram.Uniform
+	banks   []*cache.Bank
+	sas     []*saunit.Unit
+	now     uint64
+
+	active  []*memStream
+	nextTag uint64
+	tracer  func(cycle uint64, req mem.Request)
+
+	kernelFlops uint64
+	memRefs     uint64
+}
+
+// SetTracer installs a hook observing every memory request the address
+// generators issue (nil disables tracing).
+func (m *Machine) SetTracer(fn func(cycle uint64, req mem.Request)) { m.tracer = fn }
+
+// New constructs a machine.
+func New(cfg Config) *Machine {
+	if cfg.Clusters < 1 || cfg.AGWidth < 1 || cfg.SRFWordsPerCycle <= 0 {
+		panic(fmt.Sprintf("machine: invalid config %+v", cfg))
+	}
+	m := &Machine{cfg: cfg}
+	if cfg.UniformMem != nil {
+		m.uniform = dram.NewUniform(cfg.UniformMem.Latency, cfg.UniformMem.Interval, 64)
+		m.sas = []*saunit.Unit{saunit.New(cfg.SA, m.uniform)}
+		return m
+	}
+	m.dram = dram.New(cfg.DRAM)
+	for i := 0; i < cfg.Cache.Banks; i++ {
+		b := cache.NewBank(cfg.Cache, i, m.dram, cache.Normal)
+		m.banks = append(m.banks, b)
+		m.sas = append(m.sas, saunit.New(cfg.SA, b))
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Store returns the functional memory image for zero-time initialization and
+// result readback. Call FlushCaches before reading results written through
+// the timed path.
+func (m *Machine) Store() *mem.Store {
+	if m.uniform != nil {
+		return m.uniform.Store()
+	}
+	return m.dram.Store()
+}
+
+// FlushCaches functionally writes all dirty cache lines into the DRAM store
+// (zero simulated time). Use it between a timed run and result readback.
+func (m *Machine) FlushCaches() {
+	for _, b := range m.banks {
+		b.FlushFunctional()
+	}
+}
+
+// Now returns the machine's absolute cycle count.
+func (m *Machine) Now() uint64 { return m.now }
+
+// unitFor routes an address to its scatter-add unit (one per cache bank; a
+// single unit in uniform-memory mode).
+func (m *Machine) unitFor(a mem.Addr) *saunit.Unit {
+	if len(m.sas) == 1 {
+		return m.sas[0]
+	}
+	return m.sas[cache.BankOf(a.Line(), len(m.banks))]
+}
+
+// tick advances the whole machine one cycle: active streams issue requests
+// through their address generators, the memory system components advance,
+// and responses are delivered back to their streams. Completed streams are
+// retired, freeing their address generator.
+func (m *Machine) tick() {
+	// Issue phase: each active stream owns one address generator and may
+	// issue up to AGWidth requests per cycle, in order (head-of-line
+	// blocking on a busy bank models the hot-bank effect of Figure 7).
+	for _, s := range m.active {
+		if s.startupLeft > 0 {
+			s.startupLeft--
+			continue
+		}
+		for w := 0; w < m.cfg.AGWidth && s.issued < s.n; w++ {
+			a := s.op.addr(s.issued)
+			u := m.unitFor(a)
+			if !u.CanAccept(m.now) {
+				break
+			}
+			req := mem.Request{
+				ID:   s.tag<<32 | uint64(s.issued),
+				Kind: s.op.MemKind, Addr: a, Val: s.op.val(s.issued),
+			}
+			if !u.Accept(m.now, req) {
+				break
+			}
+			if m.tracer != nil {
+				m.tracer(m.now, req)
+			}
+			s.issued++
+		}
+	}
+
+	for _, sa := range m.sas {
+		sa.Tick(m.now)
+	}
+	for _, b := range m.banks {
+		b.Tick(m.now)
+	}
+	if m.dram != nil {
+		m.dram.Tick(m.now)
+		for {
+			r, ok := m.dram.PopResponse(m.now)
+			if !ok {
+				break
+			}
+			m.banks[cache.BankOf(r.Line, len(m.banks))].Fill(m.now, r.Line, r.Data)
+		}
+	}
+	if m.uniform != nil {
+		m.uniform.Tick(m.now)
+	}
+
+	// Response phase: route responses back to their streams by ID tag.
+	for _, sa := range m.sas {
+		for {
+			r, ok := sa.PopResponse(m.now)
+			if !ok {
+				break
+			}
+			if s := m.streamByTag(r.ID >> 32); s != nil {
+				s.responses++
+				if s.op.OnResp != nil {
+					r.ID &= (1 << 32) - 1 // restore the caller's index
+					s.op.OnResp(r)
+				}
+			}
+		}
+	}
+
+	// Retire completed streams.
+	live := m.active[:0]
+	for _, s := range m.active {
+		if !s.done() {
+			live = append(live, s)
+		}
+	}
+	m.active = live
+	m.now++
+}
+
+// streamByTag finds the active stream with the given request tag.
+func (m *Machine) streamByTag(tag uint64) *memStream {
+	for _, s := range m.active {
+		if s.tag == tag {
+			return s
+		}
+	}
+	return nil
+}
+
+// memSystemBusy reports whether any memory-system component holds work.
+func (m *Machine) memSystemBusy() bool {
+	for _, sa := range m.sas {
+		if sa.Busy() {
+			return true
+		}
+	}
+	// saunit.Busy covers its downstream bank/uniform; DRAM covered via banks'
+	// MSHRs? Not entirely: a write-back accepted by DRAM leaves bank idle.
+	if m.dram != nil && m.dram.Busy() {
+		return true
+	}
+	if m.uniform != nil && m.uniform.Busy() {
+		return true
+	}
+	return false
+}
+
+// idle advances cycles without starting new work (kernel execution time);
+// outstanding asynchronous streams keep issuing underneath.
+func (m *Machine) idle(cycles uint64) {
+	for i := uint64(0); i < cycles; i++ {
+		m.tick()
+	}
+}
+
+// RunOp executes one stream operation and returns its metrics. Memory
+// operations with Async set return as soon as an address generator is
+// claimed; everything else runs to completion.
+func (m *Machine) RunOp(op Op) Result {
+	start := m.now
+	memRefsBefore := m.memRefs
+	saBefore := m.saStats()
+	switch op.Kind {
+	case OpKernel:
+		flopCyc := (op.Flops + op.IntOps) / m.cfg.PeakFlopsPerCycle()
+		srfCyc := op.SRFWords / m.cfg.SRFWordsPerCycle
+		cyc := uint64(m.cfg.KernelStartup)
+		if flopCyc > srfCyc {
+			cyc += uint64(flopCyc + 0.999999)
+		} else {
+			cyc += uint64(srfCyc + 0.999999)
+		}
+		m.idle(cyc)
+		m.kernelFlops += uint64(op.Flops)
+	case OpMem:
+		m.runMemOp(op)
+	case OpFence:
+		m.fence()
+	default:
+		panic(fmt.Sprintf("machine: unknown op kind %d", op.Kind))
+	}
+	saAfter := m.saStats()
+	return Result{
+		Cycles:  m.now - start,
+		FPOps:   uint64(op.Flops) + fpDelta(saBefore, saAfter),
+		MemRefs: m.memRefs - memRefsBefore,
+	}
+}
+
+// fence runs until every stream has completed and the memory system has
+// drained.
+func (m *Machine) fence() {
+	startCycle := m.now
+	for len(m.active) > 0 || m.memSystemBusy() {
+		m.tick()
+		if m.now-startCycle > opDeadlockCycles {
+			panic("machine: fence did not drain; likely deadlock")
+		}
+	}
+}
+
+// fpDelta counts floating-point FU operations performed between two stat
+// snapshots. Integer scatter-adds use the same datapath but do not count
+// toward the paper's "FP Operations" metric.
+func fpDelta(before, after saunit.Stats) uint64 {
+	return after.FUOpsFP - before.FUOpsFP
+}
+
+func (m *Machine) saStats() saunit.Stats {
+	var s saunit.Stats
+	for _, sa := range m.sas {
+		st := sa.Stats()
+		s.SARequests += st.SARequests
+		s.Bypassed += st.Bypassed
+		s.MemReads += st.MemReads
+		s.MemWrites += st.MemWrites
+		s.FUOps += st.FUOps
+		s.FUOpsFP += st.FUOpsFP
+		s.Combined += st.Combined
+		s.StallFull += st.StallFull
+		s.EagerOps += st.EagerOps
+	}
+	return s
+}
+
+// runMemOp claims an address generator for the stream, then (for
+// synchronous ops) runs it to completion plus a drain of the memory system.
+func (m *Machine) runMemOp(op Op) {
+	n := op.count()
+	m.memRefs += uint64(n)
+	opStart := m.now
+	// Claim an address generator (Table 1: 2), waiting if all are busy.
+	for len(m.active) >= m.cfg.AGs {
+		m.tick()
+		if m.now-opStart > opDeadlockCycles {
+			panic(fmt.Sprintf("machine: op %q waited %d cycles for an AG; likely deadlock", op.Name, m.now-opStart))
+		}
+	}
+	m.nextTag++
+	s := &memStream{
+		op: op, tag: m.nextTag, n: n,
+		needResp:    op.MemKind == mem.Read || op.MemKind.IsFetch(),
+		startupLeft: m.cfg.MemOpStartup,
+	}
+	m.active = append(m.active, s)
+	if op.Async {
+		return
+	}
+	// Synchronous semantics: reads are complete when every response has
+	// arrived; writes and scatter-adds additionally wait for the memory
+	// system to drain so their data is globally visible when RunOp returns.
+	for !s.done() || (!s.needResp && m.memSystemBusy()) {
+		m.tick()
+		if m.now-opStart > opDeadlockCycles {
+			panic(fmt.Sprintf("machine: op %q has run %d cycles; likely deadlock", op.Name, m.now-opStart))
+		}
+	}
+}
+
+// opDeadlockCycles guards against flow-control deadlock: single ops in this
+// repository complete in well under this many cycles.
+const opDeadlockCycles = uint64(500_000_000)
+
+// Run executes a program sequentially and returns aggregate metrics.
+func (m *Machine) Run(prog []Op) Result {
+	start := m.now
+	memRefsBefore := m.memRefs
+	flopsBefore := m.kernelFlops
+	saBefore := m.saStats()
+	for _, op := range prog {
+		m.RunOp(op)
+	}
+	saAfter := m.saStats()
+	return Result{
+		Cycles:     m.now - start,
+		FPOps:      (m.kernelFlops - flopsBefore) + fpDelta(saBefore, saAfter),
+		MemRefs:    m.memRefs - memRefsBefore,
+		SAStats:    saAfter,
+		CacheStats: m.cacheStats(),
+		DRAMStats:  m.dramStats(),
+	}
+}
+
+// ComponentStats returns cumulative scatter-add unit, cache, and DRAM
+// counters for the machine's lifetime (useful after driving the machine
+// through RunOp rather than Run).
+func (m *Machine) ComponentStats() (saunit.Stats, cache.Stats, dram.Stats) {
+	return m.saStats(), m.cacheStats(), m.dramStats()
+}
+
+func (m *Machine) cacheStats() cache.Stats {
+	var s cache.Stats
+	for _, b := range m.banks {
+		st := b.Stats()
+		s.Hits += st.Hits
+		s.Misses += st.Misses
+		s.MergedMiss += st.MergedMiss
+		s.Evictions += st.Evictions
+		s.WriteBacks += st.WriteBacks
+		s.SumBacks += st.SumBacks
+		s.Stalls += st.Stalls
+	}
+	return s
+}
+
+func (m *Machine) dramStats() dram.Stats {
+	if m.dram == nil {
+		return dram.Stats{}
+	}
+	return m.dram.Stats()
+}

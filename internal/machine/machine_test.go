@@ -1,0 +1,337 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"scatteradd/internal/mem"
+)
+
+// smallConfig shrinks the machine for fast tests while keeping all
+// structures (multiple banks, SA units, DRAM channels).
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Cache.TotalLines = 256 // 16 KB cache
+	cfg.KernelStartup = 8
+	cfg.MemOpStartup = 4
+	return cfg
+}
+
+func uniformConfig(lat, interval int) Config {
+	cfg := DefaultConfig()
+	cfg.KernelStartup = 8
+	cfg.MemOpStartup = 4
+	cfg.UniformMem = &UniformMemConfig{Latency: lat, Interval: interval}
+	return cfg
+}
+
+func TestScatterAddHistogramCorrect(t *testing.T) {
+	m := New(smallConfig())
+	const bins = 64
+	const n = 1000
+	binBase := mem.Addr(0)
+	// Deterministic pseudo-random data.
+	addrs := make([]mem.Addr, n)
+	ref := make([]int64, bins)
+	seed := uint64(12345)
+	for i := range addrs {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		b := seed % bins
+		addrs[i] = binBase + mem.Addr(b)
+		ref[b]++
+	}
+	res := m.Run([]Op{ScatterAdd("hist", mem.AddI64, addrs, []mem.Word{mem.I64(1)})})
+	m.FlushCaches()
+	got := m.Store().ReadI64Slice(binBase, bins)
+	for b := range ref {
+		if got[b] != ref[b] {
+			t.Fatalf("bin %d = %d want %d", b, got[b], ref[b])
+		}
+	}
+	if res.MemRefs != n {
+		t.Fatalf("mem refs = %d want %d", res.MemRefs, n)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles charged")
+	}
+	if res.FPOps != 0 {
+		t.Fatalf("integer scatter-add counted %d FP ops", res.FPOps)
+	}
+}
+
+func TestScatterAddFloatCountsFPOps(t *testing.T) {
+	m := New(smallConfig())
+	addrs := []mem.Addr{0, 1, 0, 2, 1, 0}
+	vals := []mem.Word{mem.F64(1), mem.F64(2), mem.F64(3), mem.F64(4), mem.F64(5), mem.F64(6)}
+	res := m.Run([]Op{ScatterAdd("fsa", mem.AddF64, addrs, vals)})
+	m.FlushCaches()
+	if got := m.Store().LoadF64(0); got != 10 {
+		t.Fatalf("addr0 = %g", got)
+	}
+	if got := m.Store().LoadF64(1); got != 7 {
+		t.Fatalf("addr1 = %g", got)
+	}
+	if got := m.Store().LoadF64(2); got != 4 {
+		t.Fatalf("addr2 = %g", got)
+	}
+	if res.FPOps != 6 {
+		t.Fatalf("FP ops = %d want 6", res.FPOps)
+	}
+}
+
+func TestStoreThenLoadStream(t *testing.T) {
+	m := New(smallConfig())
+	vals := make([]mem.Word, 100)
+	for i := range vals {
+		vals[i] = mem.F64(float64(i) * 0.5)
+	}
+	var got []float64
+	prog := []Op{
+		StoreStream("store", 1000, vals),
+		LoadStream("load", 1000, len(vals)),
+	}
+	prog[1].OnResp = func(r mem.Response) { got = append(got, mem.AsF64(r.Val)) }
+	m.Run(prog)
+	if len(got) != len(vals) {
+		t.Fatalf("got %d responses", len(got))
+	}
+	// Responses can arrive out of order across banks; check as a set via sum.
+	var sum, want float64
+	for i := range vals {
+		sum += got[i]
+		want += float64(i) * 0.5
+	}
+	if math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("loaded sum %g want %g", sum, want)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	m := New(smallConfig())
+	m.Store().WriteF64Slice(0, []float64{10, 20, 30, 40})
+	addrs := []mem.Addr{3, 1, 2, 0}
+	var got []float64
+	g := Gather("g", addrs)
+	g.OnResp = func(r mem.Response) { got = append(got, mem.AsF64(r.Val)) }
+	m.Run([]Op{g})
+	if len(got) != 4 {
+		t.Fatalf("gather returned %d values", len(got))
+	}
+	m.Run([]Op{Scatter("s", []mem.Addr{100, 101}, []mem.Word{mem.F64(7), mem.F64(8)})})
+	m.FlushCaches()
+	if m.Store().LoadF64(100) != 7 || m.Store().LoadF64(101) != 8 {
+		t.Fatal("scatter data wrong")
+	}
+}
+
+func TestKernelCostModel(t *testing.T) {
+	cfg := smallConfig()
+	m := New(cfg)
+	// Compute bound: 12800 flops at 128/cycle = 100 cycles + startup.
+	res := m.RunOp(Kernel("k", 12800, 0))
+	want := uint64(cfg.KernelStartup) + 100
+	if res.Cycles != want {
+		t.Fatalf("compute-bound kernel: %d cycles want %d", res.Cycles, want)
+	}
+	// SRF bound: 6400 words at 64/cycle = 100 cycles.
+	res = m.RunOp(Kernel("k2", 100, 6400))
+	if res.Cycles != want {
+		t.Fatalf("SRF-bound kernel: %d cycles want %d", res.Cycles, want)
+	}
+	if res.FPOps != 100 {
+		t.Fatalf("kernel FP ops = %d", res.FPOps)
+	}
+}
+
+func TestHotBankEffect(t *testing.T) {
+	// Scatter-adds into a tiny index range (one line -> one bank) must be
+	// slower than the same count spread over many banks (Figure 7).
+	n := 2048
+	narrow := New(smallConfig())
+	addrsNarrow := make([]mem.Addr, n)
+	for i := range addrsNarrow {
+		addrsNarrow[i] = mem.Addr(i % 4) // one line, one bank
+	}
+	resNarrow := narrow.Run([]Op{ScatterAdd("narrow", mem.AddI64, addrsNarrow, []mem.Word{mem.I64(1)})})
+
+	wide := New(smallConfig())
+	addrsWide := make([]mem.Addr, n)
+	for i := range addrsWide {
+		addrsWide[i] = mem.Addr(i % 512) // 64 lines across all 8 banks
+	}
+	resWide := wide.Run([]Op{ScatterAdd("wide", mem.AddI64, addrsWide, []mem.Word{mem.I64(1)})})
+
+	if resNarrow.Cycles <= resWide.Cycles {
+		t.Fatalf("hot bank: narrow %d cycles, wide %d cycles", resNarrow.Cycles, resWide.Cycles)
+	}
+}
+
+func TestCombiningReducesDRAMTraffic(t *testing.T) {
+	// Few distinct addresses: the combining store should absorb most reads.
+	n := 4096
+	m := New(smallConfig())
+	addrs := make([]mem.Addr, n)
+	for i := range addrs {
+		addrs[i] = mem.Addr(i % 8)
+	}
+	res := m.Run([]Op{ScatterAdd("c", mem.AddI64, addrs, []mem.Word{mem.I64(1)})})
+	if res.SAStats.Combined == 0 {
+		t.Fatal("no combining occurred")
+	}
+	if res.SAStats.MemReads >= uint64(n)/2 {
+		t.Fatalf("combining ineffective: %d memory reads for %d requests", res.SAStats.MemReads, n)
+	}
+	m.FlushCaches()
+	for i := 0; i < 8; i++ {
+		if got := m.Store().LoadI64(mem.Addr(i)); got != int64(n/8) {
+			t.Fatalf("bin %d = %d want %d", i, got, n/8)
+		}
+	}
+}
+
+func TestUniformMemoryMode(t *testing.T) {
+	m := New(uniformConfig(16, 2))
+	addrs := make([]mem.Addr, 256)
+	for i := range addrs {
+		addrs[i] = mem.Addr(i % 32)
+	}
+	m.Run([]Op{ScatterAdd("u", mem.AddI64, addrs, []mem.Word{mem.I64(1)})})
+	for i := 0; i < 32; i++ {
+		if got := m.Store().LoadI64(mem.Addr(i)); got != 8 {
+			t.Fatalf("bin %d = %d want 8", i, got)
+		}
+	}
+}
+
+func TestUniformLatencySensitivity(t *testing.T) {
+	// With a small combining store, higher memory latency must hurt; with a
+	// large store the unit should tolerate it (Figure 11's main result).
+	run := func(entries, latency int) uint64 {
+		cfg := uniformConfig(latency, 2)
+		cfg.SA.Entries = entries
+		cfg.SA.InQDepth = 8
+		m := New(cfg)
+		addrs := make([]mem.Addr, 512)
+		seed := uint64(99)
+		for i := range addrs {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			addrs[i] = mem.Addr(seed % 65536)
+		}
+		res := m.Run([]Op{ScatterAdd("s", mem.AddI64, addrs, []mem.Word{mem.I64(1)})})
+		return res.Cycles
+	}
+	smallFast := run(2, 8)
+	smallSlow := run(2, 256)
+	bigFast := run(64, 8)
+	bigSlow := run(64, 256)
+	if smallSlow <= smallFast {
+		t.Fatalf("2-entry store insensitive to latency: %d vs %d", smallFast, smallSlow)
+	}
+	ratioSmall := float64(smallSlow) / float64(smallFast)
+	ratioBig := float64(bigSlow) / float64(bigFast)
+	if ratioBig >= ratioSmall/2 {
+		t.Fatalf("64-entry store does not tolerate latency: small ratio %.2f, big ratio %.2f",
+			ratioSmall, ratioBig)
+	}
+}
+
+// Property: scatter-add through the full machine (cache + DRAM + 8 SA units)
+// equals the sequential reference for arbitrary index patterns.
+func TestMachineScatterAddProperty(t *testing.T) {
+	f := func(idx []uint16) bool {
+		if len(idx) == 0 {
+			return true
+		}
+		m := New(smallConfig())
+		ref := map[mem.Addr]int64{}
+		addrs := make([]mem.Addr, len(idx))
+		vals := make([]mem.Word, len(idx))
+		for i, x := range idx {
+			a := mem.Addr(x % 2048)
+			addrs[i] = a
+			vals[i] = mem.I64(int64(i + 1))
+			ref[a] += int64(i + 1)
+		}
+		m.Run([]Op{ScatterAdd("p", mem.AddI64, addrs, vals)})
+		m.FlushCaches()
+		for a, want := range ref {
+			if m.Store().LoadI64(a) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFetchAddThroughMachine(t *testing.T) {
+	// Parallel queue allocation (§3.3): n fetch-adds of 1 to a counter
+	// return a permutation of 0..n-1.
+	m := New(smallConfig())
+	n := 64
+	addrs := make([]mem.Addr, n)
+	var got []int64
+	op := ScatterAdd("alloc", mem.FetchAddI64, addrs, []mem.Word{mem.I64(1)})
+	op.OnResp = func(r mem.Response) { got = append(got, mem.AsI64(r.Val)) }
+	m.Run([]Op{op})
+	if len(got) != n {
+		t.Fatalf("got %d fetch responses", len(got))
+	}
+	seen := map[int64]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate ticket %d", v)
+		}
+		seen[v] = true
+	}
+	for v := int64(0); v < int64(n); v++ {
+		if !seen[v] {
+			t.Fatalf("missing ticket %d", v)
+		}
+	}
+}
+
+func TestResultAdd(t *testing.T) {
+	a := Result{Cycles: 10, FPOps: 5, MemRefs: 3}
+	a.Add(Result{Cycles: 1, FPOps: 2, MemRefs: 4})
+	if a.Cycles != 11 || a.FPOps != 7 || a.MemRefs != 7 {
+		t.Fatalf("Add: %+v", a)
+	}
+}
+
+func TestOpConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { Scatter("x", []mem.Addr{1}, nil) },
+		func() { ScatterAdd("x", mem.Read, []mem.Addr{1}, []mem.Word{0}) },
+		func() { ScatterAdd("x", mem.AddI64, []mem.Addr{1, 2}, []mem.Word{0, 0, 0}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPeakFlops(t *testing.T) {
+	if got := DefaultConfig().PeakFlopsPerCycle(); got != 128 {
+		t.Fatalf("peak flops = %g want 128 (Table 1)", got)
+	}
+}
+
+func TestBroadcastScalar(t *testing.T) {
+	m := New(smallConfig())
+	addrs := []mem.Addr{5, 5, 5, 9}
+	m.Run([]Op{ScatterAdd("b", mem.AddF64, addrs, []mem.Word{mem.F64(2.5)})})
+	m.FlushCaches()
+	if m.Store().LoadF64(5) != 7.5 || m.Store().LoadF64(9) != 2.5 {
+		t.Fatalf("broadcast: %g %g", m.Store().LoadF64(5), m.Store().LoadF64(9))
+	}
+}

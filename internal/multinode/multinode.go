@@ -1,0 +1,444 @@
+// Package multinode models the multi-node scatter-add system of §3.2 and
+// §4.5: 2-8 nodes, each a copy of the single-node memory system (scatter-add
+// units, stream-cache banks, DRAM channels) owning a block of the global
+// address space, connected by an input-queued crossbar with back-pressure.
+//
+// Two operating modes follow the paper:
+//
+//   - Direct: every scatter-add request to a remote address crosses the
+//     network and is merged into the owner's scatter-add units, which
+//     guarantee atomicity because "a node can only directly access its own
+//     part of the global memory".
+//
+//   - Combining: the two-phase optimization — a local phase scatter-adds
+//     remote data into the node's own cache, allocating missing lines with
+//     the identity value instead of fetching them, and a global phase
+//     sum-backs evicted lines to their owners, finished by a
+//     flush-with-sum-back synchronization step.
+//
+// The experiment driver replays scatter-add reference traces (the Figure 13
+// workloads) and reports achieved additions/cycle and GB/s.
+package multinode
+
+import (
+	"fmt"
+
+	"scatteradd/internal/cache"
+	"scatteradd/internal/dram"
+	"scatteradd/internal/mem"
+	"scatteradd/internal/network"
+	"scatteradd/internal/saunit"
+	"scatteradd/internal/sim"
+)
+
+// Ref is one scatter-add reference of a trace.
+type Ref struct {
+	Addr mem.Addr
+	Val  mem.Word
+}
+
+// Config describes the multi-node system.
+type Config struct {
+	Nodes     int
+	OwnerSpan mem.Addr // words of address space owned per node (block partition)
+	Combining bool     // enable the local-combining + sum-back optimization
+	// Hierarchical arranges the nodes in a logical hypercube so sum-backs
+	// combine across nodes in logarithmic instead of linear complexity —
+	// the optimization the paper proposes as future work (§5). Each
+	// evicted partial line travels one hypercube dimension toward its
+	// owner per flush round, merging with other nodes' partials at every
+	// hop. Requires Combining and a power-of-two node count.
+	Hierarchical bool
+	IssueRate    int // trace references issued per node per cycle
+
+	Net   network.Config
+	Cache cache.Config
+	SA    saunit.Config
+	DRAM  dram.Config
+}
+
+// DefaultConfig returns nodes copies of the Table 1 node over a crossbar
+// with the given per-port bandwidth (1 = the paper's low configuration,
+// 8 = high), owning span words each.
+func DefaultConfig(nodes int, wordsPerCyc int, span mem.Addr) Config {
+	net := network.DefaultConfig(nodes)
+	net.WordsPerCyc = wordsPerCyc
+	return Config{
+		Nodes:     nodes,
+		OwnerSpan: span,
+		IssueRate: 8,
+		Net:       net,
+		Cache:     cache.DefaultConfig(),
+		SA:        saunit.DefaultConfig(),
+		DRAM:      dram.DefaultConfig(),
+	}
+}
+
+// node is one participant.
+type node struct {
+	id    int
+	sas   []*saunit.Unit
+	banks []*cache.Bank
+	dram  *dram.DRAM
+	comb  []*cache.Bank // CombineLocal banks (combining mode only)
+
+	trace  []Ref // this node's share of the references
+	issued int
+	inbox  *sim.Queue[mem.Request] // staged network arrivals
+	outbox *sim.Queue[mem.Request] // sum-backs and remote requests awaiting the network
+}
+
+// Result reports a trace replay.
+type Result struct {
+	Nodes  int
+	Adds   uint64
+	Cycles uint64
+
+	NetStats network.Stats
+	SAReads  uint64 // memory reads issued by all scatter-add units
+	SumBacks uint64 // partial lines sent back in combining mode
+}
+
+// AddsPerCycle returns achieved scatter-add throughput.
+func (r Result) AddsPerCycle() float64 { return float64(r.Adds) / float64(r.Cycles) }
+
+// GBps returns the paper's Figure 13 metric: 8-byte additions per 1 GHz
+// cycle expressed in GB/s.
+func (r Result) GBps() float64 { return r.AddsPerCycle() * 8 }
+
+// System is the multi-node machine.
+type System struct {
+	cfg   Config
+	kind  mem.Kind
+	nodes []*node
+	xbar  *network.Crossbar[mem.Request]
+	now   uint64
+}
+
+// New constructs the system for traces of the given combine kind.
+func New(cfg Config, kind mem.Kind) *System {
+	if cfg.Nodes < 1 || cfg.OwnerSpan < 1 || cfg.IssueRate < 1 {
+		panic(fmt.Sprintf("multinode: invalid config %+v", cfg))
+	}
+	if !kind.IsScatterAdd() || kind.IsFetch() {
+		panic(fmt.Sprintf("multinode: unsupported trace kind %v", kind))
+	}
+	if cfg.Hierarchical {
+		if !cfg.Combining {
+			panic("multinode: Hierarchical requires Combining")
+		}
+		if cfg.Nodes&(cfg.Nodes-1) != 0 {
+			panic(fmt.Sprintf("multinode: Hierarchical requires a power-of-two node count, got %d", cfg.Nodes))
+		}
+	}
+	s := &System{cfg: cfg, kind: kind, xbar: network.New[mem.Request](cfg.Net)}
+	for id := 0; id < cfg.Nodes; id++ {
+		n := &node{
+			id:     id,
+			dram:   dram.New(cfg.DRAM),
+			inbox:  sim.NewQueue[mem.Request](64),
+			outbox: sim.NewQueue[mem.Request](64),
+		}
+		for b := 0; b < cfg.Cache.Banks; b++ {
+			bank := cache.NewBank(cfg.Cache, b, n.dram, cache.Normal)
+			n.banks = append(n.banks, bank)
+			n.sas = append(n.sas, saunit.New(cfg.SA, bank))
+			if cfg.Combining {
+				cb := cache.NewBank(cfg.Cache, b, nil, cache.CombineLocal)
+				cb.SetZeroKind(kind)
+				n.comb = append(n.comb, cb)
+			}
+		}
+		s.nodes = append(s.nodes, n)
+	}
+	return s
+}
+
+// owner returns the node owning an address.
+func (s *System) owner(a mem.Addr) int {
+	o := int(a / s.cfg.OwnerSpan)
+	if o >= s.cfg.Nodes {
+		panic(fmt.Sprintf("multinode: address %d beyond %d nodes x %d span", a, s.cfg.Nodes, s.cfg.OwnerSpan))
+	}
+	return o
+}
+
+// localUnit returns node n's scatter-add unit for address a.
+func (n *node) localUnit(a mem.Addr) *saunit.Unit {
+	return n.sas[cache.BankOf(a.Line(), len(n.banks))]
+}
+
+// combBank returns node n's combining bank for address a.
+func (n *node) combBank(a mem.Addr) *cache.Bank {
+	return n.comb[cache.BankOf(a.Line(), len(n.comb))]
+}
+
+// RunTrace partitions refs round-robin over the nodes, replays them, and
+// runs to global quiescence (including the flush-with-sum-back rounds when
+// combining). It returns the achieved throughput.
+func (s *System) RunTrace(refs []Ref) Result {
+	for _, n := range s.nodes {
+		n.trace = n.trace[:0]
+		n.issued = 0
+	}
+	for i, r := range refs {
+		n := s.nodes[i%len(s.nodes)]
+		n.trace = append(n.trace, r)
+	}
+	start := s.now
+	limit := s.now + 2_000_000_000
+	runPhase := func() {
+		for !s.done() {
+			s.step()
+			if s.now > limit {
+				panic("multinode: trace did not drain; flow-control deadlock")
+			}
+		}
+	}
+	// Local phase: replay the trace.
+	runPhase()
+	if s.cfg.Combining {
+		// Global phase: flush-with-sum-back. Direct combining needs one
+		// round (evictions go straight to the owner); hierarchical
+		// combining needs one round per hypercube dimension, each moving
+		// partial lines one hop closer to their owners while merging them.
+		rounds := 1
+		if s.cfg.Hierarchical {
+			rounds = log2(s.cfg.Nodes)
+		}
+		for r := 0; r < rounds; r++ {
+			for _, n := range s.nodes {
+				for _, cb := range n.comb {
+					cb.StartFlush()
+				}
+			}
+			runPhase()
+		}
+		// Every partial sum must have reached its owner by now.
+		for _, n := range s.nodes {
+			for _, cb := range n.comb {
+				if left := cb.ResidentPartialLines(); len(left) > 0 {
+					panic(fmt.Sprintf("multinode: node %d retains %d partial lines after %d flush rounds",
+						n.id, len(left), rounds))
+				}
+			}
+		}
+	}
+	res := Result{
+		Nodes:    s.cfg.Nodes,
+		Adds:     uint64(len(refs)),
+		Cycles:   s.now - start,
+		NetStats: s.xbar.Stats(),
+	}
+	for _, n := range s.nodes {
+		for _, u := range n.sas {
+			res.SAReads += u.Stats().MemReads
+		}
+		for _, cb := range n.comb {
+			res.SumBacks += cb.Stats().SumBacks
+		}
+	}
+	return res
+}
+
+// step advances the whole system one cycle.
+func (s *System) step() {
+	for _, n := range s.nodes {
+		s.stepNode(n)
+	}
+	s.xbar.Tick(s.now)
+	s.now++
+}
+
+// stepNode advances one node: network arrivals, trace issue, sum-back
+// draining, and component ticks.
+func (s *System) stepNode(n *node) {
+	// Stage network arrivals (bounded inbox exerts back-pressure).
+	for !n.inbox.Full() {
+		p, ok := s.xbar.Recv(n.id)
+		if !ok {
+			break
+		}
+		n.inbox.MustPush(p.Payload)
+	}
+	// Inject staged arrivals: owned addresses go to the local scatter-add
+	// path; in hierarchical combining, in-transit partials for other owners
+	// merge into this hop's combining cache.
+	for {
+		r, ok := n.inbox.Peek()
+		if !ok {
+			break
+		}
+		if s.owner(r.Addr) == n.id {
+			u := n.localUnit(r.Addr)
+			if !u.CanAccept(s.now) || !u.Accept(s.now, r) {
+				break
+			}
+		} else {
+			if !s.cfg.Hierarchical {
+				panic(fmt.Sprintf("multinode: node %d received request for node %d without hierarchy",
+					n.id, s.owner(r.Addr)))
+			}
+			cb := n.combBank(r.Addr)
+			if !cb.CanAccept(s.now) || !cb.Accept(s.now, r) {
+				break
+			}
+		}
+		n.inbox.Pop()
+	}
+	// Issue this node's trace share.
+	for k := 0; k < s.cfg.IssueRate && n.issued < len(n.trace); k++ {
+		ref := n.trace[n.issued]
+		req := mem.Request{ID: uint64(n.issued), Kind: s.kind, Addr: ref.Addr, Val: ref.Val, Node: n.id}
+		if !s.routeRequest(n, req) {
+			break
+		}
+		n.issued++
+	}
+	// Convert evicted partial lines into sum-back requests (a whole line
+	// needs LineWords outbox slots).
+	for _, cb := range n.comb {
+		for n.outbox.Cap()-n.outbox.Len() >= mem.LineWords {
+			ev, ok := cb.PopEvict()
+			if !ok {
+				break
+			}
+			s.queueSumBack(n, ev)
+		}
+	}
+	// Drain the outbox into the network (or locally, for own addresses).
+	for {
+		r, ok := n.outbox.Peek()
+		if !ok {
+			break
+		}
+		dst := s.sumBackDst(n.id, r.Addr)
+		if dst == n.id {
+			u := n.localUnit(r.Addr)
+			if !u.CanAccept(s.now) || !u.Accept(s.now, r) {
+				break
+			}
+		} else {
+			if !s.xbar.Send(network.Packet[mem.Request]{Src: n.id, Dst: dst, Payload: r}) {
+				break
+			}
+		}
+		n.outbox.Pop()
+	}
+	// Tick the hardware.
+	for _, u := range n.sas {
+		u.Tick(s.now)
+	}
+	for _, b := range n.banks {
+		b.Tick(s.now)
+	}
+	for _, cb := range n.comb {
+		cb.Tick(s.now)
+	}
+	n.dram.Tick(s.now)
+	for {
+		r, ok := n.dram.PopResponse(s.now)
+		if !ok {
+			break
+		}
+		n.banks[cache.BankOf(r.Line, len(n.banks))].Fill(s.now, r.Line, r.Data)
+	}
+	for _, u := range n.sas {
+		for {
+			if _, ok := u.PopResponse(s.now); !ok {
+				break
+			}
+		}
+	}
+}
+
+// routeRequest sends one trace reference on its way. It reports false when
+// back-pressure blocked it.
+func (s *System) routeRequest(n *node, req mem.Request) bool {
+	dst := s.owner(req.Addr)
+	if dst == n.id {
+		u := n.localUnit(req.Addr)
+		return u.CanAccept(s.now) && u.Accept(s.now, req)
+	}
+	if s.cfg.Combining {
+		// Local phase: combine into the node's own cache.
+		cb := n.combBank(req.Addr)
+		return cb.CanAccept(s.now) && cb.Accept(s.now, req)
+	}
+	return s.xbar.Send(network.Packet[mem.Request]{Src: n.id, Dst: dst, Payload: req})
+}
+
+// queueSumBack turns an evicted partial line into per-word scatter-add
+// requests (a whole-line sum-back: every word of the line crosses the
+// network, which is exactly the eviction overhead the paper observes for
+// sparse address ranges).
+func (s *System) queueSumBack(n *node, ev cache.EvictedLine) {
+	for i := 0; i < mem.LineWords; i++ {
+		n.outbox.MustPush(mem.Request{
+			Kind: ev.Kind, Addr: ev.Line + mem.Addr(i), Val: ev.Data[i], Node: n.id,
+		})
+	}
+}
+
+// sumBackDst returns where node from sends a sum-back for addr: directly
+// to the owner, or — in hierarchical mode — one hypercube hop toward it
+// (flip the lowest differing address bit), merging partials along the way.
+func (s *System) sumBackDst(from int, addr mem.Addr) int {
+	own := s.owner(addr)
+	if !s.cfg.Hierarchical || own == from {
+		return own
+	}
+	diff := from ^ own
+	return from ^ (diff & -diff)
+}
+
+// log2 returns ceil(log2(n)) for n >= 1.
+func log2(n int) int {
+	lg := 0
+	for v := 1; v < n; v <<= 1 {
+		lg++
+	}
+	return lg
+}
+
+// done reports quiescence of the current phase.
+func (s *System) done() bool {
+	if s.xbar.Busy() {
+		return false
+	}
+	for _, n := range s.nodes {
+		if n.issued < len(n.trace) || !n.inbox.Empty() || !n.outbox.Empty() {
+			return false
+		}
+		for _, u := range n.sas {
+			if u.Busy() {
+				return false
+			}
+		}
+		for _, cb := range n.comb {
+			if cb.Busy() || cb.Flushing() {
+				return false
+			}
+		}
+		if n.dram.Busy() {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadResult returns the final value at each address in addrs, flushing all
+// node caches functionally first. Use it to verify a replay against a
+// sequential reference.
+func (s *System) ReadResult(addrs []mem.Addr) []mem.Word {
+	for _, n := range s.nodes {
+		for _, b := range n.banks {
+			b.FlushFunctional()
+		}
+	}
+	out := make([]mem.Word, len(addrs))
+	for i, a := range addrs {
+		out[i] = s.nodes[s.owner(a)].dram.Store().Load(a)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+// Package network models the multi-node interconnect of §4.5: "an
+// input-queued crossbar with back-pressure", with a configurable per-node
+// bandwidth limit (the paper's low configuration is 1 word/cycle per node,
+// the high configuration 8 words/cycle).
+//
+// Payloads are generic; the multi-node system sends scatter-add requests
+// and acknowledgments. A packet occupies one word-slot of its input port's
+// bandwidth per cycle of transfer.
+package network
+
+import (
+	"fmt"
+
+	"scatteradd/internal/sim"
+)
+
+// Packet is one message in flight.
+type Packet[T any] struct {
+	Src, Dst int
+	Payload  T
+}
+
+// Config describes the crossbar.
+type Config struct {
+	Nodes        int
+	WordsPerCyc  int // per-port bandwidth in packets per cycle
+	InputQDepth  int // per-input queue entries
+	OutputQDepth int // per-output queue entries
+	Latency      int // router + wire latency in cycles
+}
+
+// DefaultConfig returns an 8-node crossbar at the paper's low bandwidth.
+func DefaultConfig(nodes int) Config {
+	return Config{Nodes: nodes, WordsPerCyc: 1, InputQDepth: 16, OutputQDepth: 16, Latency: 8}
+}
+
+// Stats aggregates crossbar activity.
+type Stats struct {
+	Sent      uint64 // packets accepted at input ports
+	Delivered uint64 // packets popped from output ports
+	Stalled   uint64 // cycles an input head packet could not traverse
+}
+
+// Crossbar is the input-queued switch.
+type Crossbar[T any] struct {
+	cfg     Config
+	inputs  []*sim.Queue[Packet[T]]
+	wires   []*sim.Delay[Packet[T]] // per-output in-flight packets
+	outputs []*sim.Queue[Packet[T]]
+	arb     []*sim.RoundRobin // per-output arbiter over inputs
+	stats   Stats
+}
+
+// New returns a crossbar with the given configuration.
+func New[T any](cfg Config) *Crossbar[T] {
+	if cfg.Nodes < 1 || cfg.WordsPerCyc < 1 || cfg.InputQDepth < 1 || cfg.OutputQDepth < 1 {
+		panic(fmt.Sprintf("network: invalid config %+v", cfg))
+	}
+	x := &Crossbar[T]{cfg: cfg}
+	for i := 0; i < cfg.Nodes; i++ {
+		x.inputs = append(x.inputs, sim.NewQueue[Packet[T]](cfg.InputQDepth))
+		x.wires = append(x.wires, sim.NewDelay[Packet[T]](cfg.Latency, cfg.Nodes*cfg.WordsPerCyc*(cfg.Latency+1)+1))
+		x.outputs = append(x.outputs, sim.NewQueue[Packet[T]](cfg.OutputQDepth))
+		x.arb = append(x.arb, sim.NewRoundRobin(cfg.Nodes))
+	}
+	return x
+}
+
+// Stats returns a copy of the counters.
+func (x *Crossbar[T]) Stats() Stats { return x.stats }
+
+// CanSend reports whether node src can inject a packet this cycle.
+func (x *Crossbar[T]) CanSend(src int) bool { return !x.inputs[src].Full() }
+
+// Send injects a packet at its source port. It reports false when the
+// input queue is full (back-pressure).
+func (x *Crossbar[T]) Send(p Packet[T]) bool {
+	if p.Src < 0 || p.Src >= x.cfg.Nodes || p.Dst < 0 || p.Dst >= x.cfg.Nodes {
+		panic(fmt.Sprintf("network: packet %d->%d outside %d nodes", p.Src, p.Dst, x.cfg.Nodes))
+	}
+	if !x.inputs[p.Src].Push(p) {
+		return false
+	}
+	x.stats.Sent++
+	return true
+}
+
+// Recv pops one delivered packet at node dst, if available.
+func (x *Crossbar[T]) Recv(dst int) (Packet[T], bool) {
+	p, ok := x.outputs[dst].Pop()
+	return p, ok
+}
+
+// Tick moves packets: each input may forward up to WordsPerCyc head packets
+// whose output has room; each output claims arriving packets. Per-input
+// bandwidth enforces the paper's low/high network configurations.
+func (x *Crossbar[T]) Tick(now uint64) {
+	// Deliver packets that finished crossing to output queues.
+	for o := 0; o < x.cfg.Nodes; o++ {
+		budget := x.cfg.WordsPerCyc // output port bandwidth
+		for budget > 0 && !x.outputs[o].Full() {
+			p, ok := x.wires[o].Pop(now)
+			if !ok {
+				break
+			}
+			x.outputs[o].MustPush(p)
+			x.stats.Delivered++
+			budget--
+		}
+	}
+	// Input side: each input forwards up to WordsPerCyc head packets; each
+	// output accepts at most WordsPerCyc new packets per cycle, arbitrated
+	// round-robin over inputs.
+	granted := make([]int, x.cfg.Nodes) // per-output grants this cycle
+	sentFrom := make([]int, x.cfg.Nodes)
+	for o := 0; o < x.cfg.Nodes; o++ {
+		for granted[o] < x.cfg.WordsPerCyc {
+			in := x.arb[o].Pick(func(i int) bool {
+				p, ok := x.inputs[i].Peek()
+				return ok && p.Dst == o && sentFrom[i] < x.cfg.WordsPerCyc && !x.wires[o].Full()
+			})
+			if in < 0 {
+				break
+			}
+			p, _ := x.inputs[in].Pop()
+			x.wires[o].Push(now, p)
+			granted[o]++
+			sentFrom[in]++
+		}
+	}
+	for i := 0; i < x.cfg.Nodes; i++ {
+		if !x.inputs[i].Empty() && sentFrom[i] == 0 {
+			x.stats.Stalled++
+		}
+	}
+}
+
+// Busy reports whether any packet is queued or in flight.
+func (x *Crossbar[T]) Busy() bool {
+	for i := 0; i < x.cfg.Nodes; i++ {
+		if !x.inputs[i].Empty() || x.wires[i].Len() > 0 || !x.outputs[i].Empty() {
+			return true
+		}
+	}
+	return false
+}

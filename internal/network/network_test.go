@@ -1,0 +1,235 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func pump[T any](x *Crossbar[T], now *uint64, cycles int, recv func(dst int, p Packet[T])) {
+	for c := 0; c < cycles; c++ {
+		x.Tick(*now)
+		for d := 0; d < x.cfg.Nodes; d++ {
+			for {
+				p, ok := x.Recv(d)
+				if !ok {
+					break
+				}
+				if recv != nil {
+					recv(d, p)
+				}
+			}
+		}
+		*now++
+	}
+}
+
+func TestDelivery(t *testing.T) {
+	x := New[int](DefaultConfig(4))
+	if !x.Send(Packet[int]{Src: 0, Dst: 3, Payload: 42}) {
+		t.Fatal("send failed")
+	}
+	var got []Packet[int]
+	now := uint64(0)
+	pump(x, &now, 50, func(d int, p Packet[int]) {
+		if d != 3 {
+			t.Fatalf("delivered to node %d", d)
+		}
+		got = append(got, p)
+	})
+	if len(got) != 1 || got[0].Payload != 42 {
+		t.Fatalf("got %+v", got)
+	}
+	if x.Busy() {
+		t.Fatal("crossbar should be idle")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Latency = 10
+	x := New[int](cfg)
+	x.Send(Packet[int]{Src: 0, Dst: 1, Payload: 1})
+	now := uint64(0)
+	arrived := int64(-1)
+	for c := 0; c < 40 && arrived < 0; c++ {
+		x.Tick(now)
+		if _, ok := x.Recv(1); ok {
+			arrived = int64(now)
+		}
+		now++
+	}
+	if arrived < 10 {
+		t.Fatalf("packet arrived at cycle %d, before latency 10", arrived)
+	}
+}
+
+func TestBandwidthLimitLow(t *testing.T) {
+	// At 1 word/cycle per port, 100 packets from one node take >=100 cycles.
+	cfg := DefaultConfig(2)
+	cfg.InputQDepth = 128
+	cfg.OutputQDepth = 128
+	x := New[int](cfg)
+	for i := 0; i < 100; i++ {
+		if !x.Send(Packet[int]{Src: 0, Dst: 1, Payload: i}) {
+			t.Fatalf("send %d failed", i)
+		}
+	}
+	now := uint64(0)
+	count := 0
+	for c := 0; c < 300 && count < 100; c++ {
+		x.Tick(now)
+		for {
+			if _, ok := x.Recv(1); !ok {
+				break
+			}
+			count++
+		}
+		now++
+	}
+	if count != 100 {
+		t.Fatalf("delivered %d", count)
+	}
+	if now < 100 {
+		t.Fatalf("100 packets in %d cycles exceeds 1/cycle bandwidth", now)
+	}
+}
+
+func TestHighBandwidthFaster(t *testing.T) {
+	run := func(words int) uint64 {
+		cfg := DefaultConfig(2)
+		cfg.WordsPerCyc = words
+		cfg.InputQDepth = 256
+		cfg.OutputQDepth = 256
+		x := New[int](cfg)
+		for i := 0; i < 200; i++ {
+			x.Send(Packet[int]{Src: 0, Dst: 1, Payload: i})
+		}
+		now := uint64(0)
+		count := 0
+		for count < 200 {
+			x.Tick(now)
+			for {
+				if _, ok := x.Recv(1); !ok {
+					break
+				}
+				count++
+			}
+			now++
+			if now > 10000 {
+				t.Fatal("timeout")
+			}
+		}
+		return now
+	}
+	low, high := run(1), run(8)
+	if high*4 > low {
+		t.Fatalf("8 words/cyc (%d cycles) not ~8x faster than 1 (%d)", high, low)
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.InputQDepth = 2
+	x := New[int](cfg)
+	if !x.Send(Packet[int]{Src: 0, Dst: 1}) || !x.Send(Packet[int]{Src: 0, Dst: 1}) {
+		t.Fatal("sends failed")
+	}
+	if x.CanSend(0) || x.Send(Packet[int]{Src: 0, Dst: 1}) {
+		t.Fatal("send succeeded on full input queue")
+	}
+	if !x.CanSend(1) {
+		t.Fatal("other port should accept")
+	}
+}
+
+func TestFairnessAcrossInputs(t *testing.T) {
+	// Two inputs competing for one output should share bandwidth roughly
+	// equally under round-robin arbitration.
+	cfg := DefaultConfig(3)
+	cfg.InputQDepth = 64
+	cfg.OutputQDepth = 4
+	x := New[int](cfg)
+	for i := 0; i < 50; i++ {
+		x.Send(Packet[int]{Src: 0, Dst: 2, Payload: 0})
+		x.Send(Packet[int]{Src: 1, Dst: 2, Payload: 1})
+	}
+	now := uint64(0)
+	first40 := []int{}
+	for len(first40) < 40 {
+		x.Tick(now)
+		for {
+			p, ok := x.Recv(2)
+			if !ok {
+				break
+			}
+			if len(first40) < 40 {
+				first40 = append(first40, p.Payload)
+			}
+		}
+		now++
+		if now > 5000 {
+			t.Fatal("timeout")
+		}
+	}
+	from0 := 0
+	for _, s := range first40 {
+		if s == 0 {
+			from0++
+		}
+	}
+	if from0 < 15 || from0 > 25 {
+		t.Fatalf("unfair arbitration: %d/40 from input 0", from0)
+	}
+}
+
+func TestInvalidDestPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	x := New[int](DefaultConfig(2))
+	x.Send(Packet[int]{Src: 0, Dst: 5})
+}
+
+// Property: every sent packet is delivered exactly once to its destination,
+// for arbitrary traffic patterns.
+func TestExactlyOnceDeliveryProperty(t *testing.T) {
+	f := func(flows []struct{ S, D, P uint8 }) bool {
+		const nodes = 4
+		cfg := DefaultConfig(nodes)
+		cfg.InputQDepth = 8
+		x := New[uint8](cfg)
+		sent := map[[3]uint8]int{}
+		now := uint64(0)
+		recvd := map[[3]uint8]int{}
+		collect := func(d int, p Packet[uint8]) {
+			recvd[[3]uint8{uint8(p.Src), uint8(d), p.Payload}]++
+		}
+		for _, fl := range flows {
+			p := Packet[uint8]{Src: int(fl.S % nodes), Dst: int(fl.D % nodes), Payload: fl.P}
+			for !x.Send(p) {
+				pump(x, &now, 1, collect)
+			}
+			sent[[3]uint8{uint8(p.Src), uint8(p.Dst), p.Payload}]++
+		}
+		for i := 0; i < 10000 && x.Busy(); i++ {
+			pump(x, &now, 1, collect)
+		}
+		if x.Busy() {
+			return false
+		}
+		if len(sent) != len(recvd) {
+			return false
+		}
+		for k, c := range sent {
+			if recvd[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package plot renders small ASCII line charts for the experiment CLI, so
+// the regenerated figures can be eyeballed against the paper's curves
+// directly in a terminal (the paper's Figures 6, 7, and 13 are log- or
+// linear-scale line plots).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Options control the rendering.
+type Options struct {
+	Width, Height int // plot area in character cells (defaults 64x20)
+	LogX, LogY    bool
+	Title         string
+	XLabel        string
+	YLabel        string
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'}
+
+// Render draws the series into a text grid with axes and a legend.
+func Render(series []Series, o Options) string {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 20
+	}
+	tx := transform(o.LogX)
+	ty := transform(o.LogY)
+
+	// Bounds over all finite transformed points.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsInf(x, 0) || math.IsNaN(x) || math.IsInf(y, 0) || math.IsNaN(y) {
+				continue
+			}
+			points++
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if points == 0 {
+		return "(no plottable points)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, o.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", o.Width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsInf(x, 0) || math.IsNaN(x) || math.IsInf(y, 0) || math.IsNaN(y) {
+				continue
+			}
+			c := int((x - minX) / (maxX - minX) * float64(o.Width-1))
+			r := o.Height - 1 - int((y-minY)/(maxY-minY)*float64(o.Height-1))
+			grid[r][c] = mark
+		}
+	}
+
+	var b strings.Builder
+	if o.Title != "" {
+		fmt.Fprintf(&b, "%s\n", o.Title)
+	}
+	yHi, yLo := untransform(o.LogY, maxY), untransform(o.LogY, minY)
+	for r := 0; r < o.Height; r++ {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%8.3g", yHi)
+		} else if r == o.Height-1 {
+			label = fmt.Sprintf("%8.3g", yLo)
+		} else if r == o.Height/2 {
+			label = fmt.Sprintf("%8s", o.YLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", o.Width))
+	xLo, xHi := untransform(o.LogX, minX), untransform(o.LogX, maxX)
+	lo := fmt.Sprintf("%.3g", xLo)
+	hi := fmt.Sprintf("%.3g", xHi)
+	pad := o.Width - len(lo) - len(hi) - len(o.XLabel)
+	if pad < 2 {
+		pad = 2
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s%s%s\n", strings.Repeat(" ", 8), lo,
+		strings.Repeat(" ", pad/2), o.XLabel, strings.Repeat(" ", pad-pad/2), hi)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}
+
+// transform returns the axis mapping (identity or log10; non-positive
+// values map to -Inf and are skipped).
+func transform(log bool) func(float64) float64 {
+	if !log {
+		return func(v float64) float64 { return v }
+	}
+	return func(v float64) float64 {
+		if v <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Log10(v)
+	}
+}
+
+// untransform inverts transform for labeling.
+func untransform(log bool, v float64) float64 {
+	if !log {
+		return v
+	}
+	return math.Pow(10, v)
+}

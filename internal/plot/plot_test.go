@@ -1,0 +1,90 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	s := []Series{
+		{Label: "up", X: []float64{1, 2, 3, 4}, Y: []float64{1, 2, 3, 4}},
+		{Label: "down", X: []float64{1, 2, 3, 4}, Y: []float64{4, 3, 2, 1}},
+	}
+	out := Render(s, Options{Width: 20, Height: 10, Title: "T", XLabel: "x", YLabel: "y"})
+	for _, want := range []string{"T\n", "* up", "o down", "+--------------------", "x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// title + 10 rows + axis + xlabels + 2 legend + trailing
+	if len(lines) < 14 {
+		t.Fatalf("only %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestCornerPlacement(t *testing.T) {
+	s := []Series{{Label: "d", X: []float64{0, 10}, Y: []float64{0, 10}}}
+	out := Render(s, Options{Width: 11, Height: 11})
+	lines := strings.Split(out, "\n")
+	// First plot row holds the max-Y point at the right edge.
+	if !strings.HasSuffix(lines[0], "*") {
+		t.Fatalf("top-right marker missing: %q", lines[0])
+	}
+	// Last plot row (row 10) holds min at left edge (just after "|").
+	bottom := lines[10]
+	if !strings.Contains(bottom, "|*") {
+		t.Fatalf("bottom-left marker missing: %q", bottom)
+	}
+}
+
+func TestLogScales(t *testing.T) {
+	s := []Series{{Label: "l", X: []float64{1, 10, 100}, Y: []float64{1, 10, 100}}}
+	out := Render(s, Options{Width: 21, Height: 7, LogX: true, LogY: true})
+	// On log-log axes the three decade points are evenly spaced: middle
+	// point lands in the middle column of the middle row.
+	lines := strings.Split(out, "\n")
+	mid := lines[3]
+	idx := strings.IndexByte(mid, '*')
+	if idx < 0 {
+		t.Fatalf("middle point missing: %q\n%s", mid, out)
+	}
+	col := idx - len("         |") + 1
+	if col < 9 || col > 12 {
+		t.Fatalf("middle point at col %d, want ~10\n%s", col, out)
+	}
+	// Axis labels back-transformed to data units.
+	if !strings.Contains(out, "100") {
+		t.Fatalf("missing decade label:\n%s", out)
+	}
+}
+
+func TestLogSkipsNonPositive(t *testing.T) {
+	s := []Series{{Label: "l", X: []float64{0, 1, 10}, Y: []float64{-5, 1, 10}}}
+	out := Render(s, Options{LogX: true, LogY: true})
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("bad labels:\n%s", out)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if out := Render(nil, Options{}); !strings.Contains(out, "no plottable points") {
+		t.Fatalf("empty: %q", out)
+	}
+	// A single point must not divide by zero.
+	out := Render([]Series{{Label: "p", X: []float64{5}, Y: []float64{5}}}, Options{Width: 10, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point missing:\n%s", out)
+	}
+}
+
+func TestManySeriesMarkersCycle(t *testing.T) {
+	var series []Series
+	for i := 0; i < 12; i++ {
+		series = append(series, Series{Label: "s", X: []float64{float64(i)}, Y: []float64{float64(i)}})
+	}
+	out := Render(series, Options{})
+	if !strings.Contains(out, "%") || !strings.Contains(out, "~") {
+		t.Fatalf("marker cycling broken:\n%s", out)
+	}
+}

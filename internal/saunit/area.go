@@ -1,0 +1,33 @@
+package saunit
+
+// Area model from the paper (§3.2): in 90 nm standard-cell technology a
+// 64-bit floating-point functional unit occupies about 0.3 mm²; a complete
+// scatter-add unit — controller, multiplexing, combining store, and the
+// functional unit pipelined at four 1 ns cycles — occupies about 0.2 mm²
+// (the paper's figure is for the unit as estimated from the Imagine ALU
+// implementation). Eight units fit in under 2% of a 10 mm × 10 mm die.
+const (
+	// FPUAreaMM2 is the area of a standalone 64-bit FPU in 90 nm.
+	FPUAreaMM2 = 0.3
+	// UnitAreaMM2 is the area of one scatter-add unit (controller +
+	// combining store + FU) in 90 nm, per the paper's estimate.
+	UnitAreaMM2 = 0.2
+	// RefDieMM2 is the reference die used for overhead fractions.
+	RefDieMM2 = 10.0 * 10.0
+	// csEntryAreaMM2 approximates the incremental area of one combining
+	// store entry beyond the baseline 8 (CAM cell + 64-bit operand + tag).
+	csEntryAreaMM2 = 0.004
+)
+
+// AreaEstimate returns the total area in mm² of units scatter-add units with
+// entries combining-store entries each, and the fraction of a 10 mm × 10 mm
+// die that represents. With the Table 1 configuration (8 units, 8 entries)
+// the fraction is just under 2%, matching the paper's claim.
+func AreaEstimate(units, entries int) (mm2, dieFraction float64) {
+	per := UnitAreaMM2
+	if entries > 8 {
+		per += float64(entries-8) * csEntryAreaMM2
+	}
+	mm2 = float64(units) * per
+	return mm2, mm2 / RefDieMM2
+}

@@ -1,0 +1,26 @@
+package saunit
+
+import "testing"
+
+func TestAreaEstimateMatchesPaper(t *testing.T) {
+	mm2, frac := AreaEstimate(8, 8)
+	if mm2 != 8*UnitAreaMM2 {
+		t.Fatalf("area = %g mm²", mm2)
+	}
+	// Paper: 8 units require only 2% of a 10mm x 10mm die.
+	if frac <= 0 || frac > 0.02 {
+		t.Fatalf("die fraction = %g, want <= 2%%", frac)
+	}
+}
+
+func TestAreaGrowsWithEntries(t *testing.T) {
+	small, _ := AreaEstimate(8, 8)
+	big, _ := AreaEstimate(8, 64)
+	if big <= small {
+		t.Fatalf("64-entry store (%g) not larger than 8-entry (%g)", big, small)
+	}
+	same, _ := AreaEstimate(8, 2)
+	if same != small {
+		t.Fatalf("entries below baseline should not shrink the estimate")
+	}
+}

@@ -1,0 +1,425 @@
+// Package saunit implements the paper's core contribution: the hardware
+// scatter-add unit (§3.2, Figures 4 and 5). One unit sits in front of each
+// stream-cache bank (or directly in front of the memory interface in the
+// cache-less sensitivity configuration) and turns atomic read-modify-write
+// requests into plain reads and writes while guaranteeing atomicity through
+// its combining store.
+//
+// The combining store is a small CAM-indexed buffer. Every scatter-add
+// request occupies one entry; if no entry is free the unit stalls its input
+// (paper: "if no such entry exists, the scatter-add operation stalls until
+// an entry is freed"). The first request to an address issues a read of the
+// current memory value; subsequent requests to the same address merely
+// buffer their operand and issue no memory traffic — this is the combining
+// that reduces memory traffic for narrow index ranges (Figure 12). When the
+// memory value returns, a chain of dependent additions through the
+// pipelined functional unit consumes the buffered operands one by one; when
+// the chain finds no more matching operands, the sum is written back.
+//
+// Ordinary reads and writes bypass the unit (Figure 4a, path 2-3).
+package saunit
+
+import (
+	"fmt"
+
+	"scatteradd/internal/mem"
+	"scatteradd/internal/port"
+	"scatteradd/internal/sim"
+)
+
+// saIDTag marks downstream request IDs that belong to the unit itself (reads
+// of current memory values and write-backs of computed sums) rather than to
+// bypassed upstream traffic.
+const saIDTag = uint64(1) << 63
+
+// Config holds the unit's microarchitectural parameters.
+type Config struct {
+	Entries      int  // combining store entries (Table 1: 8)
+	FULatency    int  // add latency in cycles (Table 1: 4)
+	FUIssueWidth int  // FU operations issued per cycle (1 = single pipelined FU)
+	InQDepth     int  // input queue entries
+	WBQDepth     int  // write-back queue entries
+	PortWidth    int  // input requests consumed per cycle (1 = bank port rate)
+	EagerCombine bool // ablation: pre-combine buffered operand pairs while
+	// the memory value is still outstanding (not in the paper)
+
+	// OrderedChains makes each chain consume buffered operands in arrival
+	// order instead of combining-store scan order. With Fetch* kinds this
+	// turns the unit into the scan (parallel-prefix) engine the paper
+	// proposes as future work (§5): n ordered fetch-adds to one address
+	// return the exact exclusive prefix sums of their operands. It is
+	// incompatible with EagerCombine, which reassociates operands.
+	OrderedChains bool
+}
+
+// DefaultConfig matches Table 1: 8 combining-store entries, 4-cycle FU, one
+// request per cycle (the rate of the cache-bank port behind the unit).
+func DefaultConfig() Config {
+	return Config{Entries: 8, FULatency: 4, FUIssueWidth: 1, InQDepth: 8, WBQDepth: 8, PortWidth: 1}
+}
+
+// Stats aggregates unit activity.
+type Stats struct {
+	SARequests uint64 // scatter-add requests accepted
+	Bypassed   uint64 // ordinary requests passed through
+	MemReads   uint64 // current-value reads issued downstream
+	MemWrites  uint64 // sum write-backs issued downstream
+	FUOps      uint64 // additions performed (each is one FP/int op)
+	FUOpsFP    uint64 // the subset of FUOps on floating-point kinds
+	Combined   uint64 // requests satisfied without their own memory read
+	StallFull  uint64 // cycles the head request stalled on a full store
+	EagerOps   uint64 // pre-combines performed in EagerCombine mode
+}
+
+// entry is one combining-store slot, holding a single buffered request.
+type entry struct {
+	valid   bool
+	addr    mem.Addr
+	kind    mem.Kind
+	val     mem.Word // operand carried by the request
+	reader  bool     // this entry must issue the current-value memory read
+	sent    bool     // the memory read was accepted downstream
+	inFU    bool     // operand currently being consumed by the FU
+	fetchID uint64   // upstream ID+1 to answer for Fetch* kinds (0 = none)
+	node    int      // issuing node, echoed in fetch responses
+	seq     uint64   // arrival order, for OrderedChains
+}
+
+// chain is the running value for one address: a returned memory value or a
+// partially accumulated sum looking for more operands to consume.
+type chain struct {
+	addr mem.Addr
+	kind mem.Kind
+	val  mem.Word
+}
+
+// fuOp is an addition in flight through the functional unit.
+type fuOp struct {
+	entryIdx int      // combining-store entry being consumed
+	ch       chain    // accumulated value before this add
+	result   mem.Word // value after this add
+}
+
+// Unit is one scatter-add unit.
+type Unit struct {
+	cfg     Config
+	down    port.Word
+	inQ     *sim.Queue[mem.Request]
+	upQ     *sim.Queue[mem.Response] // responses to deliver upstream
+	wbQ     *sim.Queue[mem.Request]  // sum write-backs awaiting downstream
+	cs      []entry
+	ready   []chain // values ready to combine or write back
+	fu      *sim.Delay[fuOp]
+	active  map[mem.Addr]bool // addresses with a live chain (ready, FU, or wbQ)
+	nextSeq uint64
+	stats   Stats
+}
+
+// New returns a unit in front of downstream memory down.
+func New(cfg Config, down port.Word) *Unit {
+	if cfg.Entries < 1 || cfg.FULatency < 1 || cfg.FUIssueWidth < 1 {
+		panic(fmt.Sprintf("saunit: invalid config %+v", cfg))
+	}
+	if cfg.InQDepth < 1 || cfg.WBQDepth < 1 || cfg.PortWidth < 1 {
+		panic(fmt.Sprintf("saunit: invalid queue depths %+v", cfg))
+	}
+	if cfg.OrderedChains && cfg.EagerCombine {
+		panic("saunit: OrderedChains is incompatible with EagerCombine")
+	}
+	return &Unit{
+		cfg:    cfg,
+		down:   down,
+		inQ:    sim.NewQueue[mem.Request](cfg.InQDepth),
+		upQ:    sim.NewQueue[mem.Response](cfg.InQDepth + cfg.Entries),
+		wbQ:    sim.NewQueue[mem.Request](cfg.WBQDepth),
+		cs:     make([]entry, cfg.Entries),
+		fu:     sim.NewDelay[fuOp](cfg.FULatency, cfg.FULatency*cfg.FUIssueWidth+1),
+		active: make(map[mem.Addr]bool),
+	}
+}
+
+// Stats returns a copy of the activity counters.
+func (u *Unit) Stats() Stats { return u.stats }
+
+// Config returns the unit's configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+// CanAccept reports whether the input queue has room.
+func (u *Unit) CanAccept(now uint64) bool { return !u.inQ.Full() }
+
+// Accept submits a request (scatter-add or bypass).
+func (u *Unit) Accept(now uint64, r mem.Request) bool {
+	if r.ID&saIDTag != 0 {
+		panic("saunit: upstream request ID collides with internal tag")
+	}
+	return u.inQ.Push(r)
+}
+
+// PopResponse returns one upstream response: a bypassed read completion or a
+// Fetch* pre-update value.
+func (u *Unit) PopResponse(now uint64) (mem.Response, bool) { return u.upQ.Pop() }
+
+// Busy reports whether the unit or its downstream holds unfinished work.
+func (u *Unit) Busy() bool {
+	if !u.inQ.Empty() || !u.upQ.Empty() || !u.wbQ.Empty() || u.fu.Len() > 0 || len(u.ready) > 0 {
+		return true
+	}
+	for i := range u.cs {
+		if u.cs[i].valid {
+			return true
+		}
+	}
+	return u.down.Busy()
+}
+
+// csFind returns the index of a valid entry matching addr for which pred
+// holds, or -1. This is the CAM search of Figure 4b.
+func (u *Unit) csFind(addr mem.Addr, pred func(*entry) bool) int {
+	for i := range u.cs {
+		e := &u.cs[i]
+		if e.valid && e.addr == addr && pred(e) {
+			return i
+		}
+	}
+	return -1
+}
+
+// csFree returns a free entry index or -1.
+func (u *Unit) csFree() int {
+	for i := range u.cs {
+		if !u.cs[i].valid {
+			return i
+		}
+	}
+	return -1
+}
+
+// Tick advances the unit one cycle. Write-backs drain before reads issue so
+// that a read for an address never overtakes the write-back of its previous
+// sum in the downstream FIFO.
+func (u *Unit) Tick(now uint64) {
+	u.drainDownstream(now)
+	u.completeFU(now)
+	u.issueFU(now)
+	u.drainWriteBacks(now)
+	u.issueReads(now)
+	u.acceptInput(now)
+	if u.cfg.EagerCombine {
+		u.eagerCombine()
+	}
+}
+
+// drainDownstream pops downstream responses: internal current-value reads
+// become ready chains; everything else is forwarded upstream.
+func (u *Unit) drainDownstream(now uint64) {
+	for !u.upQ.Full() {
+		resp, ok := u.down.PopResponse(now)
+		if !ok {
+			return
+		}
+		if resp.ID&saIDTag == 0 {
+			u.upQ.MustPush(resp)
+			continue
+		}
+		// Current value returned from memory (Figure 4b step c): find the
+		// reader entry to learn the combine kind, then start a chain.
+		i := u.csFind(resp.Addr, func(e *entry) bool { return e.reader })
+		if i < 0 {
+			panic(fmt.Sprintf("saunit: memory value for addr %d with no reader entry", resp.Addr))
+		}
+		u.cs[i].reader = false // now a plain buffered operand for the chain
+		u.active[resp.Addr] = true
+		u.ready = append(u.ready, chain{addr: resp.Addr, kind: u.cs[i].kind, val: resp.Val})
+	}
+}
+
+// completeFU retires finished additions: the consumed entry is freed, any
+// fetch response is delivered, and the new sum re-enters the ready list.
+func (u *Unit) completeFU(now uint64) {
+	for {
+		op, ok := u.fu.Pop(now)
+		if !ok {
+			return
+		}
+		e := &u.cs[op.entryIdx]
+		if e.fetchID != 0 {
+			// Fetch&Op extension (§3.3): return the pre-update value.
+			u.upQ.MustPush(mem.Response{
+				ID: e.fetchID - 1, Kind: e.kind, Addr: e.addr, Val: op.ch.val, Node: e.node,
+			})
+		}
+		*e = entry{}
+		u.ready = append(u.ready, chain{addr: op.ch.addr, kind: op.ch.kind, val: op.result})
+	}
+}
+
+// issueFU walks the ready chains: each either finds a buffered operand to
+// consume (one FU issue, Figure 4b step d) or, with no operand left, becomes
+// a write-back (step 7).
+func (u *Unit) issueFU(now uint64) {
+	issued := 0
+	var still []chain
+	for k := range u.ready {
+		ch := u.ready[k]
+		if issued >= u.cfg.FUIssueWidth || u.fu.Full() {
+			still = append(still, u.ready[k:]...)
+			break
+		}
+		i := u.nextOperand(ch.addr)
+		if i < 0 {
+			// Chain drained: write the sum back to memory.
+			if u.wbQ.Push(mem.Request{ID: saIDTag, Kind: mem.Write, Addr: ch.addr, Val: ch.val}) {
+				u.stats.MemWrites++
+				delete(u.active, ch.addr)
+			} else {
+				still = append(still, ch)
+			}
+			continue
+		}
+		e := &u.cs[i]
+		e.inFU = true
+		u.fu.Push(now, fuOp{
+			entryIdx: i,
+			ch:       ch,
+			result:   mem.Combine(e.kind, ch.val, e.val),
+		})
+		u.stats.FUOps++
+		if e.kind.IsFP() {
+			u.stats.FUOpsFP++
+		}
+		issued++
+	}
+	u.ready = still
+}
+
+// nextOperand selects the combining-store entry a chain consumes next: the
+// first match in scan order, or — with OrderedChains — the oldest arrival,
+// which preserves program order for scan (parallel prefix) semantics.
+func (u *Unit) nextOperand(addr mem.Addr) int {
+	consumable := func(e *entry) bool { return !e.inFU && !e.reader }
+	if !u.cfg.OrderedChains {
+		return u.csFind(addr, consumable)
+	}
+	best, bestSeq := -1, ^uint64(0)
+	for i := range u.cs {
+		e := &u.cs[i]
+		if e.valid && e.addr == addr && consumable(e) && e.seq < bestSeq {
+			best, bestSeq = i, e.seq
+		}
+	}
+	return best
+}
+
+// wbQHolds reports whether a write-back for addr is still queued (not yet
+// accepted downstream).
+func (u *Unit) wbQHolds(addr mem.Addr) bool {
+	for i := 0; i < u.wbQ.Len(); i++ {
+		if u.wbQ.At(i).Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// issueReads sends current-value reads for reader entries that have not yet
+// reached memory. A read is held while a write-back to the same address is
+// still queued, preserving read-after-write order downstream.
+func (u *Unit) issueReads(now uint64) {
+	for i := range u.cs {
+		e := &u.cs[i]
+		if e.valid && e.reader && !e.sent {
+			if u.wbQHolds(e.addr) {
+				continue
+			}
+			if !u.down.CanAccept(now) {
+				return
+			}
+			if !u.down.Accept(now, mem.Request{ID: saIDTag | uint64(i), Kind: mem.Read, Addr: e.addr}) {
+				return
+			}
+			e.sent = true
+			u.stats.MemReads++
+		}
+	}
+}
+
+// acceptInput processes head-of-queue requests: bypass ordinary traffic,
+// allocate combining-store entries for scatter-adds (Figure 4b step a).
+func (u *Unit) acceptInput(now uint64) {
+	for taken := 0; taken < u.cfg.PortWidth; taken++ {
+		r, ok := u.inQ.Peek()
+		if !ok {
+			return
+		}
+		if !r.Kind.IsScatterAdd() {
+			if !u.down.CanAccept(now) || !u.down.Accept(now, r) {
+				return
+			}
+			u.stats.Bypassed++
+			u.inQ.Pop()
+			continue
+		}
+		i := u.csFree()
+		if i < 0 {
+			u.stats.StallFull++
+			return
+		}
+		// CAM: is this address already covered by a buffered entry or a
+		// live chain? If so this request only buffers its operand.
+		exists := u.active[r.Addr] || u.csFind(r.Addr, func(*entry) bool { return true }) >= 0
+		e := &u.cs[i]
+		u.nextSeq++
+		*e = entry{valid: true, addr: r.Addr, kind: r.Kind, val: r.Val, node: r.Node, seq: u.nextSeq}
+		if r.Kind.IsFetch() {
+			e.fetchID = r.ID + 1
+		}
+		if exists {
+			u.stats.Combined++
+		} else {
+			e.reader = true
+		}
+		u.stats.SARequests++
+		u.inQ.Pop()
+	}
+}
+
+// drainWriteBacks pushes computed sums to memory.
+func (u *Unit) drainWriteBacks(now uint64) {
+	for {
+		wb, ok := u.wbQ.Peek()
+		if !ok {
+			return
+		}
+		if !u.down.CanAccept(now) || !u.down.Accept(now, wb) {
+			return
+		}
+		u.wbQ.Pop()
+	}
+}
+
+// eagerCombine (ablation, not in the paper) merges one pair of buffered
+// operands for the same address while the memory value is still in flight.
+// It models an extra combining ALU cycle; fetch entries are excluded since
+// they need an observable serialization point.
+func (u *Unit) eagerCombine() {
+	for i := range u.cs {
+		a := &u.cs[i]
+		if !a.valid || a.inFU || a.reader || a.fetchID != 0 {
+			continue
+		}
+		for j := i + 1; j < len(u.cs); j++ {
+			b := &u.cs[j]
+			if !b.valid || b.inFU || b.reader || b.fetchID != 0 || b.addr != a.addr || b.kind != a.kind {
+				continue
+			}
+			a.val = mem.Combine(a.kind, a.val, b.val)
+			*b = entry{}
+			u.stats.EagerOps++
+			u.stats.FUOps++
+			if a.kind.IsFP() {
+				u.stats.FUOpsFP++
+			}
+			return
+		}
+	}
+}

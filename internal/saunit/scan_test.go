@@ -1,0 +1,125 @@
+package saunit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scatteradd/internal/mem"
+)
+
+func orderedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Entries = 16
+	cfg.OrderedChains = true
+	return cfg
+}
+
+func TestOrderedFetchAddIsExclusiveScan(t *testing.T) {
+	// n ordered fetch-adds to one address return exact exclusive prefix
+	// sums — the hardware scan of the paper's §5 future work.
+	r := newRig(orderedConfig(), 25, 1)
+	vals := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	var reqs []mem.Request
+	for i, v := range vals {
+		reqs = append(reqs, mem.Request{ID: uint64(i), Kind: mem.FetchAddI64, Addr: 0, Val: mem.I64(v)})
+	}
+	r.run(t, reqs)
+	// Exclusive prefix: response for request i is sum of vals[0..i-1].
+	prefix := make([]int64, len(vals))
+	sum := int64(0)
+	for i, v := range vals {
+		prefix[i] = sum
+		sum += v
+	}
+	if len(r.resps) != len(vals) {
+		t.Fatalf("got %d responses", len(r.resps))
+	}
+	for _, resp := range r.resps {
+		if got := mem.AsI64(resp.Val); got != prefix[resp.ID] {
+			t.Fatalf("request %d: prefix %d want %d", resp.ID, got, prefix[resp.ID])
+		}
+	}
+	if got := r.m.Store().LoadI64(0); got != sum {
+		t.Fatalf("total = %d want %d", got, sum)
+	}
+}
+
+func TestUnorderedFetchAddMayReorder(t *testing.T) {
+	// Sanity for the default mode: values are a permutation of the prefix
+	// multiset but not necessarily in program order; totals still exact.
+	cfg := DefaultConfig()
+	cfg.Entries = 16
+	r := newRig(cfg, 25, 1)
+	var reqs []mem.Request
+	for i := 0; i < 10; i++ {
+		reqs = append(reqs, mem.Request{ID: uint64(i), Kind: mem.FetchAddI64, Addr: 0, Val: mem.I64(1)})
+	}
+	r.run(t, reqs)
+	if got := r.m.Store().LoadI64(0); got != 10 {
+		t.Fatalf("total = %d", got)
+	}
+}
+
+// Property: ordered fetch-add returns exact exclusive prefixes for arbitrary
+// operand sequences, even across multiple drain/refill rounds of a tiny
+// combining store.
+func TestOrderedScanProperty(t *testing.T) {
+	f := func(raw []int8, entries uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cfg := orderedConfig()
+		cfg.Entries = int(entries%6) + 2
+		r := newRig(cfg, 10, 2)
+		var reqs []mem.Request
+		prefix := make([]int64, len(raw))
+		sum := int64(0)
+		for i, v := range raw {
+			prefix[i] = sum
+			sum += int64(v)
+			reqs = append(reqs, mem.Request{ID: uint64(i), Kind: mem.FetchAddI64, Addr: 7, Val: mem.I64(int64(v))})
+		}
+		r.run(t, reqs)
+		if len(r.resps) != len(raw) {
+			return false
+		}
+		for _, resp := range r.resps {
+			if mem.AsI64(resp.Val) != prefix[resp.ID] {
+				return false
+			}
+		}
+		return r.m.Store().LoadI64(7) == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderedChainsStillCombineCorrectly(t *testing.T) {
+	// Plain scatter-adds under OrderedChains: results identical to default.
+	cfg := orderedConfig()
+	r := newRig(cfg, 30, 1)
+	var reqs []mem.Request
+	for i := 0; i < 40; i++ {
+		reqs = append(reqs, mem.Request{ID: uint64(i), Kind: mem.AddI64, Addr: mem.Addr(i % 3), Val: mem.I64(int64(i))})
+	}
+	r.run(t, reqs)
+	want := []int64{273, 247, 260}
+	for a, w := range want {
+		if got := r.m.Store().LoadI64(mem.Addr(a)); got != w {
+			t.Fatalf("addr %d = %d want %d", a, got, w)
+		}
+	}
+}
+
+func TestOrderedEagerIncompatible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.OrderedChains = true
+	cfg.EagerCombine = true
+	newRig(cfg, 1, 1)
+}

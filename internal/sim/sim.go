@@ -1,0 +1,219 @@
+// Package sim provides the cycle-driven simulation primitives shared by all
+// hardware models in this repository: a clock/engine, bounded queues with
+// back-pressure, fixed-latency delay pipes, and a round-robin arbiter.
+//
+// The simulator is cycle driven rather than event driven: every hardware
+// component implements Ticker and is advanced once per cycle by an Engine.
+// Components communicate through bounded Queues; a full queue exerts
+// back-pressure by refusing Push, exactly like a full hardware FIFO.
+package sim
+
+import "fmt"
+
+// Ticker is a hardware component that advances by one clock cycle per call.
+type Ticker interface {
+	// Tick advances the component by one cycle. now is the cycle number
+	// about to be executed (starting at 0).
+	Tick(now uint64)
+}
+
+// TickFunc adapts a function to the Ticker interface.
+type TickFunc func(now uint64)
+
+// Tick calls f(now).
+func (f TickFunc) Tick(now uint64) { f(now) }
+
+// Engine owns the simulated clock and the set of components it drives.
+// Components are ticked in registration order, which callers should arrange
+// from consumer to producer so that a value pushed in cycle t is visible to
+// its consumer no earlier than cycle t+1 (standard reverse-pipeline order).
+type Engine struct {
+	now     uint64
+	tickers []Ticker
+}
+
+// NewEngine returns an Engine at cycle 0 with no components.
+func NewEngine() *Engine { return &Engine{} }
+
+// Add registers components to be ticked each cycle, in the given order.
+func (e *Engine) Add(ts ...Ticker) {
+	e.tickers = append(e.tickers, ts...)
+}
+
+// Now reports the number of cycles executed so far.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Step advances the simulation by one cycle.
+func (e *Engine) Step() {
+	for _, t := range e.tickers {
+		t.Tick(e.now)
+	}
+	e.now++
+}
+
+// RunUntil steps until done() reports true or limit cycles have elapsed. It
+// returns the cycle count at exit and whether done() was satisfied.
+func (e *Engine) RunUntil(done func() bool, limit uint64) (uint64, bool) {
+	for e.now < limit {
+		if done() {
+			return e.now, true
+		}
+		e.Step()
+	}
+	return e.now, done()
+}
+
+// Queue is a bounded FIFO with hardware-like flow control. The zero value is
+// not usable; construct with NewQueue.
+type Queue[T any] struct {
+	buf        []T
+	head, size int
+}
+
+// NewQueue returns an empty queue with the given capacity.
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: queue capacity must be positive, got %d", capacity))
+	}
+	return &Queue[T]{buf: make([]T, capacity)}
+}
+
+// Cap reports the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Len reports the number of buffered items.
+func (q *Queue[T]) Len() int { return q.size }
+
+// Empty reports whether the queue holds no items.
+func (q *Queue[T]) Empty() bool { return q.size == 0 }
+
+// Full reports whether a Push would fail.
+func (q *Queue[T]) Full() bool { return q.size == len(q.buf) }
+
+// Push appends v and reports whether there was room.
+func (q *Queue[T]) Push(v T) bool {
+	if q.Full() {
+		return false
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+	return true
+}
+
+// MustPush appends v and panics if the queue is full. Use it only where the
+// surrounding flow control guarantees space.
+func (q *Queue[T]) MustPush(v T) {
+	if !q.Push(v) {
+		panic("sim: MustPush on full queue")
+	}
+}
+
+// Peek returns the oldest item without removing it. ok is false when empty.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if q.size == 0 {
+		return v, false
+	}
+	return q.buf[q.head], true
+}
+
+// Pop removes and returns the oldest item. ok is false when empty.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	if q.size == 0 {
+		return v, false
+	}
+	v = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return v, true
+}
+
+// At returns the i-th oldest buffered item (0 == next to pop). It panics if
+// i is out of range; use it for CAM-style scans over in-flight entries.
+func (q *Queue[T]) At(i int) T {
+	if i < 0 || i >= q.size {
+		panic(fmt.Sprintf("sim: Queue.At(%d) with size %d", i, q.size))
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+// delayItem is an in-flight item in a Delay pipe.
+type delayItem[T any] struct {
+	v     T
+	ready uint64 // cycle at which the item may exit
+}
+
+// Delay models a fixed-latency, fully pipelined path (for example a wire or
+// an SRAM access): an item pushed in cycle t becomes poppable in cycle
+// t+latency. Throughput is limited only by the configured capacity.
+type Delay[T any] struct {
+	latency uint64
+	q       *Queue[delayItem[T]]
+}
+
+// NewDelay returns a delay pipe with the given latency in cycles (latency 0
+// makes an item available in the same cycle it was pushed) and buffer
+// capacity.
+func NewDelay[T any](latency int, capacity int) *Delay[T] {
+	if latency < 0 {
+		panic(fmt.Sprintf("sim: negative delay latency %d", latency))
+	}
+	return &Delay[T]{latency: uint64(latency), q: NewQueue[delayItem[T]](capacity)}
+}
+
+// Len reports the number of in-flight items.
+func (d *Delay[T]) Len() int { return d.q.Len() }
+
+// Full reports whether a Push would fail.
+func (d *Delay[T]) Full() bool { return d.q.Full() }
+
+// Push inserts v at cycle now; it becomes available at now+latency.
+func (d *Delay[T]) Push(now uint64, v T) bool {
+	return d.q.Push(delayItem[T]{v: v, ready: now + d.latency})
+}
+
+// Ready reports whether the head item has completed its latency by cycle now.
+func (d *Delay[T]) Ready(now uint64) bool {
+	it, ok := d.q.Peek()
+	return ok && it.ready <= now
+}
+
+// Pop removes the head item if it is ready at cycle now.
+func (d *Delay[T]) Pop(now uint64) (v T, ok bool) {
+	it, ok := d.q.Peek()
+	if !ok || it.ready > now {
+		var zero T
+		return zero, false
+	}
+	d.q.Pop()
+	return it.v, true
+}
+
+// RoundRobin is a fair arbiter over n requesters.
+type RoundRobin struct {
+	n    int
+	next int
+}
+
+// NewRoundRobin returns an arbiter over n requesters.
+func NewRoundRobin(n int) *RoundRobin {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: round-robin size must be positive, got %d", n))
+	}
+	return &RoundRobin{n: n}
+}
+
+// Pick returns the first index at or after the rotating priority pointer for
+// which want(i) is true, advancing the pointer past the grant. It returns -1
+// when no requester is ready.
+func (r *RoundRobin) Pick(want func(i int) bool) int {
+	for k := 0; k < r.n; k++ {
+		i := (r.next + k) % r.n
+		if want(i) {
+			r.next = (i + 1) % r.n
+			return i
+		}
+	}
+	return -1
+}

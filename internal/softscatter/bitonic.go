@@ -1,0 +1,127 @@
+// Package softscatter implements the software-only scatter-add methods the
+// paper compares against (§2.1 and §4.1): batched sorting (bitonic network
+// plus merge phases) followed by a segmented scan, privatization, and
+// coloring. Each method has a functional implementation (used to compute
+// the actual results and verified against a sequential reference) and a
+// cost model expressed as machine stream operations (kernels plus
+// gather/scatter memory traffic), so the same simulated node prices both
+// the hardware and software variants.
+package softscatter
+
+import (
+	"fmt"
+
+	"scatteradd/internal/mem"
+)
+
+// Pair is one (index, value) element of a scatter-add input.
+type Pair struct {
+	Addr mem.Addr
+	Val  mem.Word
+}
+
+// BitonicSortPairs sorts pairs by address in place using a bitonic sorting
+// network, the data-parallel sort used on the simulated machine's SRF.
+// The length must be a power of two; use PadPow2 first if necessary.
+func BitonicSortPairs(p []Pair) {
+	n := len(p)
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("softscatter: bitonic sort needs power-of-two length, got %d", n))
+	}
+	// Iterative bitonic network: k is the size of the bitonic sequences
+	// being merged, j is the compare-exchange distance.
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			for i := 0; i < n; i++ {
+				l := i ^ j
+				if l > i {
+					asc := i&k == 0
+					if (p[i].Addr > p[l].Addr) == asc {
+						p[i], p[l] = p[l], p[i]
+					}
+				}
+			}
+		}
+	}
+}
+
+// PadPow2 appends sentinel pairs (maximum address) until len(p) is a power
+// of two, returning the padded slice and the original length.
+func PadPow2(p []Pair) ([]Pair, int) {
+	orig := len(p)
+	n := 1
+	for n < orig {
+		n <<= 1
+	}
+	for len(p) < n {
+		p = append(p, Pair{Addr: ^mem.Addr(0)})
+	}
+	return p, orig
+}
+
+// BitonicStages returns the number of compare-exchange stages a bitonic
+// network of width n executes: log2(n)*(log2(n)+1)/2.
+func BitonicStages(n int) int {
+	lg := 0
+	for v := 1; v < n; v <<= 1 {
+		lg++
+	}
+	return lg * (lg + 1) / 2
+}
+
+// BitonicCompares returns the total compare-exchange operations for width n.
+func BitonicCompares(n int) int { return n / 2 * BitonicStages(n) }
+
+// MergeSortedPairs merges two address-sorted runs (the merge phase the paper
+// combines with bitonic sorting for longer sequences).
+func MergeSortedPairs(a, b []Pair) []Pair {
+	out := make([]Pair, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Addr <= b[j].Addr {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// SortPairs sorts by address using bitonic batches of up to batch elements
+// merged pairwise — the paper's "combination of a bitonic and merge sorting
+// phases". It returns a newly allocated sorted slice.
+func SortPairs(p []Pair, batch int) []Pair {
+	if batch < 2 {
+		panic(fmt.Sprintf("softscatter: sort batch %d too small", batch))
+	}
+	var runs [][]Pair
+	for start := 0; start < len(p); start += batch {
+		end := start + batch
+		if end > len(p) {
+			end = len(p)
+		}
+		run := make([]Pair, end-start)
+		copy(run, p[start:end])
+		padded, orig := PadPow2(run)
+		BitonicSortPairs(padded)
+		runs = append(runs, padded[:orig])
+	}
+	if len(runs) == 0 {
+		return nil
+	}
+	for len(runs) > 1 {
+		var next [][]Pair
+		for i := 0; i < len(runs); i += 2 {
+			if i+1 < len(runs) {
+				next = append(next, MergeSortedPairs(runs[i], runs[i+1]))
+			} else {
+				next = append(next, runs[i])
+			}
+		}
+		runs = next
+	}
+	return runs[0]
+}

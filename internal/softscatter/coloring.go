@@ -1,0 +1,71 @@
+package softscatter
+
+import (
+	"fmt"
+
+	"scatteradd/internal/machine"
+	"scatteradd/internal/mem"
+)
+
+// ColorClasses greedily partitions request indices into classes such that no
+// class contains two requests to the same address (§2.1's coloring method:
+// "in each color only contains non-colliding elements"). It returns the
+// index sets in class order. The greedy assignment gives each request the
+// first class not yet containing its address, so the class count equals the
+// maximum address multiplicity.
+func ColorClasses(addrs []mem.Addr) [][]int {
+	next := make(map[mem.Addr]int, len(addrs))
+	var classes [][]int
+	for i, a := range addrs {
+		c := next[a]
+		next[a] = c + 1
+		for len(classes) <= c {
+			classes = append(classes, nil)
+		}
+		classes[c] = append(classes[c], i)
+	}
+	return classes
+}
+
+// Colored performs a software scatter-add using a precomputed coloring:
+// each color class is applied as a plain gather + combine kernel + scatter,
+// which is collision-free within the class. The coloring itself is assumed
+// to be computed off-line (as the paper notes it typically must be) and is
+// not charged simulation time; the per-class memory traffic and kernels
+// are.
+func Colored(m *machine.Machine, kind mem.Kind, addrs []mem.Addr, vals []mem.Word) machine.Result {
+	if !kind.IsScatterAdd() || kind.IsFetch() {
+		panic(fmt.Sprintf("softscatter: Colored cannot implement %v", kind))
+	}
+	if len(vals) != 1 && len(vals) != len(addrs) {
+		panic(fmt.Sprintf("softscatter: %d addrs, %d vals", len(addrs), len(vals)))
+	}
+	var total machine.Result
+	for _, class := range ColorClasses(addrs) {
+		ca := make([]mem.Addr, len(class))
+		cv := make([]mem.Word, len(class))
+		for i, idx := range class {
+			ca[i] = addrs[idx]
+			if len(vals) == 1 {
+				cv[i] = vals[0]
+			} else {
+				cv[i] = vals[idx]
+			}
+		}
+		gathered := make(map[mem.Addr]mem.Word, len(ca))
+		g := machine.Gather("color-gather", ca)
+		g.OnResp = func(r mem.Response) { gathered[r.Addr] = r.Val }
+		total.Add(m.RunOp(g))
+		addOp := machine.IntKernel(fmt.Sprintf("color-add[%d]", len(ca)), float64(len(ca)), float64(3*len(ca)))
+		if kind.IsFP() {
+			addOp = machine.Kernel(fmt.Sprintf("color-add[%d]", len(ca)), float64(len(ca)), float64(3*len(ca)))
+		}
+		total.Add(m.RunOp(addOp))
+		newVals := make([]mem.Word, len(ca))
+		for i, a := range ca {
+			newVals[i] = mem.Combine(kind, gathered[a], cv[i])
+		}
+		total.Add(m.RunOp(machine.Scatter("color-scatter", ca, newVals)))
+	}
+	return total
+}

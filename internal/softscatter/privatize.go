@@ -1,0 +1,99 @@
+package softscatter
+
+import (
+	"fmt"
+
+	"scatteradd/internal/machine"
+	"scatteradd/internal/mem"
+)
+
+// DefaultPrivateBins is the number of target addresses whose partial sums
+// the compute clusters can hold in named state (registers) during one
+// privatization pass: a handful of accumulator registers per cluster across
+// 16 clusters.
+const DefaultPrivateBins = 64
+
+// Privatize performs a software scatter-add by privatization (§2.1): the
+// dataset is iterated over once per group of target addresses, each pass
+// accumulating the sums for the addresses currently held in registers, so
+// memory collisions never occur. Complexity is O(m*n) for an m-address
+// range — the paper's Figure 8 shows this losing badly to hardware
+// scatter-add as the range grows.
+//
+// addrs/vals are the scatter-add input (vals of length 1 broadcasts);
+// base and rangeSize describe the contiguous target region; privateBins is
+// the number of addresses accumulated per pass (0 selects
+// DefaultPrivateBins). The input dataset is re-loaded from dataBase on
+// every pass, modeling data resident in memory.
+func Privatize(m *machine.Machine, kind mem.Kind, addrs []mem.Addr, vals []mem.Word,
+	base mem.Addr, rangeSize int, dataBase mem.Addr, privateBins int) machine.Result {
+
+	if !kind.IsScatterAdd() || kind.IsFetch() {
+		panic(fmt.Sprintf("softscatter: Privatize cannot implement %v", kind))
+	}
+	if len(vals) != 1 && len(vals) != len(addrs) {
+		panic(fmt.Sprintf("softscatter: %d addrs, %d vals", len(addrs), len(vals)))
+	}
+	if privateBins <= 0 {
+		privateBins = DefaultPrivateBins
+	}
+	n := len(addrs)
+	var total machine.Result
+	for lo := 0; lo < rangeSize; lo += privateBins {
+		hi := lo + privateBins
+		if hi > rangeSize {
+			hi = rangeSize
+		}
+		p := hi - lo
+		// Functional: accumulate this pass's sums.
+		sums := make([]mem.Word, p)
+		touched := make([]bool, p)
+		for i := 0; i < n; i++ {
+			a := addrs[i]
+			idx := int(a) - int(base)
+			if idx < lo || idx >= hi {
+				continue
+			}
+			v := vals[0]
+			if len(vals) > 1 {
+				v = vals[i]
+			}
+			if !touched[idx-lo] {
+				sums[idx-lo] = mem.Identity(kind)
+				touched[idx-lo] = true
+			}
+			sums[idx-lo] = mem.Combine(kind, sums[idx-lo], v)
+		}
+		// Timed: stream the dataset past the clusters (index + value words)
+		// and run the conditional-accumulate kernel, then read-modify-write
+		// the pass's bins.
+		total.Add(m.RunOp(machine.LoadStream("priv-load", dataBase, n)))
+		// Per element: a range compare (int) plus a conditional accumulate
+		// (FP only for FP kinds).
+		accOp := machine.IntKernel(fmt.Sprintf("priv-acc[%d]", p), float64(2*n), float64(2*n))
+		if kind.IsFP() {
+			accOp = machine.Kernel(fmt.Sprintf("priv-acc[%d]", p), float64(2*n), float64(2*n))
+		}
+		total.Add(m.RunOp(accOp))
+
+		binAddrs := make([]mem.Addr, p)
+		for i := range binAddrs {
+			binAddrs[i] = base + mem.Addr(lo+i)
+		}
+		gathered := make(map[mem.Addr]mem.Word, p)
+		g := machine.Gather("priv-gather", binAddrs)
+		g.OnResp = func(r mem.Response) { gathered[r.Addr] = r.Val }
+		total.Add(m.RunOp(g))
+
+		newVals := make([]mem.Word, p)
+		for i, a := range binAddrs {
+			if touched[i] {
+				newVals[i] = mem.Combine(kind, gathered[a], sums[i])
+			} else {
+				newVals[i] = gathered[a]
+			}
+		}
+		total.Add(m.RunOp(machine.Scatter("priv-scatter", binAddrs, newVals)))
+	}
+	return total
+}

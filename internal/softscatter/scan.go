@@ -1,0 +1,47 @@
+package softscatter
+
+import "scatteradd/internal/mem"
+
+// SegmentedReduce combines the values of an address-sorted pair slice per
+// distinct address (the effect of a segmented scan followed by taking each
+// segment's total, Chatterjee/Blelloch/Zagha's primitive cited in §2.1).
+// It returns the distinct addresses in ascending order with their combined
+// values under kind.
+func SegmentedReduce(sorted []Pair, kind mem.Kind) (addrs []mem.Addr, sums []mem.Word) {
+	for i := 0; i < len(sorted); {
+		a := sorted[i].Addr
+		acc := sorted[i].Val
+		i++
+		for i < len(sorted) && sorted[i].Addr == a {
+			acc = mem.Combine(kind, acc, sorted[i].Val)
+			i++
+		}
+		addrs = append(addrs, a)
+		sums = append(sums, acc)
+	}
+	return addrs, sums
+}
+
+// SegmentedScanExclusive computes, per segment of equal addresses, the
+// running exclusive combination (each output element is the combination of
+// all earlier elements in its segment, starting from the kind's identity).
+// This is the general scan primitive; SegmentedReduce is the special case
+// the scatter-add pipeline needs.
+func SegmentedScanExclusive(sorted []Pair, kind mem.Kind) []mem.Word {
+	out := make([]mem.Word, len(sorted))
+	i := 0
+	for i < len(sorted) {
+		a := sorted[i].Addr
+		acc := mem.Identity(kind)
+		for i < len(sorted) && sorted[i].Addr == a {
+			out[i] = acc
+			acc = mem.Combine(kind, acc, sorted[i].Val)
+			i++
+		}
+	}
+	return out
+}
+
+// ScanOps returns the operation count of a data-parallel segmented scan of
+// width n (up-sweep plus down-sweep, ~2n combines).
+func ScanOps(n int) int { return 2 * n }

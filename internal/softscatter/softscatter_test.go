@@ -1,0 +1,353 @@
+package softscatter
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"scatteradd/internal/machine"
+	"scatteradd/internal/mem"
+)
+
+func TestBitonicSortSortsPowerOfTwo(t *testing.T) {
+	p := []Pair{{5, 0}, {3, 1}, {8, 2}, {1, 3}, {9, 4}, {2, 5}, {7, 6}, {0, 7}}
+	BitonicSortPairs(p)
+	for i := 1; i < len(p); i++ {
+		if p[i-1].Addr > p[i].Addr {
+			t.Fatalf("not sorted at %d: %+v", i, p)
+		}
+	}
+}
+
+func TestBitonicSortRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BitonicSortPairs(make([]Pair, 3))
+}
+
+// Property: BitonicSortPairs sorts any power-of-two input and preserves the
+// multiset of pairs.
+func TestBitonicSortProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		p := make([]Pair, 0, len(keys))
+		for i, k := range keys {
+			p = append(p, Pair{Addr: mem.Addr(k), Val: mem.Word(i)})
+		}
+		padded, orig := PadPow2(p)
+		refCount := map[Pair]int{}
+		for _, x := range padded {
+			refCount[x]++
+		}
+		BitonicSortPairs(padded)
+		for i := 1; i < len(padded); i++ {
+			if padded[i-1].Addr > padded[i].Addr {
+				return false
+			}
+		}
+		for _, x := range padded {
+			refCount[x]--
+		}
+		for _, c := range refCount {
+			if c != 0 {
+				return false
+			}
+		}
+		_ = orig
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPadPow2(t *testing.T) {
+	p, orig := PadPow2(make([]Pair, 5))
+	if len(p) != 8 || orig != 5 {
+		t.Fatalf("pad: len=%d orig=%d", len(p), orig)
+	}
+	p2, orig2 := PadPow2(make([]Pair, 8))
+	if len(p2) != 8 || orig2 != 8 {
+		t.Fatalf("pad pow2 input: len=%d orig=%d", len(p2), orig2)
+	}
+	// Sentinels sort last.
+	q := []Pair{{Addr: 100}, {Addr: 2}, {Addr: 50}}
+	qq, _ := PadPow2(q)
+	BitonicSortPairs(qq)
+	if qq[0].Addr != 2 || qq[3].Addr != ^mem.Addr(0) {
+		t.Fatalf("sentinel placement: %+v", qq)
+	}
+}
+
+func TestBitonicStageCounts(t *testing.T) {
+	if BitonicStages(256) != 36 { // log2=8 -> 8*9/2
+		t.Fatalf("stages(256) = %d", BitonicStages(256))
+	}
+	if BitonicCompares(256) != 128*36 {
+		t.Fatalf("compares(256) = %d", BitonicCompares(256))
+	}
+}
+
+func TestMergeSortedPairs(t *testing.T) {
+	a := []Pair{{1, 0}, {4, 0}, {9, 0}}
+	b := []Pair{{2, 0}, {4, 1}, {11, 0}}
+	out := MergeSortedPairs(a, b)
+	want := []mem.Addr{1, 2, 4, 4, 9, 11}
+	for i, w := range want {
+		if out[i].Addr != w {
+			t.Fatalf("merge: %+v", out)
+		}
+	}
+}
+
+// Property: SortPairs (bitonic batches + merge) equals a reference sort.
+func TestSortPairsProperty(t *testing.T) {
+	f := func(keys []uint16, batchSel uint8) bool {
+		batch := []int{2, 4, 64, 256}[batchSel%4]
+		p := make([]Pair, len(keys))
+		for i, k := range keys {
+			p[i] = Pair{Addr: mem.Addr(k), Val: mem.Word(i)}
+		}
+		got := SortPairs(p, batch)
+		ref := make([]Pair, len(p))
+		copy(ref, p)
+		sort.SliceStable(ref, func(i, j int) bool { return ref[i].Addr < ref[j].Addr })
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range got {
+			if got[i].Addr != ref[i].Addr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentedReduce(t *testing.T) {
+	sorted := []Pair{
+		{1, mem.I64(2)}, {1, mem.I64(3)}, {4, mem.I64(10)}, {9, mem.I64(-1)}, {9, mem.I64(1)},
+	}
+	addrs, sums := SegmentedReduce(sorted, mem.AddI64)
+	if len(addrs) != 3 || addrs[0] != 1 || addrs[1] != 4 || addrs[2] != 9 {
+		t.Fatalf("addrs = %v", addrs)
+	}
+	if mem.AsI64(sums[0]) != 5 || mem.AsI64(sums[1]) != 10 || mem.AsI64(sums[2]) != 0 {
+		t.Fatalf("sums = %v", sums)
+	}
+}
+
+func TestSegmentedScanExclusive(t *testing.T) {
+	sorted := []Pair{{1, mem.I64(2)}, {1, mem.I64(3)}, {1, mem.I64(4)}, {7, mem.I64(5)}}
+	out := SegmentedScanExclusive(sorted, mem.AddI64)
+	want := []int64{0, 2, 5, 0}
+	for i, w := range want {
+		if mem.AsI64(out[i]) != w {
+			t.Fatalf("scan = %v", out)
+		}
+	}
+}
+
+func smallMachine() *machine.Machine {
+	cfg := machine.DefaultConfig()
+	cfg.Cache.TotalLines = 256
+	cfg.KernelStartup = 8
+	cfg.MemOpStartup = 4
+	return machine.New(cfg)
+}
+
+func TestSortScanMatchesReference(t *testing.T) {
+	m := smallMachine()
+	n := 700
+	addrs := make([]mem.Addr, n)
+	vals := make([]mem.Word, n)
+	ref := map[mem.Addr]int64{}
+	seed := uint64(7)
+	for i := range addrs {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		a := mem.Addr(seed % 97)
+		addrs[i] = a
+		vals[i] = mem.I64(int64(i%13 - 6))
+		ref[a] += int64(i%13 - 6)
+	}
+	res := SortScan(m, mem.AddI64, addrs, vals, 256)
+	m.FlushCaches()
+	for a, want := range ref {
+		if got := m.Store().LoadI64(a); got != want {
+			t.Fatalf("addr %d = %d want %d", a, got, want)
+		}
+	}
+	if res.Cycles == 0 || res.MemRefs == 0 {
+		t.Fatalf("no cost charged: %+v", res)
+	}
+}
+
+func TestSortScanFloatBroadcast(t *testing.T) {
+	m := smallMachine()
+	addrs := []mem.Addr{3, 3, 3, 5, 5, 8}
+	SortScan(m, mem.AddF64, addrs, []mem.Word{mem.F64(0.5)}, 4)
+	m.FlushCaches()
+	if got := m.Store().LoadF64(3); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("bin3 = %g", got)
+	}
+	if got := m.Store().LoadF64(5); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("bin5 = %g", got)
+	}
+}
+
+func TestSortScanAccumulatesAcrossBatches(t *testing.T) {
+	// The same address appearing in different batches must accumulate via
+	// memory read-modify-write between batches.
+	m := smallMachine()
+	addrs := make([]mem.Addr, 32)
+	for i := range addrs {
+		addrs[i] = 7
+	}
+	SortScan(m, mem.AddI64, addrs, []mem.Word{mem.I64(1)}, 8)
+	m.FlushCaches()
+	if got := m.Store().LoadI64(7); got != 32 {
+		t.Fatalf("cross-batch sum = %d want 32", got)
+	}
+}
+
+func TestSortScanRejectsFetch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SortScan(smallMachine(), mem.FetchAddI64, []mem.Addr{1}, []mem.Word{1}, 0)
+}
+
+func TestPrivatizeMatchesReference(t *testing.T) {
+	m := smallMachine()
+	const base = mem.Addr(1024)
+	const rng = 96
+	n := 400
+	addrs := make([]mem.Addr, n)
+	ref := make([]int64, rng)
+	seed := uint64(21)
+	for i := range addrs {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		b := seed % rng
+		addrs[i] = base + mem.Addr(b)
+		ref[b]++
+	}
+	res := Privatize(m, mem.AddI64, addrs, []mem.Word{mem.I64(1)}, base, rng, 0, 32)
+	m.FlushCaches()
+	for b := 0; b < rng; b++ {
+		if got := m.Store().LoadI64(base + mem.Addr(b)); got != ref[b] {
+			t.Fatalf("bin %d = %d want %d", b, got, ref[b])
+		}
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles charged")
+	}
+}
+
+func TestPrivatizeCostGrowsWithRange(t *testing.T) {
+	run := func(rng int) uint64 {
+		m := smallMachine()
+		addrs := make([]mem.Addr, 256)
+		for i := range addrs {
+			addrs[i] = mem.Addr(i % rng)
+		}
+		return Privatize(m, mem.AddI64, addrs, []mem.Word{mem.I64(1)}, 0, rng, 4096, 32).Cycles
+	}
+	if small, big := run(32), run(512); big < 4*small {
+		t.Fatalf("O(mn) scaling violated: range 32 -> %d cycles, range 512 -> %d", small, big)
+	}
+}
+
+func TestColorClasses(t *testing.T) {
+	classes := ColorClasses([]mem.Addr{1, 2, 1, 1, 3, 2})
+	if len(classes) != 3 {
+		t.Fatalf("classes = %v", classes)
+	}
+	// Within each class, addresses are distinct.
+	addrs := []mem.Addr{1, 2, 1, 1, 3, 2}
+	for _, c := range classes {
+		seen := map[mem.Addr]bool{}
+		for _, idx := range c {
+			if seen[addrs[idx]] {
+				t.Fatalf("collision within class %v", c)
+			}
+			seen[addrs[idx]] = true
+		}
+	}
+}
+
+func TestColoredMatchesReference(t *testing.T) {
+	m := smallMachine()
+	addrs := []mem.Addr{10, 11, 10, 12, 10, 11}
+	vals := []mem.Word{mem.F64(1), mem.F64(2), mem.F64(3), mem.F64(4), mem.F64(5), mem.F64(6)}
+	Colored(m, mem.AddF64, addrs, vals)
+	m.FlushCaches()
+	if m.Store().LoadF64(10) != 9 || m.Store().LoadF64(11) != 8 || m.Store().LoadF64(12) != 4 {
+		t.Fatalf("colored sums: %g %g %g",
+			m.Store().LoadF64(10), m.Store().LoadF64(11), m.Store().LoadF64(12))
+	}
+}
+
+// Property: all three software methods and the reference agree on integer
+// scatter-add results.
+func TestSoftwareMethodsAgreeProperty(t *testing.T) {
+	f := func(idx []uint8) bool {
+		if len(idx) == 0 {
+			return true
+		}
+		const rng = 64
+		addrs := make([]mem.Addr, len(idx))
+		ref := map[mem.Addr]int64{}
+		for i, x := range idx {
+			addrs[i] = mem.Addr(x % rng)
+			ref[addrs[i]]++
+		}
+		one := []mem.Word{mem.I64(1)}
+
+		m1 := smallMachine()
+		SortScan(m1, mem.AddI64, addrs, one, 16)
+		m1.FlushCaches()
+		m2 := smallMachine()
+		Privatize(m2, mem.AddI64, addrs, one, 0, rng, 4096, 16)
+		m2.FlushCaches()
+		m3 := smallMachine()
+		Colored(m3, mem.AddI64, addrs, one)
+		m3.FlushCaches()
+		for a, want := range ref {
+			if m1.Store().LoadI64(a) != want || m2.Store().LoadI64(a) != want || m3.Store().LoadI64(a) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchSizeTradeoff(t *testing.T) {
+	// Tiny batches pay per-batch startup; the default batch should beat
+	// batch=8 for a sizable input (the paper's 256-element sweet spot).
+	n := 2048
+	addrs := make([]mem.Addr, n)
+	seed := uint64(3)
+	for i := range addrs {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		addrs[i] = mem.Addr(seed % 512)
+	}
+	one := []mem.Word{mem.I64(1)}
+	mSmall := smallMachine()
+	small := SortScan(mSmall, mem.AddI64, addrs, one, 8).Cycles
+	mDef := smallMachine()
+	def := SortScan(mDef, mem.AddI64, addrs, one, DefaultBatch).Cycles
+	if def >= small {
+		t.Fatalf("batch 256 (%d cyc) not faster than batch 8 (%d cyc)", def, small)
+	}
+}

@@ -1,0 +1,74 @@
+// Package stream provides the software-pipelining idiom of stream
+// programming (§3.1's gather/compute/scatter phases) as a reusable
+// scheduler: a dataset is processed in chunks, and each chunk's trailing
+// memory operation (typically the scatter-add) is issued asynchronously so
+// it drains on one address generator while the next chunk's gather and
+// kernel run on the other. This generalizes the paper's observation that
+// "the processor's main execution unit can continue running the program,
+// while the sums are being updated in memory" (§1).
+package stream
+
+import (
+	"fmt"
+
+	"scatteradd/internal/machine"
+)
+
+// DefaultChunk is the default pipeline chunk size in elements.
+const DefaultChunk = 4096
+
+// ChunkFunc produces the stream operations of one chunk [start, end).
+// Operations are executed in order; every memory operation the function
+// marks Async overlaps with subsequent chunks.
+type ChunkFunc func(start, end int) []machine.Op
+
+// Pipeline runs n elements through fn in chunks of the given size (0
+// selects DefaultChunk), fencing once at the end so all asynchronous
+// operations have drained when it returns.
+func Pipeline(m *machine.Machine, n, chunk int, fn ChunkFunc) machine.Result {
+	if n < 0 {
+		panic(fmt.Sprintf("stream: negative element count %d", n))
+	}
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	var total machine.Result
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		for _, op := range fn(start, end) {
+			total.Add(m.RunOp(op))
+		}
+	}
+	total.Add(m.RunOp(machine.Fence()))
+	return total
+}
+
+// GatherComputeScatterAdd builds a ChunkFunc for the canonical three-phase
+// pattern: a synchronous load/gather, a kernel, and an asynchronous
+// scatter-add. gather and scatterAdd receive the chunk bounds and return
+// the corresponding ops; kernel receives the chunk size and returns the
+// compute op. Any of the three may be nil to skip that phase.
+func GatherComputeScatterAdd(
+	gather func(start, end int) machine.Op,
+	kernel func(count int) machine.Op,
+	scatterAdd func(start, end int) machine.Op,
+) ChunkFunc {
+	return func(start, end int) []machine.Op {
+		var ops []machine.Op
+		if gather != nil {
+			ops = append(ops, gather(start, end))
+		}
+		if kernel != nil {
+			ops = append(ops, kernel(end-start))
+		}
+		if scatterAdd != nil {
+			op := scatterAdd(start, end)
+			op.Async = true
+			ops = append(ops, op)
+		}
+		return ops
+	}
+}

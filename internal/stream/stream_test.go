@@ -1,0 +1,143 @@
+package stream
+
+import (
+	"testing"
+
+	"scatteradd/internal/machine"
+	"scatteradd/internal/mem"
+	"scatteradd/internal/workload"
+)
+
+func testMachine() *machine.Machine {
+	cfg := machine.DefaultConfig()
+	cfg.Cache.TotalLines = 512
+	cfg.KernelStartup = 8
+	cfg.MemOpStartup = 4
+	return machine.New(cfg)
+}
+
+func TestPipelineHistogramCorrect(t *testing.T) {
+	const n, rng = 8192, 512
+	idx := workload.UniformIndices(n, rng, 3)
+	ref := workload.HistogramReference(idx, rng)
+	binAddrs := workload.IndicesToAddrs(idx, 0)
+	dataBase := mem.Addr(4096)
+
+	m := testMachine()
+	res := Pipeline(m, n, 1024, GatherComputeScatterAdd(
+		func(start, end int) machine.Op {
+			return machine.LoadStream("load", dataBase+mem.Addr(start), end-start)
+		},
+		func(count int) machine.Op {
+			return machine.IntKernel("map", float64(count), float64(2*count))
+		},
+		func(start, end int) machine.Op {
+			return machine.ScatterAdd("sa", mem.AddI64, binAddrs[start:end], []mem.Word{mem.I64(1)})
+		},
+	))
+	m.FlushCaches()
+	got := m.Store().ReadI64Slice(0, rng)
+	for b := range ref {
+		if got[b] != ref[b] {
+			t.Fatalf("bin %d = %d want %d", b, got[b], ref[b])
+		}
+	}
+	if res.Cycles == 0 || res.MemRefs != 2*n {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestPipelineOverlapsAcrossChunks(t *testing.T) {
+	// The pipelined schedule must be faster than running the same chunks
+	// with synchronous scatter-adds.
+	const n, rng = 16384, 1024
+	idx := workload.UniformIndices(n, rng, 5)
+	binAddrs := workload.IndicesToAddrs(idx, 0)
+	kernel := func(count int) machine.Op {
+		return machine.Kernel("work", float64(count*16), float64(count))
+	}
+
+	mPipe := testMachine()
+	pipe := Pipeline(mPipe, n, 2048, GatherComputeScatterAdd(
+		nil, kernel,
+		func(start, end int) machine.Op {
+			return machine.ScatterAdd("sa", mem.AddI64, binAddrs[start:end], []mem.Word{mem.I64(1)})
+		},
+	))
+
+	mSeq := testMachine()
+	seq := Pipeline(mSeq, n, 2048, func(start, end int) []machine.Op {
+		return []machine.Op{
+			kernel(end - start),
+			machine.ScatterAdd("sa", mem.AddI64, binAddrs[start:end], []mem.Word{mem.I64(1)}), // sync
+		}
+	})
+
+	if pipe.Cycles >= seq.Cycles {
+		t.Fatalf("pipelined %d cycles not faster than sequential %d", pipe.Cycles, seq.Cycles)
+	}
+	// Both produce identical bins.
+	mPipe.FlushCaches()
+	mSeq.FlushCaches()
+	for b := 0; b < rng; b++ {
+		a, c := mPipe.Store().LoadI64(mem.Addr(b)), mSeq.Store().LoadI64(mem.Addr(b))
+		if a != c {
+			t.Fatalf("bin %d: %d vs %d", b, a, c)
+		}
+	}
+}
+
+func TestPipelineEmptyAndPartialChunks(t *testing.T) {
+	m := testMachine()
+	calls := 0
+	res := Pipeline(m, 0, 100, func(start, end int) []machine.Op {
+		calls++
+		return nil
+	})
+	if calls != 0 || res.Cycles != 0 {
+		t.Fatalf("empty pipeline: calls=%d res=%+v", calls, res)
+	}
+	// 10 elements in chunks of 4: chunks are [0,4) [4,8) [8,10).
+	var bounds [][2]int
+	Pipeline(m, 10, 4, func(start, end int) []machine.Op {
+		bounds = append(bounds, [2]int{start, end})
+		return nil
+	})
+	want := [][2]int{{0, 4}, {4, 8}, {8, 10}}
+	for i := range want {
+		if bounds[i] != want[i] {
+			t.Fatalf("bounds = %v", bounds)
+		}
+	}
+}
+
+func TestPipelineDefaultChunk(t *testing.T) {
+	m := testMachine()
+	sizes := []int{}
+	Pipeline(m, DefaultChunk+1, 0, func(start, end int) []machine.Op {
+		sizes = append(sizes, end-start)
+		return nil
+	})
+	if len(sizes) != 2 || sizes[0] != DefaultChunk || sizes[1] != 1 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestPipelineNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pipeline(testMachine(), -1, 0, func(int, int) []machine.Op { return nil })
+}
+
+func TestGatherComputeScatterAddSkipsNilPhases(t *testing.T) {
+	fn := GatherComputeScatterAdd(nil, nil, func(start, end int) machine.Op {
+		return machine.ScatterAdd("sa", mem.AddI64, []mem.Addr{0}, []mem.Word{mem.I64(1)})
+	})
+	ops := fn(0, 1)
+	if len(ops) != 1 || !ops[0].Async {
+		t.Fatalf("ops = %+v", ops)
+	}
+}

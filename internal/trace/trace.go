@@ -1,0 +1,162 @@
+// Package trace records memory-reference streams from the simulated
+// machine: the scatter-add traces that drive the multi-node experiments
+// (§4.5 uses exactly such traces — "GROMACS uses the first 590K
+// references"), debugging dumps, and locality summaries. Traces round-trip
+// through a simple CSV form so they can be exported, inspected, and
+// replayed.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"scatteradd/internal/mem"
+)
+
+// Record is one observed memory reference.
+type Record struct {
+	Cycle uint64
+	Kind  mem.Kind
+	Addr  mem.Addr
+	Val   mem.Word
+}
+
+// Recorder collects references up to an optional limit (0 = unlimited).
+// Attach it to a machine with machine.SetTracer(rec.Observe).
+type Recorder struct {
+	limit int
+	recs  []Record
+	drops uint64
+}
+
+// NewRecorder returns a recorder keeping at most limit records (0 keeps
+// everything).
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// Observe appends one reference, honoring the limit.
+func (r *Recorder) Observe(cycle uint64, req mem.Request) {
+	if r.limit > 0 && len(r.recs) >= r.limit {
+		r.drops++
+		return
+	}
+	r.recs = append(r.recs, Record{Cycle: cycle, Kind: req.Kind, Addr: req.Addr, Val: req.Val})
+}
+
+// Records returns the collected references.
+func (r *Recorder) Records() []Record { return r.recs }
+
+// Dropped reports how many references exceeded the limit.
+func (r *Recorder) Dropped() uint64 { return r.drops }
+
+// Reset discards all collected state.
+func (r *Recorder) Reset() {
+	r.recs = r.recs[:0]
+	r.drops = 0
+}
+
+// WriteCSV emits records as "cycle,kind,addr,val" lines with a header.
+func WriteCSV(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "cycle,kind,addr,val"); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(bw, "%d,%s,%d,%d\n", rec.Cycle, rec.Kind, rec.Addr, rec.Val); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// kindByName inverts mem.Kind.String for parsing.
+var kindByName = func() map[string]mem.Kind {
+	m := make(map[string]mem.Kind)
+	for k := mem.Read; k <= mem.FetchAddI64; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// ReadCSV parses the WriteCSV format.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if line == 1 || text == "" {
+			continue // header
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", line, len(parts))
+		}
+		cycle, err := strconv.ParseUint(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad cycle %q", line, parts[0])
+		}
+		kind, ok := kindByName[parts[1]]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", line, parts[1])
+		}
+		addr, err := strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad addr %q", line, parts[2])
+		}
+		val, err := strconv.ParseUint(parts[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad val %q", line, parts[3])
+		}
+		out = append(out, Record{Cycle: cycle, Kind: kind, Addr: mem.Addr(addr), Val: val})
+	}
+	return out, sc.Err()
+}
+
+// Summary describes a trace's locality, the property that decides between
+// the Figure 13 regimes (narrow vs wide).
+type Summary struct {
+	Refs        int
+	Unique      int     // distinct addresses
+	UniqueLines int     // distinct cache lines
+	MaxPerAddr  int     // heaviest address multiplicity
+	AvgPerAddr  float64 // Refs / Unique
+	ScatterAdds int     // references with RMW kinds
+}
+
+// Summarize computes a trace's locality summary.
+func Summarize(recs []Record) Summary {
+	s := Summary{Refs: len(recs)}
+	perAddr := make(map[mem.Addr]int)
+	lines := make(map[mem.Addr]struct{})
+	for _, r := range recs {
+		perAddr[r.Addr]++
+		lines[r.Addr.Line()] = struct{}{}
+		if r.Kind.IsScatterAdd() {
+			s.ScatterAdds++
+		}
+	}
+	s.Unique = len(perAddr)
+	s.UniqueLines = len(lines)
+	for _, c := range perAddr {
+		if c > s.MaxPerAddr {
+			s.MaxPerAddr = c
+		}
+	}
+	if s.Unique > 0 {
+		s.AvgPerAddr = float64(s.Refs) / float64(s.Unique)
+	}
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("refs=%d unique=%d lines=%d max/addr=%d avg/addr=%.2f scatter-adds=%d",
+		s.Refs, s.Unique, s.UniqueLines, s.MaxPerAddr, s.AvgPerAddr, s.ScatterAdds)
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"scatteradd/internal/machine"
+	"scatteradd/internal/mem"
+)
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Observe(uint64(i), mem.Request{Kind: mem.Read, Addr: mem.Addr(i)})
+	}
+	if len(r.Records()) != 3 || r.Dropped() != 2 {
+		t.Fatalf("records=%d dropped=%d", len(r.Records()), r.Dropped())
+	}
+	r.Reset()
+	if len(r.Records()) != 0 || r.Dropped() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestRecorderUnlimited(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 100; i++ {
+		r.Observe(uint64(i), mem.Request{Kind: mem.Write, Addr: 1})
+	}
+	if len(r.Records()) != 100 {
+		t.Fatalf("records = %d", len(r.Records()))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Cycle: 1, Kind: mem.Read, Addr: 100, Val: 0},
+		{Cycle: 2, Kind: mem.AddF64, Addr: 200, Val: mem.F64(2.5)},
+		{Cycle: 9, Kind: mem.FetchAddI64, Addr: 300, Val: mem.I64(-1)},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+// Property: CSV round-trip preserves arbitrary records.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(cycles []uint32, kinds []uint8) bool {
+		n := len(cycles)
+		if len(kinds) < n {
+			n = len(kinds)
+		}
+		recs := make([]Record, n)
+		for i := 0; i < n; i++ {
+			recs[i] = Record{
+				Cycle: uint64(cycles[i]),
+				Kind:  mem.Kind(kinds[i] % 11),
+				Addr:  mem.Addr(cycles[i]) * 3,
+				Val:   uint64(kinds[i]) << 32,
+			}
+		}
+		var buf bytes.Buffer
+		if WriteCSV(&buf, recs) != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"cycle,kind,addr,val\n1,2,3\n",          // field count
+		"cycle,kind,addr,val\nx,Read,1,2\n",     // bad cycle
+		"cycle,kind,addr,val\n1,Bogus,1,2\n",    // bad kind
+		"cycle,kind,addr,val\n1,Read,x,2\n",     // bad addr
+		"cycle,kind,addr,val\n1,Read,1,blorp\n", // bad val
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []Record{
+		{Kind: mem.AddI64, Addr: 0},
+		{Kind: mem.AddI64, Addr: 0},
+		{Kind: mem.AddI64, Addr: 1},
+		{Kind: mem.Read, Addr: 64},
+	}
+	s := Summarize(recs)
+	if s.Refs != 4 || s.Unique != 3 || s.UniqueLines != 2 || s.MaxPerAddr != 2 || s.ScatterAdds != 3 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.AvgPerAddr < 1.3 || s.AvgPerAddr > 1.4 {
+		t.Fatalf("avg = %f", s.AvgPerAddr)
+	}
+	if !strings.Contains(s.String(), "refs=4") {
+		t.Fatalf("string: %s", s)
+	}
+}
+
+func TestMachineTracerHook(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Cache.TotalLines = 256
+	cfg.MemOpStartup = 2
+	cfg.KernelStartup = 2
+	m := machine.New(cfg)
+	rec := NewRecorder(0)
+	m.SetTracer(rec.Observe)
+	addrs := []mem.Addr{5, 9, 5}
+	m.Run([]machine.Op{machine.ScatterAdd("t", mem.AddI64, addrs, []mem.Word{mem.I64(1)})})
+	recs := rec.Records()
+	if len(recs) != 3 {
+		t.Fatalf("traced %d references, want 3", len(recs))
+	}
+	sum := Summarize(recs)
+	if sum.ScatterAdds != 3 || sum.Unique != 2 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	// Cycles must be non-decreasing (issue order).
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Cycle < recs[i-1].Cycle {
+			t.Fatal("trace cycles not monotone")
+		}
+	}
+	m.SetTracer(nil) // disabling must not panic
+	m.Run([]machine.Op{machine.LoadStream("l", 0, 8)})
+	if len(rec.Records()) != 3 {
+		t.Fatal("tracer observed after being disabled")
+	}
+}

@@ -1,0 +1,34 @@
+package workload
+
+import "scatteradd/internal/mem"
+
+// UniformIndices returns n indices drawn uniformly from [0, rangeSize) —
+// the histogram input of §4.1: "a set of random integers chosen uniformly
+// from a certain range".
+func UniformIndices(n, rangeSize int, seed uint64) []int {
+	r := NewRNG(seed)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Intn(rangeSize)
+	}
+	return out
+}
+
+// IndicesToAddrs converts indices to word addresses offset by base.
+func IndicesToAddrs(idx []int, base mem.Addr) []mem.Addr {
+	out := make([]mem.Addr, len(idx))
+	for i, x := range idx {
+		out[i] = base + mem.Addr(x)
+	}
+	return out
+}
+
+// HistogramReference computes the sequential histogram of idx over
+// rangeSize bins.
+func HistogramReference(idx []int, rangeSize int) []int64 {
+	h := make([]int64, rangeSize)
+	for _, x := range idx {
+		h[x]++
+	}
+	return h
+}

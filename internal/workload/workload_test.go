@@ -1,0 +1,287 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"scatteradd/internal/mem"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+		if n := r.Normalish(); n <= -3 || n >= 3 {
+			t.Fatalf("Normalish out of range: %g", n)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestUniformIndices(t *testing.T) {
+	idx := UniformIndices(10000, 128, 5)
+	if len(idx) != 10000 {
+		t.Fatalf("len = %d", len(idx))
+	}
+	counts := HistogramReference(idx, 128)
+	var total int64
+	for b, c := range counts {
+		total += c
+		if c == 0 {
+			t.Fatalf("bin %d empty — distribution suspicious", b)
+		}
+		// Uniform expectation ~78; allow wide slack.
+		if c < 20 || c > 200 {
+			t.Fatalf("bin %d count %d implausible for uniform", b, c)
+		}
+	}
+	if total != 10000 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestIndicesToAddrs(t *testing.T) {
+	a := IndicesToAddrs([]int{0, 5, 2}, 100)
+	if a[0] != 100 || a[1] != 105 || a[2] != 102 {
+		t.Fatalf("addrs = %v", a)
+	}
+	var _ []mem.Addr = a
+}
+
+func TestFEMMeshStructure(t *testing.T) {
+	m := NewFEMMesh(2, 2, 2)
+	if len(m.Elems) != 8*6 {
+		t.Fatalf("elements = %d want 48", len(m.Elems))
+	}
+	// Node ids in range and 20 distinct nodes per element.
+	for e, elem := range m.Elems {
+		seen := map[int32]bool{}
+		for _, n := range elem {
+			if n < 0 || int(n) >= m.NumNodes {
+				t.Fatalf("element %d: node %d out of range", e, n)
+			}
+			if seen[n] {
+				t.Fatalf("element %d: duplicate node %d", e, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestFEMMeshSharing(t *testing.T) {
+	// Conforming mesh: adjacent elements must share nodes, so the total is
+	// far fewer than 20 per element.
+	m := NewFEMMesh(3, 3, 3)
+	if m.NumNodes >= len(m.Elems)*ElemNodes/2 {
+		t.Fatalf("no node sharing: %d nodes for %d elements", m.NumNodes, len(m.Elems))
+	}
+}
+
+func TestFEMPaperScaleMesh(t *testing.T) {
+	// The Figure 9 configuration: ~1916 elements, ~9978 DOF, ~44 nnz/row.
+	m := NewFEMMesh(8, 8, 5)
+	if len(m.Elems) != 1920 {
+		t.Fatalf("elements = %d want 1920", len(m.Elems))
+	}
+	if m.NumNodes < 8000 || m.NumNodes > 13000 {
+		t.Fatalf("nodes = %d, want near the paper's 9978", m.NumNodes)
+	}
+	csr := m.AssembleCSR()
+	if perRow := csr.NNZPerRow(); perRow < 25 || perRow > 70 {
+		t.Fatalf("nnz/row = %.2f, want near the paper's 44.26", perRow)
+	}
+}
+
+func TestElementMatrixSymmetricDominant(t *testing.T) {
+	m := NewFEMMesh(2, 1, 1)
+	k := m.ElementMatrix(3)
+	for i := 0; i < ElemNodes; i++ {
+		off := 0.0
+		for j := 0; j < ElemNodes; j++ {
+			if k[i][j] != k[j][i] {
+				t.Fatalf("asymmetric at %d,%d", i, j)
+			}
+			if j != i {
+				off += math.Abs(k[i][j])
+			}
+		}
+		if k[i][i] <= off {
+			t.Fatalf("row %d not diagonally dominant", i)
+		}
+	}
+}
+
+func TestCSRAgainstEBE(t *testing.T) {
+	m := NewFEMMesh(3, 2, 2)
+	csr := m.AssembleCSR()
+	r := NewRNG(9)
+	x := make([]float64, m.NumNodes)
+	for i := range x {
+		x[i] = r.Float64()*2 - 1
+	}
+	yCSR := csr.MulVec(x)
+	yEBE := m.EBEMulVec(x)
+	for i := range yCSR {
+		if math.Abs(yCSR[i]-yEBE[i]) > 1e-9*math.Max(1, math.Abs(yCSR[i])) {
+			t.Fatalf("row %d: CSR %g vs EBE %g", i, yCSR[i], yEBE[i])
+		}
+	}
+}
+
+// Property: CSR assembly and EBE agree for random meshes and vectors.
+func TestCSREBEEquivalenceProperty(t *testing.T) {
+	f := func(dims [3]uint8, seed uint64) bool {
+		nx, ny, nz := int(dims[0]%3)+1, int(dims[1]%3)+1, int(dims[2]%2)+1
+		m := NewFEMMesh(nx, ny, nz)
+		r := NewRNG(seed)
+		x := make([]float64, m.NumNodes)
+		for i := range x {
+			x[i] = r.Float64()
+		}
+		a := m.AssembleCSR().MulVec(x)
+		b := m.EBEMulVec(x)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-9*math.Max(1, math.Abs(a[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSRMulVecDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := NewFEMMesh(1, 1, 1)
+	m.AssembleCSR().MulVec(make([]float64, 3))
+}
+
+func TestWaterBoxGeometry(t *testing.T) {
+	w := NewWaterBox(64, 3.1, 11)
+	if w.NumMol != 64 || len(w.Pos) != 64*AtomsPerMol {
+		t.Fatalf("box: %d mol, %d atoms", w.NumMol, len(w.Pos))
+	}
+	// O-H bond lengths ~1.0.
+	for m := 0; m < w.NumMol; m++ {
+		o := m * AtomsPerMol
+		for h := 1; h <= 2; h++ {
+			d := math.Sqrt(w.Dist2(o, o+h))
+			if d < 0.9 || d > 1.1 {
+				t.Fatalf("molecule %d: O-H%d distance %g", m, h, d)
+			}
+		}
+	}
+}
+
+func TestHalfNeighborPairsSymmetricCutoff(t *testing.T) {
+	w := NewWaterBox(125, 3.1, 13)
+	cutoff := 6.0
+	pairs := w.HalfNeighborPairs(cutoff)
+	if len(pairs) == 0 {
+		t.Fatal("no pairs at 6.0 cutoff")
+	}
+	seen := map[[2]int32]bool{}
+	for _, p := range pairs {
+		if p[0] >= p[1] {
+			t.Fatalf("pair not ordered: %v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+		if d := math.Sqrt(w.Dist2(int(p[0])*AtomsPerMol, int(p[1])*AtomsPerMol)); d > cutoff+1e-9 {
+			t.Fatalf("pair %v at distance %g beyond cutoff", p, d)
+		}
+	}
+	// Completeness: brute-force check on this small box.
+	brute := 0
+	for i := 0; i < w.NumMol; i++ {
+		for j := i + 1; j < w.NumMol; j++ {
+			if w.Dist2(i*AtomsPerMol, j*AtomsPerMol) <= cutoff*cutoff {
+				brute++
+			}
+		}
+	}
+	if brute != len(pairs) {
+		t.Fatalf("cell list found %d pairs, brute force %d", len(pairs), brute)
+	}
+}
+
+func TestFullNeighborListDoublesHalf(t *testing.T) {
+	w := NewWaterBox(64, 3.1, 17)
+	half := w.HalfNeighborPairs(5.0)
+	full := w.FullNeighborList(5.0)
+	total := 0
+	for _, l := range full {
+		total += len(l)
+	}
+	if total != 2*len(half) {
+		t.Fatalf("full list %d entries, half %d pairs", total, len(half))
+	}
+}
+
+func TestPaperScaleWaterBox(t *testing.T) {
+	// The Figure 10 configuration: 903 molecules; force-array index space
+	// 903*3 atoms * 3 components = 8127 ≈ the paper's 8192 unique indices.
+	w := NewWaterBox(903, 3.1, 1)
+	if w.NumMol != 903 {
+		t.Fatalf("mol = %d", w.NumMol)
+	}
+	pairs := w.HalfNeighborPairs(9.0)
+	perMol := float64(2*len(pairs)) / float64(w.NumMol)
+	if perMol < 30 || perMol > 200 {
+		t.Fatalf("neighbors per molecule = %.1f, implausible for liquid water", perMol)
+	}
+}
+
+func TestMinImage(t *testing.T) {
+	if d := minImage(9, 10); d != -1 {
+		t.Fatalf("minImage(9,10) = %g", d)
+	}
+	if d := minImage(-9, 10); d != 1 {
+		t.Fatalf("minImage(-9,10) = %g", d)
+	}
+	if d := minImage(3, 10); d != 3 {
+		t.Fatalf("minImage(3,10) = %g", d)
+	}
+}

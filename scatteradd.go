@@ -1,0 +1,345 @@
+// Package scatteradd is a cycle-level reproduction of "Scatter-Add in Data
+// Parallel Architectures" (Ahn, Erez, Dally — HPCA 2005): a simulated
+// Merrimac-like stream processor whose memory system performs atomic
+// data-parallel read-modify-write operations in hardware scatter-add units,
+// together with the paper's software alternatives (sort + segmented scan,
+// privatization, coloring), its three evaluation applications (histogram,
+// sparse matrix-vector multiply, molecular dynamics), a multi-node model
+// with cache combining, and runners that regenerate every table and figure
+// of the paper's evaluation.
+//
+// # Quick start
+//
+//	m := scatteradd.NewMachine(scatteradd.DefaultConfig())
+//	data := []int{3, 1, 3, 7, 3, 1}
+//	bins, res := scatteradd.HistogramI64(m, data, 8)
+//	fmt.Println(bins, res.Cycles)
+//
+// The simulator is functional as well as timed: scatter-add results are
+// computed by the simulated hardware and can be read back from the
+// machine's memory, so performance experiments double as correctness
+// checks.
+//
+// Lower-level building blocks live in the internal packages and are
+// re-exported here: machine configuration and stream operations
+// (LoadStream, Gather, ScatterAdd, Kernel, ...), the software scatter-add
+// methods (SortScan, Privatize, Colored), the evaluation applications
+// (NewHistogram, NewSpMV, NewMolDyn), the multi-node system (NewMultiNode),
+// and the experiment runners (Figure, Table1).
+package scatteradd
+
+import (
+	"fmt"
+
+	"scatteradd/internal/apps"
+	"scatteradd/internal/exp"
+	"scatteradd/internal/machine"
+	"scatteradd/internal/mem"
+	"scatteradd/internal/multinode"
+	"scatteradd/internal/saunit"
+	"scatteradd/internal/softscatter"
+	"scatteradd/internal/stream"
+)
+
+// Core memory-model types.
+type (
+	// Addr is a word-granular memory address.
+	Addr = mem.Addr
+	// Word is the raw 64-bit contents of one memory word.
+	Word = mem.Word
+	// Kind identifies a memory operation (Read, Write, AddF64, ...).
+	Kind = mem.Kind
+)
+
+// Memory operation kinds. AddF64 and AddI64 are the paper's scatter-add;
+// Min/Max/Mul are the §3.3 extensions; FetchAdd* implement the
+// data-parallel Fetch&Op with a return path.
+const (
+	Read        = mem.Read
+	Write       = mem.Write
+	AddF64      = mem.AddF64
+	AddI64      = mem.AddI64
+	MinF64      = mem.MinF64
+	MaxF64      = mem.MaxF64
+	MulF64      = mem.MulF64
+	MinI64      = mem.MinI64
+	MaxI64      = mem.MaxI64
+	FetchAddF64 = mem.FetchAddF64
+	FetchAddI64 = mem.FetchAddI64
+)
+
+// Word conversions.
+var (
+	// F64 converts a float64 to its Word representation.
+	F64 = mem.F64
+	// AsF64 converts a Word to float64.
+	AsF64 = mem.AsF64
+	// I64 converts an int64 to its Word representation.
+	I64 = mem.I64
+	// AsI64 converts a Word to int64.
+	AsI64 = mem.AsI64
+)
+
+// Machine model.
+type (
+	// Config describes one simulated node (Table 1 defaults).
+	Config = machine.Config
+	// UniformMemConfig selects the cache-less sensitivity-study memory.
+	UniformMemConfig = machine.UniformMemConfig
+	// Machine is one simulated stream-processor node.
+	Machine = machine.Machine
+	// Op is one stream operation (kernel or memory transfer).
+	Op = machine.Op
+	// Result carries cycles, FP operations, and memory references.
+	Result = machine.Result
+	// Response is a completed read or fetch-and-op.
+	Response = mem.Response
+)
+
+// DefaultConfig returns the paper's Table 1 machine configuration.
+func DefaultConfig() Config { return machine.DefaultConfig() }
+
+// NewMachine constructs a simulated node.
+func NewMachine(cfg Config) *Machine { return machine.New(cfg) }
+
+// Stream-operation constructors.
+var (
+	// LoadStream reads n consecutive words.
+	LoadStream = machine.LoadStream
+	// StoreStream writes consecutive words.
+	StoreStream = machine.StoreStream
+	// Gather reads an address vector (indexed load).
+	Gather = machine.Gather
+	// Scatter writes an address vector (indexed store).
+	Scatter = machine.Scatter
+	// ScatterAdd atomically combines values into memory (the paper's
+	// primitive; pass a 1-element value slice to broadcast a scalar).
+	ScatterAdd = machine.ScatterAdd
+	// Kernel models a compute kernel by FP operations and SRF traffic.
+	Kernel = machine.Kernel
+	// IntKernel models a non-FP compute kernel.
+	IntKernel = machine.IntKernel
+	// Fence waits for all outstanding (including Async) memory streams.
+	Fence = machine.Fence
+)
+
+// Stream pipelining (software pipelining over the two address generators).
+var (
+	// StreamPipeline processes n elements in chunks, overlapping each
+	// chunk's asynchronous memory operations with later chunks' work.
+	StreamPipeline = stream.Pipeline
+	// GatherComputeScatterAdd builds the canonical three-phase chunk
+	// (synchronous gather, kernel, asynchronous scatter-add).
+	GatherComputeScatterAdd = stream.GatherComputeScatterAdd
+)
+
+// StreamChunkFunc produces the operations of one pipeline chunk.
+type StreamChunkFunc = stream.ChunkFunc
+
+// Software scatter-add methods (§2.1).
+var (
+	// SortScan performs scatter-add by batched bitonic sort + segmented
+	// scan (batch 0 selects the paper's 256).
+	SortScan = softscatter.SortScan
+	// Privatize performs scatter-add by privatization (O(m*n)).
+	Privatize = softscatter.Privatize
+	// Colored performs scatter-add using a precomputed collision-free
+	// coloring.
+	Colored = softscatter.Colored
+)
+
+// Evaluation applications (§4.1).
+type (
+	// Histogram is the binning workload of Figures 6-8.
+	Histogram = apps.Histogram
+	// SpMV is the sparse matrix-vector workload of Figure 9.
+	SpMV = apps.SpMV
+	// MolDyn is the molecular-dynamics workload of Figure 10.
+	MolDyn = apps.MolDyn
+)
+
+var (
+	// NewHistogram builds n uniform indices over rangeSize bins.
+	NewHistogram = apps.NewHistogram
+	// NewSpMV builds the synthetic finite-element SpMV workload.
+	NewSpMV = apps.NewSpMV
+	// NewMolDyn builds the water-box molecular-dynamics workload.
+	NewMolDyn = apps.NewMolDyn
+)
+
+// Multi-node system (§3.2, §4.5).
+type (
+	// MultiNodeConfig describes the multi-node system.
+	MultiNodeConfig = multinode.Config
+	// MultiNode is the crossbar-connected multi-node machine.
+	MultiNode = multinode.System
+	// MultiNodeRef is one scatter-add reference of a trace.
+	MultiNodeRef = multinode.Ref
+	// MultiNodeResult reports a trace replay.
+	MultiNodeResult = multinode.Result
+)
+
+// DefaultMultiNodeConfig returns nodes Table 1 nodes over a crossbar with
+// the given per-port bandwidth in words/cycle (1 = the paper's low
+// configuration, 8 = high), each owning span words of the address space.
+func DefaultMultiNodeConfig(nodes, wordsPerCyc int, span Addr) MultiNodeConfig {
+	return multinode.DefaultConfig(nodes, wordsPerCyc, span)
+}
+
+// NewMultiNode constructs the multi-node system for traces of the given
+// combine kind.
+func NewMultiNode(cfg MultiNodeConfig, kind Kind) *MultiNode {
+	return multinode.New(cfg, kind)
+}
+
+// AreaEstimate returns the scatter-add hardware area in mm² (90 nm) and the
+// fraction of a 10x10 mm die, per the paper's §3.2 estimate.
+var AreaEstimate = saunit.AreaEstimate
+
+// Experiments.
+type (
+	// ExpTable is a rendered experiment (title, header, rows).
+	ExpTable = exp.Table
+	// ExpOptions controls experiment scale (Scale: 1 = paper sizes).
+	ExpOptions = exp.Options
+)
+
+// Table1 renders the machine parameters as in the paper's Table 1.
+func Table1() ExpTable { return exp.Table1() }
+
+// PlotFigure renders an ASCII chart of a figure's table in the style of the
+// paper's own presentation (log-log curves, grouped bars, scaling curves).
+var PlotFigure = exp.Plot
+
+// ReproCheck is one verified paper claim from Report.
+type ReproCheck = exp.Check
+
+// Report regenerates every experiment, checks the paper's headline claims
+// against the measured shapes, and returns a markdown report plus the
+// individual check results.
+var Report = exp.Report
+
+// Figure regenerates one of the paper's figures (6-13) at the given scale.
+func Figure(n int, o ExpOptions) (ExpTable, error) {
+	switch n {
+	case 6:
+		return exp.Fig6(o), nil
+	case 7:
+		return exp.Fig7(o), nil
+	case 8:
+		return exp.Fig8(o), nil
+	case 9:
+		return exp.Fig9(o), nil
+	case 10:
+		return exp.Fig10(o), nil
+	case 11:
+		return exp.Fig11(o), nil
+	case 12:
+		return exp.Fig12(o), nil
+	case 13:
+		return exp.Fig13(o), nil
+	}
+	return ExpTable{}, fmt.Errorf("scatteradd: no figure %d in the paper's evaluation", n)
+}
+
+// Individual ablation studies beyond the paper's own figures.
+var (
+	// AblationDRAMSched compares FR-FCFS against FIFO DRAM scheduling.
+	AblationDRAMSched = exp.AblationDRAMSched
+	// AblationSAPlacement compares per-bank scatter-add units against a
+	// single unit at the memory interface.
+	AblationSAPlacement = exp.AblationSAPlacement
+	// AblationBatchSize sweeps the software sort&scan batch size.
+	AblationBatchSize = exp.AblationBatchSize
+	// AblationEagerCombine evaluates eager operand pre-combining.
+	AblationEagerCombine = exp.AblationEagerCombine
+	// AblationOverlap compares sequential vs software-pipelined scatter-add.
+	AblationOverlap = exp.AblationOverlap
+	// AblationHierarchical compares linear vs logarithmic multi-node
+	// combining (the paper's §5 future work).
+	AblationHierarchical = exp.AblationHierarchical
+	// AblationWritePolicy compares write-allocate vs write-no-allocate.
+	AblationWritePolicy = exp.AblationWritePolicy
+	// AblationCombiningStore sweeps combining-store entries on the full
+	// machine.
+	AblationCombiningStore = exp.AblationCombiningStore
+)
+
+// Ablations returns all design-choice ablation studies (DRAM scheduling,
+// unit placement, batch size, eager combining, combining-store size).
+func Ablations(o ExpOptions) []ExpTable {
+	return []ExpTable{
+		AblationDRAMSched(o),
+		AblationSAPlacement(o),
+		AblationBatchSize(o),
+		AblationEagerCombine(o),
+		AblationCombiningStore(o),
+		AblationOverlap(o),
+		AblationHierarchical(o),
+		AblationWritePolicy(o),
+	}
+}
+
+// HistogramI64 is the package's quick-start helper: it bins data (values in
+// [0, bins)) with the hardware scatter-add on m and returns the bins along
+// with the run metrics.
+func HistogramI64(m *Machine, data []int, bins int) ([]int64, Result) {
+	const binBase = Addr(0)
+	addrs := make([]Addr, len(data))
+	for i, x := range data {
+		if x < 0 || x >= bins {
+			panic(fmt.Sprintf("scatteradd: datum %d outside [0,%d)", x, bins))
+		}
+		addrs[i] = binBase + Addr(x)
+	}
+	res := m.RunOp(ScatterAdd("histogram", AddI64, addrs, []Word{I64(1)}))
+	m.FlushCaches()
+	return m.Store().ReadI64Slice(binBase, bins), res
+}
+
+// ScanConfig returns the Table 1 machine with the scatter-add units in
+// ordered-chain mode, turning Fetch* operations into the hardware scan
+// (parallel prefix) engine the paper proposes as future work (§5).
+func ScanConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SA.OrderedChains = true
+	return cfg
+}
+
+// PrefixSumI64 computes the exclusive prefix sums of vals on the hardware
+// scan engine (one ordered fetch-add per element), returning the prefixes,
+// the total, and the run metrics.
+func PrefixSumI64(m *Machine, vals []int64) (prefix []int64, total int64, res Result) {
+	if !m.Config().SA.OrderedChains {
+		panic("scatteradd: PrefixSumI64 requires a machine built with ScanConfig (ordered chains)")
+	}
+	const counter = Addr(0)
+	addrs := make([]Addr, len(vals))
+	words := make([]Word, len(vals))
+	for i, v := range vals {
+		addrs[i] = counter
+		words[i] = I64(v)
+	}
+	prefix = make([]int64, len(vals))
+	op := ScatterAdd("prefix-sum", FetchAddI64, addrs, words)
+	op.OnResp = func(r Response) { prefix[r.ID] = AsI64(r.Val) }
+	res = m.RunOp(op)
+	m.FlushCaches()
+	return prefix, m.Store().LoadI64(counter), res
+}
+
+// ScatterAddF64 is a convenience wrapper: it atomically adds vals[i] into
+// target[idx[i]] on m and returns the run metrics. The result can be read
+// back with m.Store() after m.FlushCaches().
+func ScatterAddF64(m *Machine, target Addr, idx []int, vals []float64) Result {
+	if len(idx) != len(vals) {
+		panic(fmt.Sprintf("scatteradd: %d indices, %d values", len(idx), len(vals)))
+	}
+	addrs := make([]Addr, len(idx))
+	words := make([]Word, len(vals))
+	for i := range idx {
+		addrs[i] = target + Addr(idx[i])
+		words[i] = F64(vals[i])
+	}
+	return m.RunOp(ScatterAdd("scatter-add", AddF64, addrs, words))
+}
