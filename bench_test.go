@@ -10,11 +10,33 @@ package scatteradd
 // cmd/scatteradd with -scale 1 for the full paper-scale tables.
 
 import (
+	"runtime"
 	"testing"
 )
 
-// benchOpts is the per-iteration scale used by the benchmarks.
-var benchOpts = ExpOptions{Scale: 8}
+// benchOpts is the per-iteration scale used by the benchmarks; figures fan
+// their independent runs across one worker per CPU (Jobs). Compare
+// BenchmarkReportJobs1 against BenchmarkReportJobsN for the end-to-end
+// speedup of the parallel experiment runner.
+var benchOpts = ExpOptions{Scale: 8, Jobs: runtime.NumCPU()}
+
+// BenchmarkReportJobs1 regenerates the full report sequentially.
+func BenchmarkReportJobs1(b *testing.B) { benchReport(b, 1) }
+
+// BenchmarkReportJobsN regenerates the full report with one worker per CPU.
+func BenchmarkReportJobsN(b *testing.B) { benchReport(b, runtime.NumCPU()) }
+
+func benchReport(b *testing.B, jobs int) {
+	b.Helper()
+	o := benchOpts
+	o.Jobs = jobs
+	for i := 0; i < b.N; i++ {
+		md, checks := Report(o)
+		if len(md) == 0 || len(checks) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
 
 func benchFigure(b *testing.B, n int) {
 	b.Helper()

@@ -108,7 +108,8 @@ func run(app, variant string, n, rangeSize, batch, mol int, cutoff float64, seed
 	}
 
 	fmt.Printf("%s, variant %s\n", desc, variant)
-	fmt.Printf("  cycles        %12d  (%.1f us at 1 GHz)\n", res.Cycles, float64(res.Cycles)/1000)
+	fmt.Printf("  cycles        %12d  (%.1f us at %g GHz)\n",
+		res.Cycles, machine.CyclesToMicros(res.Cycles), machine.ClockGHz)
 	fmt.Printf("  fp ops        %12d\n", res.FPOps)
 	fmt.Printf("  mem refs      %12d\n", res.MemRefs)
 	sa, cs, ds := m.ComponentStats()

@@ -11,6 +11,9 @@
 // Flags:
 //
 //	-scale N   divide dataset sizes by N for a quick run (default 1 = paper scale)
+//	-jobs N    run up to N independent simulations concurrently (default NumCPU;
+//	           1 = sequential; output is byte-identical for every N)
+//	-seed N    perturb every workload seed (default 0 = the paper's fixed seeds)
 //	-csv       emit CSV instead of aligned text
 package main
 
@@ -18,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"scatteradd"
@@ -25,6 +29,8 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "divide dataset sizes by N (1 = full paper scale)")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations (1 = sequential)")
+	seed := flag.Uint64("seed", 0, "perturb workload seeds (0 = the paper's fixed seeds)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	doPlot := flag.Bool("plot", false, "also render ASCII charts of the figures")
 	flag.Usage = usage
@@ -33,7 +39,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	o := scatteradd.ExpOptions{Scale: *scale}
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "scatteradd: -jobs %d invalid (want >= 1)\n", *jobs)
+		os.Exit(2)
+	}
+	o := scatteradd.ExpOptions{Scale: *scale, Jobs: *jobs, Seed: *seed}
 	for _, name := range flag.Args() {
 		if err := run(name, o, *csv, *doPlot); err != nil {
 			fmt.Fprintf(os.Stderr, "scatteradd: %v\n", err)
@@ -43,7 +53,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: scatteradd [-scale N] [-csv] <experiment>...
+	fmt.Fprintf(os.Stderr, `usage: scatteradd [-scale N] [-jobs N] [-seed N] [-csv] <experiment>...
 
 experiments:
   table1           machine parameters (paper Table 1)

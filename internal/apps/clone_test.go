@@ -1,0 +1,141 @@
+package apps
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"scatteradd/internal/machine"
+)
+
+// The parallel experiment runner (internal/exp) hands each concurrent run a
+// Clone() of the workload and relies on Run* methods never mutating the
+// workload they are given. These tests pin both halves of that contract:
+// clones share no state with the original, and every Run variant leaves the
+// workload's checksum untouched.
+
+func histChecksum(h *Histogram) uint64 {
+	s := fnv.New64a()
+	fmt.Fprint(s, h.N, h.Range, h.BinBase, h.DataBase, h.Idx, h.Ref)
+	return s.Sum64()
+}
+
+func spmvChecksum(v *SpMV) uint64 {
+	s := fnv.New64a()
+	fmt.Fprint(s, v.Mesh.NumNodes, v.Mesh.Elems)
+	fmt.Fprint(s, v.CSR.N, v.CSR.RowPtr, v.CSR.Col, v.CSR.Val)
+	fmt.Fprint(s, v.X, v.RefY, v.XBase, v.YBase, v.ValBase, v.ColBase, v.RowBase)
+	return s.Sum64()
+}
+
+func moldynChecksum(md *MolDyn) uint64 {
+	s := fnv.New64a()
+	fmt.Fprint(s, md.W.NumMol, md.W.Box, md.W.Pos)
+	fmt.Fprint(s, md.Pairs, md.Full, md.RefForce, md.PosBase, md.ForceBase, md.ListBase)
+	return s.Sum64()
+}
+
+func newMachine() *machine.Machine { return machine.New(machine.DefaultConfig()) }
+
+func TestWorkloadsImmutableAcrossRuns(t *testing.T) {
+	h := NewHistogram(512, 64, 7)
+	before := histChecksum(h)
+	for name, run := range map[string]func() machine.Result{
+		"hw":        func() machine.Result { return h.RunHW(newMachine()) },
+		"sortscan":  func() machine.Result { return h.RunSortScan(newMachine(), 0) },
+		"privatize": func() machine.Result { return h.RunPrivatization(newMachine(), 0) },
+		"overlap":   func() machine.Result { return h.RunHWOverlapped(newMachine(), 0) },
+	} {
+		run()
+		if histChecksum(h) != before {
+			t.Fatalf("histogram mutated by Run %s", name)
+		}
+	}
+
+	s := NewSpMV(2, 2, 2, 7)
+	beforeS := spmvChecksum(s)
+	for name, run := range map[string]func() machine.Result{
+		"csr":   func() machine.Result { return s.RunCSR(newMachine()) },
+		"ebehw": func() machine.Result { return s.RunEBEHW(newMachine()) },
+		"ebesw": func() machine.Result { return s.RunEBESW(newMachine(), 0) },
+	} {
+		run()
+		if spmvChecksum(s) != beforeS {
+			t.Fatalf("spmv mutated by Run %s", name)
+		}
+	}
+
+	md := NewMolDyn(27, 5.0, 7)
+	beforeM := moldynChecksum(md)
+	for name, run := range map[string]func() machine.Result{
+		"nosa": func() machine.Result { return md.RunNoSA(newMachine()) },
+		"hw":   func() machine.Result { return md.RunHWSA(newMachine()) },
+		"sw":   func() machine.Result { return md.RunSWSA(newMachine(), 0) },
+	} {
+		run()
+		if moldynChecksum(md) != beforeM {
+			t.Fatalf("moldyn mutated by Run %s", name)
+		}
+	}
+}
+
+func TestHistogramCloneIsIndependent(t *testing.T) {
+	h := NewHistogram(256, 32, 3)
+	c := h.Clone()
+	if histChecksum(h) != histChecksum(c) {
+		t.Fatal("clone differs from original")
+	}
+	c.Idx[0]++
+	c.Ref[0]++
+	if histChecksum(h) == histChecksum(c) {
+		t.Fatal("mutating the clone reached the original")
+	}
+	// The mutated clone must not affect a fresh run of the original.
+	m := newMachine()
+	h.RunHW(m)
+	if err := h.Verify(m); err != nil {
+		t.Fatalf("original failed after clone mutation: %v", err)
+	}
+}
+
+func TestSpMVCloneIsIndependent(t *testing.T) {
+	s := NewSpMV(2, 2, 2, 3)
+	c := s.Clone()
+	if spmvChecksum(s) != spmvChecksum(c) {
+		t.Fatal("clone differs from original")
+	}
+	c.X[0] += 1
+	c.CSR.Val[0] += 1
+	c.Mesh.Elems[0][0]++
+	c.RefY[0] += 1
+	if spmvChecksum(s) == spmvChecksum(c) {
+		t.Fatal("mutating the clone reached the original")
+	}
+	m := newMachine()
+	s.RunCSR(m)
+	if err := s.Verify(m); err != nil {
+		t.Fatalf("original failed after clone mutation: %v", err)
+	}
+}
+
+func TestMolDynCloneIsIndependent(t *testing.T) {
+	md := NewMolDyn(27, 5.0, 3)
+	c := md.Clone()
+	if moldynChecksum(md) != moldynChecksum(c) {
+		t.Fatal("clone differs from original")
+	}
+	c.W.Pos[0][0] += 1
+	c.Pairs[0][0]++
+	if len(c.Full[0]) > 0 {
+		c.Full[0][0]++
+	}
+	c.RefForce[0] += 1
+	if moldynChecksum(md) == moldynChecksum(c) {
+		t.Fatal("mutating the clone reached the original")
+	}
+	m := newMachine()
+	md.RunHWSA(m)
+	if err := md.Verify(m); err != nil {
+		t.Fatalf("original failed after clone mutation: %v", err)
+	}
+}

@@ -52,6 +52,17 @@ func NewHistogram(n, rangeSize int, seed uint64) *Histogram {
 	}
 }
 
+// Clone returns a deep copy of the workload, sharing no slices with the
+// original, so concurrent runs on separate machines cannot race. Run methods
+// never mutate the workload (see TestWorkloadsImmutableAcrossRuns), but the
+// parallel experiment runner clones anyway to make isolation structural.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.Idx = append([]int(nil), h.Idx...)
+	c.Ref = append([]int64(nil), h.Ref...)
+	return &c
+}
+
 // Init writes the dataset into the machine's memory image (bins start at
 // zero, which a fresh store already provides).
 func (h *Histogram) Init(m *machine.Machine) {

@@ -57,6 +57,21 @@ func NewMolDyn(nMol int, cutoff float64, seed uint64) *MolDyn {
 	return md
 }
 
+// Clone returns a deep copy of the workload (water box, neighbor lists, and
+// the reference forces), sharing no slices with the original, so concurrent
+// runs on separate machines cannot race.
+func (md *MolDyn) Clone() *MolDyn {
+	c := *md
+	c.W = md.W.Clone()
+	c.Pairs = append([][2]int32(nil), md.Pairs...)
+	c.Full = make([][]int32, len(md.Full))
+	for i, l := range md.Full {
+		c.Full[i] = append([]int32(nil), l...)
+	}
+	c.RefForce = append([]float64(nil), md.RefForce...)
+	return &c
+}
+
 // NumSARefs returns the number of scatter-add references the Newton's-law
 // variants issue (Figure 13's GROMACS trace size).
 func (md *MolDyn) NumSARefs() int { return len(md.Pairs) * forceRefsPerPair }

@@ -53,6 +53,18 @@ func NewSpMV(nx, ny, nz int, seed uint64) *SpMV {
 	return s
 }
 
+// Clone returns a deep copy of the workload (mesh, CSR arrays, x, and the
+// reference result), sharing no slices with the original, so concurrent runs
+// on separate machines cannot race.
+func (s *SpMV) Clone() *SpMV {
+	c := *s
+	c.Mesh = s.Mesh.Clone()
+	c.CSR = s.CSR.Clone()
+	c.X = append([]float64(nil), s.X...)
+	c.RefY = append([]float64(nil), s.RefY...)
+	return &c
+}
+
 // Init writes x, the CSR arrays, and the EBE element data into memory.
 // y starts at zero.
 func (s *SpMV) Init(m *machine.Machine) {

@@ -10,7 +10,9 @@ import (
 )
 
 // Ablations beyond the paper's figures, exercising the design choices
-// DESIGN.md calls out. Each returns a Table like the figure runners.
+// DESIGN.md calls out. Each returns a Table like the figure runners, and
+// each fans its independent (workload, machine) runs out across the worker
+// pool; every run builds its own workload and machine.
 
 // AblationDRAMSched compares FR-FCFS memory access scheduling (the paper's
 // cited mechanism) against strict FIFO on a cache-hostile histogram.
@@ -20,17 +22,19 @@ func AblationDRAMSched(o Options) Table {
 		Header: []string{"policy", "us", "row_hit_rate"},
 	}
 	n := o.scaled(16384)
-	for _, pol := range []dram.SchedPolicy{dram.FRFCFS, dram.FIFO} {
+	pols := []dram.SchedPolicy{dram.FRFCFS, dram.FIFO}
+	t.Rows = mapN(o, len(pols), func(i int) []string {
+		pol := pols[i]
 		cfg := machine.DefaultConfig()
 		cfg.DRAM.Policy = pol
 		m := machine.New(cfg)
-		h := apps.NewHistogram(n, 1<<20, 0xAB1)
+		h := apps.NewHistogram(n, 1<<20, o.seed(0xAB1))
 		res := h.RunHW(m)
 		mustVerify(m, h, "ablation dram histogram")
 		_, _, st := m.ComponentStats()
 		hitRate := float64(st.RowHits) / float64(st.RowHits+st.RowMisses)
-		t.Rows = append(t.Rows, []string{pol.String(), f(us(res.Cycles)), f(hitRate)})
-	}
+		return []string{pol.String(), f(us(res.Cycles)), f(hitRate)}
+	})
 	return t
 }
 
@@ -43,21 +47,23 @@ func AblationSAPlacement(o Options) Table {
 		Header: []string{"placement", "us"},
 	}
 	n := o.scaled(16384)
-	for _, banks := range []int{8, 1} {
+	bankCounts := []int{8, 1}
+	t.Rows = mapN(o, len(bankCounts), func(i int) []string {
+		banks := bankCounts[i]
 		cfg := machine.DefaultConfig()
 		cfg.Cache.Banks = banks
 		cfg.Cache.PortWidth = 8 / banks // keep total cache bandwidth fixed
 		cfg.SA.PortWidth = 8 / banks
 		m := machine.New(cfg)
-		h := apps.NewHistogram(n, 2048, 0xAB2)
+		h := apps.NewHistogram(n, 2048, o.seed(0xAB2))
 		res := h.RunHW(m)
 		mustVerify(m, h, "ablation placement histogram")
 		label := "per-bank (8 units)"
 		if banks == 1 {
 			label = "memory interface (1 unit)"
 		}
-		t.Rows = append(t.Rows, []string{label, f(us(res.Cycles))})
-	}
+		return []string{label, f(us(res.Cycles))}
+	})
 	return t
 }
 
@@ -70,13 +76,15 @@ func AblationBatchSize(o Options) Table {
 		Notes:  []string{"paper: 256 was the best batch size on Merrimac"},
 	}
 	n := o.scaled(8192)
-	for _, batch := range []int{32, 64, 128, 256, 512, 1024, 2048, 4096} {
-		h := apps.NewHistogram(n, 2048, 0xAB3)
+	batches := []int{32, 64, 128, 256, 512, 1024, 2048, 4096}
+	t.Rows = mapN(o, len(batches), func(i int) []string {
+		batch := batches[i]
+		h := apps.NewHistogram(n, 2048, o.seed(0xAB3))
 		m := paperMachine()
 		res := h.RunSortScan(m, batch)
 		mustVerify(m, h, "ablation batch histogram")
-		t.Rows = append(t.Rows, []string{d(uint64(batch)), f(us(res.Cycles))})
-	}
+		return []string{d(uint64(batch)), f(us(res.Cycles))}
+	})
 	return t
 }
 
@@ -89,11 +97,13 @@ func AblationEagerCombine(o Options) Table {
 		Header: []string{"mode", "us", "fu_ops"},
 	}
 	n := o.scaled(16384)
-	for _, eager := range []bool{false, true} {
+	modes := []bool{false, true}
+	t.Rows = mapN(o, len(modes), func(i int) []string {
+		eager := modes[i]
 		cfg := machine.DefaultConfig()
 		cfg.SA.EagerCombine = eager
 		m := machine.New(cfg)
-		h := apps.NewHistogram(n, 64, 0xAB4)
+		h := apps.NewHistogram(n, 64, o.seed(0xAB4))
 		res := h.RunHW(m)
 		mustVerify(m, h, "ablation eager histogram")
 		sa, _, _ := m.ComponentStats()
@@ -101,8 +111,8 @@ func AblationEagerCombine(o Options) Table {
 		if eager {
 			label = "eager pre-combine"
 		}
-		t.Rows = append(t.Rows, []string{label, f(us(res.Cycles)), d(sa.FUOps)})
-	}
+		return []string{label, f(us(res.Cycles)), d(sa.FUOps)}
+	})
 	return t
 }
 
@@ -120,31 +130,39 @@ func AblationOverlap(o Options) Table {
 		Notes:  []string{"paper §1: the core continues running while the scatter-add units work"},
 	}
 	n := o.scaled(32768)
-	h := apps.NewHistogram(n, 2048, 0xAB6)
-	equalize := machine.Kernel("equalize", float64(8*n), float64(2*n))
-
-	mSeq := paperMachine()
-	seq := h.RunHW(mSeq)
-	seq.Add(mSeq.RunOp(equalize))
-	mustVerify(mSeq, h, "ablation overlap sequential")
-
-	mOvl := paperMachine()
-	h.Init(mOvl)
-	var ovl machine.Result
-	ovl.Add(mOvl.RunOp(machine.LoadStream("hist-load", h.DataBase, h.N)))
-	ovl.Add(mOvl.RunOp(machine.IntKernel("hist-map", float64(h.N), float64(2*h.N))))
-	sa := machine.ScatterAdd("hist-sa", mem.AddI64, workload.IndicesToAddrs(h.Idx, h.BinBase),
-		[]mem.Word{mem.I64(1)})
-	sa.Async = true
-	ovl.Add(mOvl.RunOp(sa))
-	ovl.Add(mOvl.RunOp(equalize)) // runs while the scatter-add drains
-	ovl.Add(mOvl.RunOp(machine.Fence()))
-	mustVerify(mOvl, h, "ablation overlap async")
-
-	t.Rows = append(t.Rows,
-		[]string{"sequential", f(us(seq.Cycles))},
-		[]string{"async scatter-add + overlapped kernel", f(us(ovl.Cycles))},
-	)
+	runSequential := func(h *apps.Histogram, m *machine.Machine, equalize machine.Op) machine.Result {
+		res := h.RunHW(m)
+		res.Add(m.RunOp(equalize))
+		return res
+	}
+	runOverlapped := func(h *apps.Histogram, m *machine.Machine, equalize machine.Op) machine.Result {
+		h.Init(m)
+		var res machine.Result
+		res.Add(m.RunOp(machine.LoadStream("hist-load", h.DataBase, h.N)))
+		res.Add(m.RunOp(machine.IntKernel("hist-map", float64(h.N), float64(2*h.N))))
+		sa := machine.ScatterAdd("hist-sa", mem.AddI64, workload.IndicesToAddrs(h.Idx, h.BinBase),
+			[]mem.Word{mem.I64(1)})
+		sa.Async = true
+		res.Add(m.RunOp(sa))
+		res.Add(m.RunOp(equalize)) // runs while the scatter-add drains
+		res.Add(m.RunOp(machine.Fence()))
+		return res
+	}
+	schedules := []struct {
+		label, what string
+		run         func(*apps.Histogram, *machine.Machine, machine.Op) machine.Result
+	}{
+		{"sequential", "ablation overlap sequential", runSequential},
+		{"async scatter-add + overlapped kernel", "ablation overlap async", runOverlapped},
+	}
+	t.Rows = mapN(o, len(schedules), func(i int) []string {
+		h := apps.NewHistogram(n, 2048, o.seed(0xAB6))
+		equalize := machine.Kernel("equalize", float64(8*n), float64(2*n))
+		m := paperMachine()
+		res := schedules[i].run(h, m, equalize)
+		mustVerify(m, h, schedules[i].what)
+		return []string{schedules[i].label, f(us(res.Cycles))}
+	})
 	return t
 }
 
@@ -158,11 +176,13 @@ func AblationWritePolicy(o Options) Table {
 		Header: []string{"policy", "us", "dram_reads", "dram_writes"},
 	}
 	n := o.scaled(32768)
-	vals := make([]mem.Word, n)
-	for i := range vals {
-		vals[i] = mem.F64(float64(i))
-	}
-	for _, noAlloc := range []bool{false, true} {
+	policies := []bool{false, true}
+	t.Rows = mapN(o, len(policies), func(i int) []string {
+		noAlloc := policies[i]
+		vals := make([]mem.Word, n)
+		for i := range vals {
+			vals[i] = mem.F64(float64(i))
+		}
 		cfg := machine.DefaultConfig()
 		cfg.Cache.WriteNoAllocate = noAlloc
 		m := machine.New(cfg)
@@ -178,8 +198,8 @@ func AblationWritePolicy(o Options) Table {
 		if noAlloc {
 			label = "write-no-allocate + WCB"
 		}
-		t.Rows = append(t.Rows, []string{label, f(us(res.Cycles)), d(ds.Reads), d(ds.Writes)})
-	}
+		return []string{label, f(us(res.Cycles)), d(ds.Reads), d(ds.Writes)}
+	})
 	return t
 }
 
@@ -197,25 +217,35 @@ func AblationHierarchical(o Options) Table {
 	const rng = 128
 	n := o.scaled(65536)
 	refs := make([]multinode.Ref, n)
-	idx := workload.UniformIndices(n, rng, 0xAB7)
+	idx := workload.UniformIndices(n, rng, o.seed(0xAB7))
 	for i, x := range idx {
 		refs[i] = multinode.Ref{Addr: mem.Addr(x), Val: mem.I64(1)}
 	}
 	span := mem.Addr(rng+mem.LineWords) &^ (mem.LineWords - 1) // node 0 owns all bins
+	type point struct {
+		hier  bool
+		nodes int
+	}
+	var points []point
 	for _, hier := range []bool{false, true} {
 		for _, nodes := range []int{2, 4, 8} {
-			cfg := multinode.DefaultConfig(nodes, 1, span)
-			cfg.Combining = true
-			cfg.Hierarchical = hier
-			s := multinode.New(cfg, mem.AddI64)
-			res := s.RunTrace(refs)
-			label := "linear"
-			if hier {
-				label = "hierarchical"
-			}
-			t.Rows = append(t.Rows, []string{label, d(uint64(nodes)), f(res.GBps())})
+			points = append(points, point{hier, nodes})
 		}
 	}
+	// refs is shared read-only; each point builds its own System.
+	t.Rows = mapN(o, len(points), func(i int) []string {
+		p := points[i]
+		cfg := multinode.DefaultConfig(p.nodes, 1, span)
+		cfg.Combining = true
+		cfg.Hierarchical = p.hier
+		s := multinode.New(cfg, mem.AddI64)
+		res := s.RunTrace(refs)
+		label := "linear"
+		if p.hier {
+			label = "hierarchical"
+		}
+		return []string{label, d(uint64(p.nodes)), f(res.GBps())}
+	})
 	return t
 }
 
@@ -227,14 +257,16 @@ func AblationCombiningStore(o Options) Table {
 		Header: []string{"entries", "us"},
 	}
 	n := o.scaled(16384)
-	for _, entries := range []int{2, 4, 8, 16, 32, 64} {
+	sizes := []int{2, 4, 8, 16, 32, 64}
+	t.Rows = mapN(o, len(sizes), func(i int) []string {
+		entries := sizes[i]
 		cfg := machine.DefaultConfig()
 		cfg.SA.Entries = entries
 		m := machine.New(cfg)
-		h := apps.NewHistogram(n, 65536, 0xAB5)
+		h := apps.NewHistogram(n, 65536, o.seed(0xAB5))
 		res := h.RunHW(m)
 		mustVerify(m, h, "ablation cs histogram")
-		t.Rows = append(t.Rows, []string{d(uint64(entries)), f(us(res.Cycles))})
-	}
+		return []string{d(uint64(entries)), f(us(res.Cycles))}
+	})
 	return t
 }

@@ -5,12 +5,18 @@
 // benchmarks.
 //
 // Options.Scale shrinks dataset sizes for quick runs (1 = the paper's full
-// sizes); the shapes are preserved at reduced scales.
+// sizes); the shapes are preserved at reduced scales. Options.Jobs bounds
+// the worker pool that fans each figure's independent (workload, machine)
+// simulations out across CPUs (see runner.go); rendered output is
+// byte-identical for every worker count.
 package exp
 
 import (
+	"encoding/csv"
 	"fmt"
 	"strings"
+
+	"scatteradd/internal/machine"
 )
 
 // Table is a rendered experiment: a title, column headers, and rows.
@@ -62,26 +68,48 @@ func (t Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values (header + rows).
+// CSV renders the table as RFC 4180 comma-separated values (header + rows);
+// cells containing commas, quotes, or newlines are quoted.
 func (t Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Header, ","))
-	b.WriteByte('\n')
-	for _, row := range t.Rows {
-		b.WriteString(strings.Join(row, ","))
-		b.WriteByte('\n')
+	w := csv.NewWriter(&b)
+	if err := w.Write(t.Header); err != nil {
+		panic(fmt.Sprintf("exp: CSV header of %q: %v", t.Title, err))
+	}
+	for r, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			panic(fmt.Sprintf("exp: CSV row %d of %q: %v", r, t.Title, err))
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		panic(fmt.Sprintf("exp: CSV of %q: %v", t.Title, err))
 	}
 	return b.String()
 }
 
-// Options control experiment scale.
+// Options control experiment scale and parallelism.
 type Options struct {
 	// Scale divides dataset sizes (1 = full paper scale; 4 = quarter data).
 	Scale int
+	// Jobs bounds the worker pool that runs a figure's independent
+	// (workload, machine) simulations concurrently. 0 means one worker per
+	// CPU (GOMAXPROCS); 1 runs everything sequentially on the caller's
+	// goroutine. Output is byte-identical for every value.
+	Jobs int
+	// Seed perturbs every workload seed (0 = the paper's fixed seeds),
+	// regenerating all figures on statistically fresh datasets.
+	Seed uint64
 }
 
-// DefaultOptions runs at the paper's full dataset sizes.
+// DefaultOptions runs at the paper's full dataset sizes with one worker per
+// CPU.
 func DefaultOptions() Options { return Options{Scale: 1} }
+
+// seed derives a workload seed from a figure's base seed and Options.Seed.
+func (o Options) seed(base uint64) uint64 {
+	return base ^ (o.Seed * 0x9e3779b97f4a7c15)
+}
 
 func (o Options) scaled(n int) int {
 	if o.Scale <= 1 {
@@ -94,8 +122,9 @@ func (o Options) scaled(n int) int {
 	return s
 }
 
-// us converts 1 GHz cycles to microseconds (the paper's time axis).
-func us(cycles uint64) float64 { return float64(cycles) / 1000.0 }
+// us converts core cycles to microseconds (the paper's time axis) at the
+// machine's ClockGHz.
+func us(cycles uint64) float64 { return machine.CyclesToMicros(cycles) }
 
 // f formats a float compactly.
 func f(v float64) string { return fmt.Sprintf("%.3g", v) }

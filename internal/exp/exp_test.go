@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/csv"
 	"strconv"
 	"strings"
 	"testing"
@@ -36,6 +37,65 @@ func TestTableRendering(t *testing.T) {
 	if !strings.HasPrefix(csv, "a,bb\n1,2\n") {
 		t.Fatalf("csv = %q", csv)
 	}
+}
+
+func TestCSVQuotesSpecialCells(t *testing.T) {
+	tab := Table{
+		Title:  "Q",
+		Header: []string{"label", "value"},
+		Rows: [][]string{
+			{"per-bank (8 units), combined", "1.5"},
+			{`say "hi"`, "2"},
+		},
+	}
+	r := csv.NewReader(strings.NewReader(tab.CSV()))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("CSV output does not re-parse: %v", err)
+	}
+	want := [][]string{{"label", "value"}, {"per-bank (8 units), combined", "1.5"}, {`say "hi"`, "2"}}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if recs[i][j] != want[i][j] {
+				t.Fatalf("record (%d,%d) = %q, want %q", i, j, recs[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestCellNumPanicsWithContext is the regression test for the silent-zero
+// bug: a malformed table cell must halt the report with the figure, row, and
+// column rather than flipping a claim check.
+func TestCellNumPanicsWithContext(t *testing.T) {
+	tab := Table{
+		Title:  "Figure X: malformed",
+		Header: []string{"a"},
+		Rows:   [][]string{{"1.5"}, {"not-a-number"}},
+	}
+	if got := cellNum(tab, 0, 0); got != 1.5 {
+		t.Fatalf("cellNum = %g, want 1.5", got)
+	}
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+			msg := r.(string)
+			if !strings.Contains(msg, "Figure X: malformed") {
+				t.Fatalf("%s: panic lacks figure context: %q", name, msg)
+			}
+		}()
+		fn()
+	}
+	expectPanic("malformed cell", func() { cellNum(tab, 1, 0) })
+	expectPanic("row out of range", func() { cellNum(tab, 5, 0) })
+	expectPanic("negative row", func() { cellNum(tab, -1, 0) })
+	expectPanic("column out of range", func() { cellNum(tab, 0, 3) })
 }
 
 func TestOptionsScaling(t *testing.T) {

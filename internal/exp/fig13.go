@@ -99,11 +99,21 @@ func Fig13(o Options) Table {
 		},
 	}
 	n := o.scaled(65536)
-	traces := map[string]trace{
-		"narrow": histTrace("narrow", n, 256, 0xF16_13),
-		"wide":   histTrace("wide", n, 1<<20, 0xF16_13+1),
-		"mole":   moleTrace(o),
-		"spas":   spasTrace(o),
+	// The four traces are independent to build (mole and spas regenerate the
+	// Figure 9/10 workloads, which dominates); fan the construction out too.
+	builders := []struct {
+		name  string
+		build func() trace
+	}{
+		{"narrow", func() trace { return histTrace("narrow", n, 256, o.seed(0xF16_13)) }},
+		{"wide", func() trace { return histTrace("wide", n, 1<<20, o.seed(0xF16_13+1)) }},
+		{"mole", func() trace { return moleTrace(o) }},
+		{"spas", func() trace { return spasTrace(o) }},
+	}
+	built := mapN(o, len(builders), func(i int) trace { return builders[i].build() })
+	traces := make(map[string]trace, len(built))
+	for i, tr := range built {
+		traces[builders[i].name] = tr
 	}
 	lines := []struct {
 		trace string
@@ -120,12 +130,17 @@ func Fig13(o Options) Table {
 		{"spas", traceConfig{"spas-low-comb", 1, true}},
 		{"spas", traceConfig{"spas-high-comb", 8, true}},
 	}
-	for _, ln := range lines {
-		tr := traces[ln.trace]
+	// Every (line, node-count) point builds its own multinode.System; the
+	// trace reference streams are shared read-only across points.
+	nodeCounts := []int{1, 2, 4, 8}
+	points := mapN(o, len(lines)*len(nodeCounts), func(i int) string {
+		ln := lines[i/len(nodeCounts)]
+		nodes := nodeCounts[i%len(nodeCounts)]
+		return fmt.Sprintf("%.2f", runTracePoint(traces[ln.trace], ln.cfg, nodes))
+	})
+	for r, ln := range lines {
 		row := []string{ln.cfg.label}
-		for _, nodes := range []int{1, 2, 4, 8} {
-			row = append(row, fmt.Sprintf("%.2f", runTracePoint(tr, ln.cfg, nodes)))
-		}
+		row = append(row, points[r*len(nodeCounts):(r+1)*len(nodeCounts)]...)
 		t.Rows = append(t.Rows, row)
 	}
 	return t

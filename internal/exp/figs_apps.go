@@ -25,7 +25,7 @@ func Fig9Input(o Options) *apps.SpMV {
 	} else if o.Scale > 1 {
 		nx, ny, nz = 6, 6, 4
 	}
-	return apps.NewSpMV(nx, ny, nz, 0xF16_9)
+	return apps.NewSpMV(nx, ny, nz, o.seed(0xF16_9))
 }
 
 // Fig9 reproduces Figure 9: sparse matrix-vector multiplication as CSR,
@@ -40,21 +40,27 @@ func Fig9(o Options) Table {
 			"shape: without HW scatter-add CSR beats EBE (~2.2x); with it EBE-HW beats CSR (~1.45x)",
 		},
 	}
+	// The mesh assembly is expensive, so the workload is built once and each
+	// concurrent variant run gets its own clone and its own machine.
 	s := Fig9Input(o)
-	mCSR := paperMachine()
-	csr := s.RunCSR(mCSR)
-	mustVerify(mCSR, s, "fig9 CSR")
-	t.Rows = append(t.Rows, appRow("CSR", csr))
-
-	mSW := paperMachine()
-	sw := s.RunEBESW(mSW, 0)
-	mustVerify(mSW, s, "fig9 EBE-SW")
-	t.Rows = append(t.Rows, appRow("EBE SW scatter-add", sw))
-
-	mHW := paperMachine()
-	hw := s.RunEBEHW(mHW)
-	mustVerify(mHW, s, "fig9 EBE-HW")
-	t.Rows = append(t.Rows, appRow("EBE HW scatter-add", hw))
+	variants := []struct {
+		label, what string
+		run         func(*apps.SpMV, *machine.Machine) machine.Result
+	}{
+		{"CSR", "fig9 CSR",
+			func(w *apps.SpMV, m *machine.Machine) machine.Result { return w.RunCSR(m) }},
+		{"EBE SW scatter-add", "fig9 EBE-SW",
+			func(w *apps.SpMV, m *machine.Machine) machine.Result { return w.RunEBESW(m, 0) }},
+		{"EBE HW scatter-add", "fig9 EBE-HW",
+			func(w *apps.SpMV, m *machine.Machine) machine.Result { return w.RunEBEHW(m) }},
+	}
+	t.Rows = mapN(o, len(variants), func(i int) []string {
+		w := s.Clone()
+		m := paperMachine()
+		res := variants[i].run(w, m)
+		mustVerify(m, w, variants[i].what)
+		return appRow(variants[i].label, res)
+	})
 	return t
 }
 
@@ -68,7 +74,7 @@ func Fig10Input(o Options) *apps.MolDyn {
 	} else if o.Scale > 1 {
 		nMol, cutoff = 512, 7.0
 	}
-	return apps.NewMolDyn(nMol, cutoff, 0xF16_10)
+	return apps.NewMolDyn(nMol, cutoff, o.seed(0xF16_10))
 }
 
 // Fig10 reproduces Figure 10: the GROMACS-like water force kernel without
@@ -85,19 +91,23 @@ func Fig10(o Options) Table {
 		},
 	}
 	md := Fig10Input(o)
-	mNo := paperMachine()
-	no := md.RunNoSA(mNo)
-	mustVerify(mNo, md, "fig10 no-SA")
-	t.Rows = append(t.Rows, appRow("no scatter-add", no))
-
-	mSW := paperMachine()
-	sw := md.RunSWSA(mSW, 0)
-	mustVerify(mSW, md, "fig10 SW-SA")
-	t.Rows = append(t.Rows, appRow("SW scatter-add", sw))
-
-	mHW := paperMachine()
-	hw := md.RunHWSA(mHW)
-	mustVerify(mHW, md, "fig10 HW-SA")
-	t.Rows = append(t.Rows, appRow("HW scatter-add", hw))
+	variants := []struct {
+		label, what string
+		run         func(*apps.MolDyn, *machine.Machine) machine.Result
+	}{
+		{"no scatter-add", "fig10 no-SA",
+			func(w *apps.MolDyn, m *machine.Machine) machine.Result { return w.RunNoSA(m) }},
+		{"SW scatter-add", "fig10 SW-SA",
+			func(w *apps.MolDyn, m *machine.Machine) machine.Result { return w.RunSWSA(m, 0) }},
+		{"HW scatter-add", "fig10 HW-SA",
+			func(w *apps.MolDyn, m *machine.Machine) machine.Result { return w.RunHWSA(m) }},
+	}
+	t.Rows = mapN(o, len(variants), func(i int) []string {
+		w := md.Clone()
+		m := paperMachine()
+		res := variants[i].run(w, m)
+		mustVerify(m, w, variants[i].what)
+		return appRow(variants[i].label, res)
+	})
 	return t
 }

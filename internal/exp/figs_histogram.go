@@ -20,6 +20,33 @@ func mustVerify(m *machine.Machine, v interface{ Verify(*machine.Machine) error 
 	}
 }
 
+// histRun is one independent (workload, machine) histogram simulation: each
+// task constructs its own Histogram from the point's seed and its own
+// machine, so concurrent runs share nothing.
+type histRun struct {
+	n, rng int
+	seed   uint64
+	what   string
+	run    func(*apps.Histogram, *machine.Machine) machine.Result
+}
+
+func runHW(h *apps.Histogram, m *machine.Machine) machine.Result   { return h.RunHW(m) }
+func runSort(h *apps.Histogram, m *machine.Machine) machine.Result { return h.RunSortScan(m, 0) }
+func runPriv(h *apps.Histogram, m *machine.Machine) machine.Result { return h.RunPrivatization(m, 0) }
+
+// runHistograms fans the runs out across the worker pool and returns their
+// cycle counts in input order.
+func runHistograms(o Options, runs []histRun) []uint64 {
+	return mapN(o, len(runs), func(i int) uint64 {
+		r := runs[i]
+		h := apps.NewHistogram(r.n, r.rng, r.seed)
+		m := paperMachine()
+		res := r.run(h, m)
+		mustVerify(m, h, r.what)
+		return res.Cycles
+	})
+}
+
 // Fig6 reproduces Figure 6: histogram execution time for input lengths
 // 256-8192 over a 2,048-bin range, hardware scatter-add versus software
 // sort + segmented scan. The paper reports both scaling O(n) with hardware
@@ -35,20 +62,27 @@ func Fig6(o Options) Table {
 	const rng = 2048
 	// Figure 6's input sizes are themselves the x-axis; Scale only trims the
 	// largest points on quick runs.
+	var ns []int
 	for _, n := range []int{256, 512, 1024, 2048, 4096, 8192} {
 		if o.Scale > 1 && n > 8192/o.Scale {
 			continue
 		}
-		h := apps.NewHistogram(n, rng, 0xF16_6+uint64(n))
-		mHW := paperMachine()
-		hw := h.RunHW(mHW)
-		mustVerify(mHW, h, "fig6 HW histogram")
-		mSW := paperMachine()
-		sw := h.RunSortScan(mSW, 0)
-		mustVerify(mSW, h, "fig6 SW histogram")
+		ns = append(ns, n)
+	}
+	runs := make([]histRun, 0, 2*len(ns))
+	for _, n := range ns {
+		seed := o.seed(0xF16_6 + uint64(n))
+		runs = append(runs,
+			histRun{n, rng, seed, "fig6 HW histogram", runHW},
+			histRun{n, rng, seed, "fig6 SW histogram", runSort},
+		)
+	}
+	cyc := runHistograms(o, runs)
+	for r, n := range ns {
+		hw, sw := cyc[2*r], cyc[2*r+1]
 		t.Rows = append(t.Rows, []string{
-			d(uint64(n)), f(us(hw.Cycles)), f(us(sw.Cycles)),
-			f(float64(sw.Cycles) / float64(hw.Cycles)),
+			d(uint64(n)), f(us(hw)), f(us(sw)),
+			f(float64(sw) / float64(hw)),
 		})
 	}
 	return t
@@ -68,15 +102,18 @@ func Fig7(o Options) Table {
 		},
 	}
 	n := o.scaled(32768)
-	for _, rng := range []int{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20} {
-		h := apps.NewHistogram(n, rng, 0xF16_7+uint64(rng))
-		mHW := paperMachine()
-		hw := h.RunHW(mHW)
-		mustVerify(mHW, h, "fig7 HW histogram")
-		mSW := paperMachine()
-		sw := h.RunSortScan(mSW, 0)
-		mustVerify(mSW, h, "fig7 SW histogram")
-		t.Rows = append(t.Rows, []string{d(uint64(rng)), f(us(hw.Cycles)), f(us(sw.Cycles))})
+	ranges := []int{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20}
+	runs := make([]histRun, 0, 2*len(ranges))
+	for _, rng := range ranges {
+		seed := o.seed(0xF16_7 + uint64(rng))
+		runs = append(runs,
+			histRun{n, rng, seed, "fig7 HW histogram", runHW},
+			histRun{n, rng, seed, "fig7 SW histogram", runSort},
+		)
+	}
+	cyc := runHistograms(o, runs)
+	for r, rng := range ranges {
+		t.Rows = append(t.Rows, []string{d(uint64(rng)), f(us(cyc[2*r])), f(us(cyc[2*r+1]))})
 	}
 	return t
 }
@@ -93,21 +130,27 @@ func Fig8(o Options) Table {
 			"paper: privatization time grows with range (O(mn)); HW speedup exceeds 10x at large ranges",
 		},
 	}
+	type point struct{ rng, n int }
+	var points []point
+	runs := make([]histRun, 0, 16)
 	for _, n0 := range []int{1024, 32768} {
 		n := o.scaled(n0)
 		for _, rng := range []int{128, 512, 2048, 8192} {
-			h := apps.NewHistogram(n, rng, 0xF16_8+uint64(rng*n0))
-			mHW := paperMachine()
-			hw := h.RunHW(mHW)
-			mustVerify(mHW, h, "fig8 HW histogram")
-			mPr := paperMachine()
-			pr := h.RunPrivatization(mPr, 0)
-			mustVerify(mPr, h, "fig8 privatization histogram")
-			t.Rows = append(t.Rows, []string{
-				d(uint64(rng)), d(uint64(n)), f(us(hw.Cycles)), f(us(pr.Cycles)),
-				f(float64(pr.Cycles) / float64(hw.Cycles)),
-			})
+			seed := o.seed(0xF16_8 + uint64(rng*n0))
+			points = append(points, point{rng, n})
+			runs = append(runs,
+				histRun{n, rng, seed, "fig8 HW histogram", runHW},
+				histRun{n, rng, seed, "fig8 privatization histogram", runPriv},
+			)
 		}
+	}
+	cyc := runHistograms(o, runs)
+	for r, p := range points {
+		hw, pr := cyc[2*r], cyc[2*r+1]
+		t.Rows = append(t.Rows, []string{
+			d(uint64(p.rng)), d(uint64(p.n)), f(us(hw)), f(us(pr)),
+			f(float64(pr) / float64(hw)),
+		})
 	}
 	return t
 }

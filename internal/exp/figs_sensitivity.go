@@ -18,13 +18,38 @@ func sensitivityMachine(entries, fuLat, memLat, interval int) *machine.Machine {
 	return machine.New(cfg)
 }
 
-// runSensitivity times one histogram scatter-add on the simplified system.
-func runSensitivity(entries, fuLat, memLat, interval, n, rng int) float64 {
-	h := apps.NewHistogram(n, rng, 0xF16_11)
-	m := sensitivityMachine(entries, fuLat, memLat, interval)
+// sensPoint is one point of the §4.4 sensitivity grid.
+type sensPoint struct {
+	entries, fuLat, memLat, interval int
+}
+
+// runSensitivity times one histogram scatter-add on the simplified system;
+// each call builds its own workload and machine, so points are independent.
+func runSensitivity(o Options, p sensPoint, n, rng int) float64 {
+	h := apps.NewHistogram(n, rng, o.seed(0xF16_11))
+	m := sensitivityMachine(p.entries, p.fuLat, p.memLat, p.interval)
 	res := h.RunHW(m)
 	mustVerify(m, h, "sensitivity histogram")
 	return us(res.Cycles)
+}
+
+// sensitivityTable fans a (combining-store entries) x (column config) grid
+// out across the worker pool and assembles one row per store size.
+func sensitivityTable(o Options, t Table, cols []sensPoint, n, rng int) Table {
+	css := []int{2, 4, 8, 16, 64}
+	vals := mapN(o, len(css)*len(cols), func(i int) float64 {
+		p := cols[i%len(cols)]
+		p.entries = css[i/len(cols)]
+		return runSensitivity(o, p, n, rng)
+	})
+	for r, cs := range css {
+		row := []string{d(uint64(cs))}
+		for c := range cols {
+			row = append(row, f(vals[r*len(cols)+c]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
 }
 
 // Fig11 reproduces Figure 11: histogram runtime versus combining-store size
@@ -40,18 +65,14 @@ func Fig11(o Options) Table {
 			"64 entries tolerate even 256-cycle memory latency",
 		},
 	}
-	n, rng := o.scaled(512), 65536
-	for _, cs := range []int{2, 4, 8, 16, 64} {
-		row := []string{d(uint64(cs))}
-		for _, memLat := range []int{8, 16, 64, 256} {
-			row = append(row, f(runSensitivity(cs, 4, memLat, 2, n, rng)))
-		}
-		for _, fuLat := range []int{2, 8, 16} {
-			row = append(row, f(runSensitivity(cs, fuLat, 16, 2, n, rng)))
-		}
-		t.Rows = append(t.Rows, row)
+	var cols []sensPoint
+	for _, memLat := range []int{8, 16, 64, 256} {
+		cols = append(cols, sensPoint{fuLat: 4, memLat: memLat, interval: 2})
 	}
-	return t
+	for _, fuLat := range []int{2, 8, 16} {
+		cols = append(cols, sensPoint{fuLat: fuLat, memLat: 16, interval: 2})
+	}
+	return sensitivityTable(o, t, cols, o.scaled(512), 65536)
 }
 
 // Fig12 reproduces Figure 12: histogram runtime versus combining-store size
@@ -66,13 +87,27 @@ func Fig12(o Options) Table {
 			"with 16 bins, combining absorbs most requests and throughput matters far less",
 		},
 	}
+	// The bin count varies per column here, so the grid carries it alongside
+	// the machine parameters.
 	n := o.scaled(512)
-	for _, cs := range []int{2, 4, 8, 16, 64} {
+	css := []int{2, 4, 8, 16, 64}
+	type col struct {
+		interval, bins int
+	}
+	var cols []col
+	for _, interval := range []int{1, 2, 4, 16} {
+		for _, bins := range []int{16, 65536} {
+			cols = append(cols, col{interval, bins})
+		}
+	}
+	vals := mapN(o, len(css)*len(cols), func(i int) float64 {
+		cs, c := css[i/len(cols)], cols[i%len(cols)]
+		return runSensitivity(o, sensPoint{entries: cs, fuLat: 4, memLat: 16, interval: c.interval}, n, c.bins)
+	})
+	for r, cs := range css {
 		row := []string{d(uint64(cs))}
-		for _, interval := range []int{1, 2, 4, 16} {
-			for _, bins := range []int{16, 65536} {
-				row = append(row, f(runSensitivity(cs, 4, 16, interval, n, bins)))
-			}
+		for c := range cols {
+			row = append(row, f(vals[r*len(cols)+c]))
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -15,22 +15,38 @@ type Check struct {
 	Detail string
 }
 
+// cellNum parses the numeric cell (r, c) of a table. A malformed or missing
+// cell is a bug in a figure runner that would otherwise silently flip a
+// paper-claim check, so it panics with the figure, row, and column rather
+// than returning a default.
+func cellNum(t Table, r, c int) float64 {
+	if r < 0 || r >= len(t.Rows) {
+		panic(fmt.Sprintf("exp: %q: row %d out of range (table has %d rows)", t.Title, r, len(t.Rows)))
+	}
+	if c < 0 || c >= len(t.Rows[r]) {
+		panic(fmt.Sprintf("exp: %q: column %d out of range in row %d (row has %d cells)",
+			t.Title, c, r, len(t.Rows[r])))
+	}
+	v, err := strconv.ParseFloat(t.Rows[r][c], 64)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %q: cell (row %d, col %d) = %q is not numeric: %v",
+			t.Title, r, c, t.Rows[r][c], err))
+	}
+	return v
+}
+
 // Report regenerates every table and figure, evaluates the paper's headline
 // claims against the measured shapes, and renders a markdown report. It
-// returns the markdown and the individual check results.
+// returns the markdown and the individual check results. Each figure fans
+// its independent runs out across o.Jobs workers; the figures themselves run
+// in report order so the markdown is byte-identical for every worker count.
 func Report(o Options) (string, []Check) {
 	var b strings.Builder
 	var checks []Check
 	add := func(figure, claim string, pass bool, detail string) {
 		checks = append(checks, Check{Figure: figure, Claim: claim, Pass: pass, Detail: detail})
 	}
-	num := func(t Table, r, c int) float64 {
-		v, err := strconv.ParseFloat(t.Rows[r][c], 64)
-		if err != nil {
-			return 0
-		}
-		return v
-	}
+	num := cellNum
 	section := func(t Table) {
 		fmt.Fprintf(&b, "## %s\n\n```\n%s```\n\n", t.Title, t.String())
 	}

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 100} {
+		o := Options{Jobs: jobs}
+		const n = 57
+		var hits [n]atomic.Int32
+		o.forEach(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("jobs=%d: index %d ran %d times", jobs, i, got)
+			}
+		}
+	}
+}
+
+func TestMapNPreservesInputOrder(t *testing.T) {
+	o := Options{Jobs: 8}
+	got := mapN(o, 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("mapN[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestForEachPropagatesWorkerPanic(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		o := Options{Jobs: jobs}
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("jobs=%d: panic not propagated", jobs)
+				}
+				if !strings.Contains(r.(string), "boom at 3") {
+					t.Fatalf("jobs=%d: wrong panic value %v", jobs, r)
+				}
+			}()
+			o.forEach(8, func(i int) {
+				if i == 3 {
+					panic("boom at 3")
+				}
+			})
+		}()
+	}
+}
+
+func TestJobsDefaultsToGOMAXPROCS(t *testing.T) {
+	if (Options{}).jobs() < 1 {
+		t.Fatal("jobs() must be at least 1")
+	}
+	if got := (Options{Jobs: 3}).jobs(); got != 3 {
+		t.Fatalf("jobs() = %d, want 3", got)
+	}
+}
+
+// TestReportDeterministicAcrossJobs is the end-to-end determinism contract
+// of the parallel runner: the full report — markdown bytes and every check —
+// must be identical whether the independent simulations run sequentially or
+// on 8 workers, and that must hold on more than one dataset seed.
+func TestReportDeterministicAcrossJobs(t *testing.T) {
+	for _, seed := range []uint64{0, 0xDECAFBAD} {
+		serial := Options{Scale: 16, Seed: seed, Jobs: 1}
+		parallel := Options{Scale: 16, Seed: seed, Jobs: 8}
+		md1, checks1 := Report(serial)
+		md8, checks8 := Report(parallel)
+		if md1 != md8 {
+			t.Fatalf("seed %#x: report markdown differs between Jobs=1 and Jobs=8", seed)
+		}
+		if len(checks1) != len(checks8) {
+			t.Fatalf("seed %#x: %d checks vs %d", seed, len(checks1), len(checks8))
+		}
+		for i := range checks1 {
+			if checks1[i] != checks8[i] {
+				t.Fatalf("seed %#x: check %d differs: %+v vs %+v", seed, i, checks1[i], checks8[i])
+			}
+		}
+	}
+}
+
+// TestFigureTablesDeterministicAcrossJobs pins per-figure byte-determinism
+// at the table level (cheaper scale than the full report, larger worker
+// count than CPUs).
+func TestFigureTablesDeterministicAcrossJobs(t *testing.T) {
+	for _, fig := range []func(Options) Table{Fig6, Fig9, Fig11, Fig13} {
+		serial := fig(Options{Scale: 16, Jobs: 1})
+		parallel := fig(Options{Scale: 16, Jobs: 16})
+		if serial.String() != parallel.String() {
+			t.Fatalf("%s: rendering differs between Jobs=1 and Jobs=16:\n%s\nvs\n%s",
+				serial.Title, serial.String(), parallel.String())
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package machine
+
+// ClockGHz is the simulated core clock frequency (Table 1: the Merrimac-like
+// node runs at 1 GHz). Every cycles→wall-time conversion in the repo must go
+// through CyclesToMicros so a future clock-sensitivity sweep changes them all
+// together.
+const ClockGHz = 1.0
+
+// CyclesToMicros converts core cycles to microseconds at ClockGHz (the
+// paper's time axis).
+func CyclesToMicros(cycles uint64) float64 {
+	return float64(cycles) / (ClockGHz * 1e3)
+}

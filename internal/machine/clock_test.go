@@ -1,0 +1,16 @@
+package machine
+
+import "testing"
+
+func TestCyclesToMicros(t *testing.T) {
+	// At 1 GHz, 1000 cycles is one microsecond.
+	if got := CyclesToMicros(1000); got != 1.0 {
+		t.Fatalf("CyclesToMicros(1000) = %g, want 1", got)
+	}
+	if got := CyclesToMicros(0); got != 0 {
+		t.Fatalf("CyclesToMicros(0) = %g, want 0", got)
+	}
+	if got := CyclesToMicros(2_500_000); got != 2500 {
+		t.Fatalf("CyclesToMicros(2.5M) = %g, want 2500", got)
+	}
+}

@@ -1,0 +1,34 @@
+package workload
+
+// Clone methods for the generated datasets. Workloads are treated as
+// immutable once constructed, but the experiment runner hands each
+// concurrent (workload, machine) run its own deep copy so no two
+// simulations can ever race on a shared slice — see internal/exp/runner.go
+// and the mutation-detecting checksums in internal/apps.
+
+// Clone returns a deep copy of the mesh.
+func (m *FEMMesh) Clone() *FEMMesh {
+	return &FEMMesh{
+		NumNodes: m.NumNodes,
+		Elems:    append([][ElemNodes]int32(nil), m.Elems...),
+	}
+}
+
+// Clone returns a deep copy of the matrix.
+func (c *CSRMatrix) Clone() *CSRMatrix {
+	return &CSRMatrix{
+		N:      c.N,
+		RowPtr: append([]int32(nil), c.RowPtr...),
+		Col:    append([]int32(nil), c.Col...),
+		Val:    append([]float64(nil), c.Val...),
+	}
+}
+
+// Clone returns a deep copy of the water box.
+func (w *WaterBox) Clone() *WaterBox {
+	return &WaterBox{
+		NumMol: w.NumMol,
+		Box:    w.Box,
+		Pos:    append([][3]float64(nil), w.Pos...),
+	}
+}
