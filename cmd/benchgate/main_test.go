@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: scatteradd/internal/machine
+BenchmarkEngineTick-8   	  107334	      2400 ns/op	      16 B/op	       1 allocs/op
+BenchmarkEngineTick-8   	  108000	      2300 ns/op
+BenchmarkEngineTick-8   	  107500	      2500 ns/op
+BenchmarkSAUnitTick 	 1013354	       209.1 ns/op
+PASS
+ok  	scatteradd/internal/machine	0.607s
+`
+
+func TestSummarize(t *testing.T) {
+	sum, err := Summarize(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	et := sum["BenchmarkEngineTick"]
+	if et == nil {
+		t.Fatal("proc-count suffix not stripped: BenchmarkEngineTick missing")
+	}
+	if et.Runs != 3 || et.Median != 2400 {
+		t.Errorf("EngineTick: runs=%d median=%v, want 3 runs median 2400", et.Runs, et.Median)
+	}
+	sa := sum["BenchmarkSAUnitTick"]
+	if sa == nil || sa.Median != 209.1 {
+		t.Errorf("SAUnitTick = %+v, want median 209.1", sa)
+	}
+	if len(sum) != 2 {
+		t.Errorf("got %d benchmarks, want 2", len(sum))
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	scatteradd/internal/machine	0.607s",
+		"BenchmarkBroken-8 xyz abc ns/op",
+		"Benchmark only three",
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted, want rejected", line)
+		}
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("median = %v, want 2.5", m)
+	}
+}
+
+func gateFixtures(curNs, baseNs float64) (sum, base map[string]*Result) {
+	sum = map[string]*Result{"BenchmarkEngineTick": {Name: "BenchmarkEngineTick", Median: curNs}}
+	base = map[string]*Result{"BenchmarkEngineTick": {Name: "BenchmarkEngineTick", Median: baseNs}}
+	return
+}
+
+func TestGate(t *testing.T) {
+	tests := []struct {
+		name         string
+		cur, base    float64
+		nilBase      bool
+		absentInBase bool
+		want         bool
+	}{
+		{name: "within limit", cur: 2150, base: 2000, want: true},
+		{name: "improvement", cur: 1500, base: 2000, want: true},
+		{name: "over limit", cur: 2500, base: 2000, want: false},
+		{name: "exactly at limit", cur: 2200, base: 2000, want: true},
+		{name: "missing baseline file", cur: 2500, nilBase: true, want: true},
+		{name: "gate absent in baseline", cur: 2500, absentInBase: true, want: true},
+	}
+	for _, tc := range tests {
+		sum, base := gateFixtures(tc.cur, tc.base)
+		if tc.nilBase {
+			base = nil
+		}
+		if tc.absentInBase {
+			base = map[string]*Result{}
+		}
+		msg, ok := Gate(sum, base, "BenchmarkEngineTick", 0.10)
+		if ok != tc.want {
+			t.Errorf("%s: Gate = %v (%s), want %v", tc.name, ok, msg, tc.want)
+		}
+	}
+}
+
+func TestGateMissingInInput(t *testing.T) {
+	sum, base := gateFixtures(2000, 2000)
+	delete(sum, "BenchmarkEngineTick")
+	if msg, ok := Gate(sum, base, "BenchmarkEngineTick", 0.10); ok {
+		t.Errorf("Gate with missing input benchmark passed (%s), want fail", msg)
+	}
+}

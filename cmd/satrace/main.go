@@ -1,27 +1,34 @@
 // Command satrace generates and inspects scatter-add reference traces —
 // the inputs of the paper's multi-node study (§4.5). It can dump a
-// workload's scatter-add stream as CSV, print its locality summary, or
-// summarize an existing trace file.
+// workload's scatter-add stream as CSV, print its locality summary,
+// summarize an existing trace file, or replay a trace on the Table 1
+// machine and export a performance-counter timeline.
 //
 // Usage:
 //
 //	satrace [flags] gen        generate a trace and write CSV to -out (or stdout)
 //	satrace [flags] summary    generate a trace and print its locality summary
 //	satrace -in FILE summary   summarize an existing CSV trace
+//	satrace [flags] stats      replay the trace on the Table 1 machine and
+//	                           export the counter timeline to -out (or stdout)
 //
 // Flags:
 //
 //	-workload  narrow | wide | mole | spas   (default narrow)
 //	-n         reference count for the histogram workloads (default 65536)
 //	-out/-in   file paths (default stdout/none)
+//	-interval  timeline sample interval in cycles for stats (default 1024)
+//	-format    timeline format for stats: csv | jsonl (default csv)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"scatteradd/internal/apps"
+	"scatteradd/internal/machine"
 	"scatteradd/internal/mem"
 	"scatteradd/internal/trace"
 	"scatteradd/internal/workload"
@@ -30,21 +37,31 @@ import (
 func main() {
 	wl := flag.String("workload", "narrow", "narrow | wide | mole | spas")
 	n := flag.Int("n", 65536, "reference count for the histogram workloads")
-	out := flag.String("out", "", "output file for gen (default stdout)")
-	in := flag.String("in", "", "existing trace CSV for summary")
+	out := flag.String("out", "", "output file for gen/stats (default stdout)")
+	in := flag.String("in", "", "existing trace CSV for summary/stats")
+	interval := flag.Uint64("interval", 1024, "stats timeline sample interval in cycles")
+	format := flag.String("format", "csv", "stats timeline format: csv | jsonl")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: satrace [flags] gen|summary")
+		fmt.Fprintln(os.Stderr, "usage: satrace [flags] gen|summary|stats")
 		os.Exit(2)
 	}
+	if *in != "" {
+		// The trace comes from the file; generation parameters are ignored.
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "workload" || fl.Name == "n" {
+				fmt.Fprintf(os.Stderr, "satrace: warning: -%s is ignored when -in is set\n", fl.Name)
+			}
+		})
+	}
 	cmd := flag.Arg(0)
-	if err := run(cmd, *wl, *n, *out, *in); err != nil {
+	if err := run(cmd, *wl, *n, *out, *in, *interval, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "satrace: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(cmd, wl string, n int, out, in string) error {
+func run(cmd, wl string, n int, out, in string, interval uint64, format string) error {
 	var recs []trace.Record
 	if in != "" {
 		f, err := os.Open(in)
@@ -65,21 +82,72 @@ func run(cmd, wl string, n int, out, in string) error {
 	}
 	switch cmd {
 	case "gen":
-		w := os.Stdout
-		if out != "" {
-			f, err := os.Create(out)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
-		}
-		return trace.WriteCSV(w, recs)
+		return writeOut(out, func(w io.Writer) error { return trace.WriteCSV(w, recs) })
 	case "summary":
 		fmt.Println(trace.Summarize(recs))
 		return nil
+	case "stats":
+		return runStats(recs, out, interval, format)
 	}
-	return fmt.Errorf("unknown command %q (want gen or summary)", cmd)
+	return fmt.Errorf("unknown command %q (want gen, summary, or stats)", cmd)
+}
+
+// writeOut runs emit against the -out file (or stdout), propagating the
+// Close error — for a buffered file, that is where a full disk surfaces.
+func writeOut(out string, emit func(io.Writer) error) error {
+	if out == "" {
+		return emit(os.Stdout)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runStats replays the trace as one scatter-add stream operation on the
+// Table 1 machine, sampling the hardware performance counters every
+// interval cycles, and exports the timeline.
+func runStats(recs []trace.Record, out string, interval uint64, format string) error {
+	if format != "csv" && format != "jsonl" {
+		return fmt.Errorf("unknown -format %q (want csv or jsonl)", format)
+	}
+	if interval == 0 {
+		return fmt.Errorf("-interval must be positive")
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+	kind := recs[0].Kind
+	addrs := make([]mem.Addr, len(recs))
+	vals := make([]mem.Word, len(recs))
+	for i, r := range recs {
+		if r.Kind != kind {
+			return fmt.Errorf("mixed-kind trace: record %d is %v, trace started with %v", i, r.Kind, kind)
+		}
+		addrs[i] = r.Addr
+		vals[i] = r.Val
+	}
+	m := machine.New(machine.DefaultConfig())
+	tl := m.StartTimeline(interval)
+	m.RunOp(machine.ScatterAdd("trace", kind, addrs, vals))
+	m.RunOp(machine.Fence())
+	m.StopTimeline()
+	// Close the timeline with the final counter values so the last partial
+	// interval is not lost.
+	if len(tl.Samples) == 0 || tl.Samples[len(tl.Samples)-1].Cycle != m.Now() {
+		tl.Record(m.Now(), m.StatsSnapshot())
+	}
+	return writeOut(out, func(w io.Writer) error {
+		if format == "jsonl" {
+			return tl.WriteJSONL(w)
+		}
+		return tl.WriteCSV(w)
+	})
 }
 
 // generate builds one of the §4.5 trace workloads.

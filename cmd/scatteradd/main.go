@@ -15,6 +15,7 @@
 //	           1 = sequential; output is byte-identical for every N)
 //	-seed N    perturb every workload seed (default 0 = the paper's fixed seeds)
 //	-csv       emit CSV instead of aligned text
+//	-stats     append a hardware performance-counter appendix to each table
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "perturb workload seeds (0 = the paper's fixed seeds)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	doPlot := flag.Bool("plot", false, "also render ASCII charts of the figures")
+	withStats := flag.Bool("stats", false, "append a hardware performance-counter appendix to each table")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -43,7 +45,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "scatteradd: -jobs %d invalid (want >= 1)\n", *jobs)
 		os.Exit(2)
 	}
-	o := scatteradd.ExpOptions{Scale: *scale, Jobs: *jobs, Seed: *seed}
+	o := scatteradd.ExpOptions{Scale: *scale, Jobs: *jobs, Seed: *seed, CollectStats: *withStats}
 	for _, name := range flag.Args() {
 		if err := run(name, o, *csv, *doPlot); err != nil {
 			fmt.Fprintf(os.Stderr, "scatteradd: %v\n", err)
@@ -53,7 +55,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: scatteradd [-scale N] [-jobs N] [-seed N] [-csv] <experiment>...
+	fmt.Fprintf(os.Stderr, `usage: scatteradd [-scale N] [-jobs N] [-seed N] [-csv] [-stats] <experiment>...
 
 experiments:
   table1           machine parameters (paper Table 1)

@@ -19,6 +19,7 @@ import (
 	"scatteradd/internal/dram"
 	"scatteradd/internal/mem"
 	"scatteradd/internal/sim"
+	"scatteradd/internal/stats"
 )
 
 // Mode selects how a Bank handles misses and evictions.
@@ -123,21 +124,56 @@ type wcbEntry struct {
 
 const fullMask = uint8(1<<mem.LineWords - 1)
 
+// metrics are the bank's performance counters: the contention and occupancy
+// events behind the paper's hot-bank effect (§4.3, Figure 7).
+type metrics struct {
+	group         *stats.Group
+	conflicts     *stats.Counter   // cycles with more queued requests than the port width
+	mshrOccupancy *stats.Histogram // valid MSHRs, sampled every cycle
+	wcbOccupancy  *stats.Histogram // valid write-combining entries, sampled every cycle
+	hits          *stats.Counter
+	misses        *stats.Counter
+	evictions     *stats.Counter
+	writeBacks    *stats.Counter
+	stallCycles   *stats.Counter // cycles the head request could not proceed
+}
+
+func newMetrics(mshrs, wcbEntries int) metrics {
+	g := stats.NewGroup("cache")
+	if wcbEntries < 1 {
+		wcbEntries = 1
+	}
+	return metrics{
+		group:         g,
+		conflicts:     g.Counter("bank_conflict_cycles"),
+		mshrOccupancy: g.Histogram("mshr_occupancy", mshrs+1),
+		wcbOccupancy:  g.Histogram("wcb_occupancy", wcbEntries+1),
+		hits:          g.Counter("hits"),
+		misses:        g.Counter("misses"),
+		evictions:     g.Counter("evictions"),
+		writeBacks:    g.Counter("write_backs"),
+		stallCycles:   g.Counter("stall_cycles"),
+	}
+}
+
 // Bank is one slice of the stream cache.
 type Bank struct {
-	cfg    Config
-	mode   Mode
-	index  int // this bank's number (for set mapping)
-	sets   int
-	lines  []line // sets*ways, row-major by set
-	mshrs  []mshr
-	dram   *dram.DRAM
-	inQ    *sim.Queue[mem.Request]
-	respQ  *sim.Delay[mem.Response]
-	wbQ    *sim.Queue[dram.LineReq]
-	evictQ *sim.Queue[EvictedLine]
-	wcb    []wcbEntry
-	stats  Stats
+	cfg      Config
+	mode     Mode
+	index    int // this bank's number (for set mapping)
+	sets     int
+	lines    []line // sets*ways, row-major by set
+	mshrs    []mshr
+	mshrUsed int // valid MSHRs (occupancy)
+	dram     *dram.DRAM
+	inQ      *sim.Queue[mem.Request]
+	respQ    *sim.Delay[mem.Response]
+	wbQ      *sim.Queue[dram.LineReq]
+	evictQ   *sim.Queue[EvictedLine]
+	wcb      []wcbEntry
+	wcbUsed  int // valid write-combining entries (occupancy)
+	stats    Stats
+	met      metrics
 
 	flushing bool
 	flushPos int // next line index to examine during flush
@@ -158,6 +194,10 @@ func NewBank(cfg Config, index int, d *dram.DRAM, mode Mode) *Bank {
 	if mode == Normal && d == nil {
 		panic("cache: Normal mode requires a DRAM backend")
 	}
+	wcbEntries := cfg.WCBEntries
+	if wcbEntries <= 0 {
+		wcbEntries = 8
+	}
 	b := &Bank{
 		cfg:      cfg,
 		mode:     mode,
@@ -170,14 +210,11 @@ func NewBank(cfg Config, index int, d *dram.DRAM, mode Mode) *Bank {
 		respQ:    sim.NewDelay[mem.Response](cfg.HitLatency, cfg.RespQDepth),
 		wbQ:      sim.NewQueue[dram.LineReq](cfg.WBQDepth),
 		evictQ:   sim.NewQueue[EvictedLine](cfg.WBQDepth),
+		met:      newMetrics(cfg.MSHRs, wcbEntries),
 		zeroKind: mem.AddF64,
 	}
 	if cfg.WriteNoAllocate {
-		n := cfg.WCBEntries
-		if n <= 0 {
-			n = 8
-		}
-		b.wcb = make([]wcbEntry, n)
+		b.wcb = make([]wcbEntry, wcbEntries)
 	}
 	return b
 }
@@ -188,6 +225,10 @@ func (b *Bank) SetZeroKind(k mem.Kind) { b.zeroKind = k }
 
 // Stats returns a copy of the activity counters.
 func (b *Bank) Stats() Stats { return b.stats }
+
+// StatsGroup returns the bank's performance-counter group, for adoption into
+// a machine-level registry.
+func (b *Bank) StatsGroup() *stats.Group { return b.met.group }
 
 // BankOf maps a line-aligned address to its bank number. Successive lines
 // map to successive banks; a narrow index range therefore concentrates on
@@ -259,10 +300,12 @@ func (b *Bank) evict(set, way int) bool {
 			}
 			b.wbQ.MustPush(dram.LineReq{Line: addr, Write: true, Data: ln.data})
 			b.stats.WriteBacks++
+			b.met.writeBacks.Inc()
 		}
 	}
 	ln.valid = false
 	b.stats.Evictions++
+	b.met.evictions.Inc()
 	return true
 }
 
@@ -386,6 +429,7 @@ func (b *Bank) drainMSHR(now uint64, m *mshr) {
 		m.pending = m.pending[1:]
 	}
 	*m = mshr{}
+	b.mshrUsed--
 }
 
 // pinnedLine reports whether a filled MSHR still references the line at
@@ -408,6 +452,14 @@ func (b *Bank) pinnedLine(set, way int) bool {
 // Tick processes queued requests, retries blocked fills, and drains the
 // write-back queue to DRAM.
 func (b *Bank) Tick(now uint64) {
+	b.met.mshrOccupancy.Observe(b.mshrUsed)
+	b.met.wcbOccupancy.Observe(b.wcbUsed)
+	if b.inQ.Len() > b.cfg.PortWidth {
+		// More word requests queued than the bank port can serve this cycle:
+		// the bank-conflict serialization of §4.3.
+		b.met.conflicts.Inc()
+	}
+
 	// Drain filled MSHRs and retry fills blocked on eviction.
 	for i := range b.mshrs {
 		m := &b.mshrs[i]
@@ -499,7 +551,9 @@ func (b *Bank) spillWCB(i int) bool {
 		}
 		b.wbQ.MustPush(dram.LineReq{Line: e.line, Write: true, Data: e.data})
 		b.stats.WCBFullLines++
+		b.met.writeBacks.Inc()
 		e.valid = false
+		b.wcbUsed--
 		return true
 	}
 	m := b.mshrFor(e.line)
@@ -509,7 +563,9 @@ func (b *Bank) spillWCB(i int) bool {
 			return false
 		}
 		*m = mshr{valid: true, line: e.line}
+		b.mshrUsed++
 		b.stats.Misses++
+		b.met.misses.Inc()
 	}
 	for w := 0; w < mem.LineWords; w++ {
 		if e.mask&(1<<w) != 0 {
@@ -518,6 +574,7 @@ func (b *Bank) spillWCB(i int) bool {
 	}
 	b.stats.WCBSpills++
 	e.valid = false
+	b.wcbUsed--
 	return true
 }
 
@@ -530,9 +587,11 @@ func (b *Bank) wcbWrite(now uint64, r mem.Request) bool {
 		i = b.wcbVictim()
 		if b.wcb[i].valid && !b.spillWCB(i) {
 			b.stats.Stalls++
+			b.met.stallCycles.Inc()
 			return false
 		}
 		b.wcb[i] = wcbEntry{valid: true, line: line}
+		b.wcbUsed++
 	}
 	e := &b.wcb[i]
 	e.data[r.Addr.LineOffset()] = r.Val
@@ -542,7 +601,9 @@ func (b *Bank) wcbWrite(now uint64, r mem.Request) bool {
 	if e.mask == fullMask && !b.wbQ.Full() {
 		b.wbQ.MustPush(dram.LineReq{Line: e.line, Write: true, Data: e.data})
 		b.stats.WCBFullLines++
+		b.met.writeBacks.Inc()
 		e.valid = false
+		b.wcbUsed--
 	}
 	return true
 }
@@ -557,6 +618,7 @@ func (b *Bank) processOne(now uint64) bool {
 	needsResp := r.Kind == mem.Read || r.Kind.IsFetch()
 	if needsResp && b.respQ.Full() {
 		b.stats.Stalls++
+		b.met.stallCycles.Inc()
 		return false
 	}
 	lineAddr := r.Addr.Line()
@@ -576,12 +638,14 @@ func (b *Bank) processOne(now uint64) bool {
 		if i := b.wcbFind(lineAddr); i >= 0 {
 			if !b.spillWCB(i) {
 				b.stats.Stalls++
+				b.met.stallCycles.Inc()
 				return false
 			}
 		}
 	}
 	if way := b.lookup(set, tag); way >= 0 {
 		b.stats.Hits++
+		b.met.hits.Inc()
 		b.apply(now, &b.lines[set*b.cfg.Ways+way], r)
 		b.inQ.Pop()
 		return true
@@ -597,10 +661,12 @@ func (b *Bank) processOne(now uint64) bool {
 		}
 		if !b.install(now, lineAddr, data, true) {
 			b.stats.Stalls++
+			b.met.stallCycles.Inc()
 			return false
 		}
 		way := b.lookup(set, tag)
 		b.stats.Misses++
+		b.met.misses.Inc()
 		b.apply(now, &b.lines[set*b.cfg.Ways+way], r)
 		b.inQ.Pop()
 		return true
@@ -614,10 +680,13 @@ func (b *Bank) processOne(now uint64) bool {
 	m := b.freeMSHR()
 	if m == nil {
 		b.stats.Stalls++
+		b.met.stallCycles.Inc()
 		return false
 	}
 	*m = mshr{valid: true, line: lineAddr, pending: []mem.Request{r}}
+	b.mshrUsed++
 	b.stats.Misses++
+	b.met.misses.Inc()
 	b.inQ.Pop()
 	return true
 }
@@ -690,6 +759,7 @@ func (b *Bank) FlushFunctional() {
 			}
 		}
 		e.valid = false
+		b.wcbUsed--
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"scatteradd/internal/mem"
+	"scatteradd/internal/stats"
 )
 
 // LineReq is a whole-cache-line transaction presented to the DRAM model.
@@ -126,12 +127,41 @@ type channel struct {
 	resps   []LineResp
 }
 
+// metrics are the DRAM performance counters: row-buffer locality and channel
+// utilization, the levers behind the FR-FCFS scheduling the paper relies on.
+type metrics struct {
+	group      *stats.Group
+	rowHits    *stats.Counter
+	rowMisses  *stats.Counter
+	precharges *stats.Counter // row misses that closed an already-open row
+	busBusy    *stats.Counter // cycles any channel data bus was occupied
+	reads      *stats.Counter
+	writes     *stats.Counter
+	queueDepth *stats.Gauge // total queued requests across channels (high-water)
+}
+
+func newMetrics() metrics {
+	g := stats.NewGroup("dram")
+	return metrics{
+		group:      g,
+		rowHits:    g.Counter("row_hits"),
+		rowMisses:  g.Counter("row_misses"),
+		precharges: g.Counter("precharges"),
+		busBusy:    g.Counter("channel_busy_cycles"),
+		reads:      g.Counter("reads"),
+		writes:     g.Counter("writes"),
+		queueDepth: g.Gauge("queue_depth"),
+	}
+}
+
 // DRAM is the multi-channel line-granular memory model.
 type DRAM struct {
 	cfg      Config
 	store    *mem.Store
 	channels []channel
+	queued   int // total requests queued across channels
 	stats    Stats
+	met      metrics
 	rrChan   int // round-robin pointer for response draining
 }
 
@@ -140,7 +170,7 @@ func New(cfg Config) *DRAM {
 	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 || cfg.QueueDepth <= 0 {
 		panic(fmt.Sprintf("dram: invalid config %+v", cfg))
 	}
-	d := &DRAM{cfg: cfg, store: mem.NewStore(), channels: make([]channel, cfg.Channels)}
+	d := &DRAM{cfg: cfg, store: mem.NewStore(), channels: make([]channel, cfg.Channels), met: newMetrics()}
 	for i := range d.channels {
 		banks := make([]bank, cfg.BanksPerChannel)
 		for b := range banks {
@@ -157,6 +187,10 @@ func (d *DRAM) Store() *mem.Store { return d.store }
 
 // Stats returns a copy of the activity counters.
 func (d *DRAM) Stats() Stats { return d.stats }
+
+// StatsGroup returns the DRAM's performance-counter group, for adoption into
+// a machine-level registry.
+func (d *DRAM) StatsGroup() *stats.Group { return d.met.group }
 
 // Config returns the configuration the DRAM was built with.
 func (d *DRAM) Config() Config { return d.cfg }
@@ -199,6 +233,8 @@ func (d *DRAM) Accept(now uint64, r LineReq) bool {
 		d.store.StoreLine(r.Line, &r.Data)
 	}
 	ch.queue = append(ch.queue, chanReq{req: r, arrival: now})
+	d.queued++
+	d.met.queueDepth.Set(int64(d.queued))
 	return true
 }
 
@@ -254,13 +290,19 @@ func (d *DRAM) Tick(now uint64) {
 		}
 		cr := ch.queue[i]
 		ch.queue = append(ch.queue[:i], ch.queue[i+1:]...)
+		d.queued--
 		b, row := d.bankRowOf(cr.req.Line)
 		bk := &ch.banks[b]
 		lat := uint64(d.cfg.TCas)
 		if bk.openRow == row {
 			d.stats.RowHits++
+			d.met.rowHits.Inc()
 		} else {
 			d.stats.RowMisses++
+			d.met.rowMisses.Inc()
+			if bk.openRow >= 0 {
+				d.met.precharges.Inc()
+			}
 			lat += uint64(d.cfg.TRowMiss)
 			bk.openRow = row
 		}
@@ -268,11 +310,14 @@ func (d *DRAM) Tick(now uint64) {
 		bk.busyUntil = now + lat + bus
 		ch.busFree = now + lat + bus // serialize transfers on the channel bus
 		d.stats.BusCycles += bus
+		d.met.busBusy.Add(bus)
 		if cr.req.Write {
 			d.stats.Writes++
+			d.met.writes.Inc()
 			continue // data already in store; no response
 		}
 		d.stats.Reads++
+		d.met.reads.Inc()
 		resp := LineResp{ID: cr.req.ID, Line: cr.req.Line}
 		d.store.LoadLine(cr.req.Line, &resp.Data)
 		ch.pending = append(ch.pending, pendingResp{resp: resp, ready: now + lat + bus})

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"scatteradd/internal/machine"
+	"scatteradd/internal/stats"
 )
 
 // Table is a rendered experiment: a title, column headers, and rows.
@@ -25,6 +26,11 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string // paper-vs-measured commentary
+
+	// Counters holds the hardware performance counters of every simulation
+	// behind the table, merged in input order (Options.CollectStats). When
+	// non-empty, String appends them as a counter appendix.
+	Counters stats.Snapshot
 }
 
 // String renders the table as aligned text.
@@ -65,6 +71,10 @@ func (t Table) String() string {
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
+	if t.Counters.Len() > 0 {
+		b.WriteString("counter appendix (merged across runs, collapsed across instances):\n")
+		b.WriteString(t.Counters.Collapse().Format("  "))
+	}
 	return b.String()
 }
 
@@ -100,6 +110,11 @@ type Options struct {
 	// Seed perturbs every workload seed (0 = the paper's fixed seeds),
 	// regenerating all figures on statistically fresh datasets.
 	Seed uint64
+	// CollectStats attaches the merged hardware performance counters of a
+	// figure's simulations to its Table (rendered as a counter appendix).
+	// Counting itself is always on; this only controls snapshot collection,
+	// so leaving it off costs nothing on the simulation hot path.
+	CollectStats bool
 }
 
 // DefaultOptions runs at the paper's full dataset sizes with one worker per

@@ -5,6 +5,7 @@ import (
 
 	"scatteradd/internal/mem"
 	"scatteradd/internal/multinode"
+	"scatteradd/internal/stats"
 	"scatteradd/internal/workload"
 )
 
@@ -75,14 +76,25 @@ func spasTrace(o Options) trace {
 	return trace{name: "spas", kind: mem.AddF64, refs: refs, span: maxA + 1}
 }
 
+// tracePointOut is one Figure 13 point's rendered throughput plus (when
+// collecting) the system's performance-counter snapshot.
+type tracePointOut struct {
+	cell string
+	snap stats.Snapshot
+}
+
 // runTracePoint replays one trace on one configuration and node count,
 // returning GB/s.
-func runTracePoint(tr trace, tc traceConfig, nodes int) float64 {
+func runTracePoint(o Options, tr trace, tc traceConfig, nodes int) tracePointOut {
 	span := (tr.span/mem.Addr(nodes) + mem.LineWords) &^ (mem.LineWords - 1)
 	cfg := multinode.DefaultConfig(nodes, tc.bandwidth, span)
 	cfg.Combining = tc.combining
 	s := multinode.New(cfg, tr.kind)
-	return s.RunTrace(tr.refs).GBps()
+	out := tracePointOut{cell: fmt.Sprintf("%.2f", s.RunTrace(tr.refs).GBps())}
+	if o.CollectStats {
+		out.snap = s.StatsSnapshot()
+	}
+	return out
 }
 
 // Fig13 reproduces Figure 13: multi-node scatter-add throughput (GB/s) for
@@ -133,15 +145,24 @@ func Fig13(o Options) Table {
 	// Every (line, node-count) point builds its own multinode.System; the
 	// trace reference streams are shared read-only across points.
 	nodeCounts := []int{1, 2, 4, 8}
-	points := mapN(o, len(lines)*len(nodeCounts), func(i int) string {
+	points := mapN(o, len(lines)*len(nodeCounts), func(i int) tracePointOut {
 		ln := lines[i/len(nodeCounts)]
 		nodes := nodeCounts[i%len(nodeCounts)]
-		return fmt.Sprintf("%.2f", runTracePoint(traces[ln.trace], ln.cfg, nodes))
+		return runTracePoint(o, traces[ln.trace], ln.cfg, nodes)
 	})
 	for r, ln := range lines {
 		row := []string{ln.cfg.label}
-		row = append(row, points[r*len(nodeCounts):(r+1)*len(nodeCounts)]...)
+		for c := 0; c < len(nodeCounts); c++ {
+			row = append(row, points[r*len(nodeCounts)+c].cell)
+		}
 		t.Rows = append(t.Rows, row)
+	}
+	if o.CollectStats {
+		snaps := make([]stats.Snapshot, len(points))
+		for i, p := range points {
+			snaps[i] = p.snap
+		}
+		t.Counters = stats.MergeAll(snaps)
 	}
 	return t
 }

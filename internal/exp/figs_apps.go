@@ -3,7 +3,36 @@ package exp
 import (
 	"scatteradd/internal/apps"
 	"scatteradd/internal/machine"
+	"scatteradd/internal/stats"
 )
+
+// appOut is one application run's rendered row plus (when collecting) the
+// run's performance-counter snapshot.
+type appOut struct {
+	row  []string
+	snap stats.Snapshot
+}
+
+// collectApp fans variant runs out and assembles rows in input order,
+// attaching the merged counter snapshot to the table when requested.
+func collectApp(o Options, t *Table, n int, run func(i int, m *machine.Machine) []string) {
+	outs := mapN(o, n, func(i int) appOut {
+		m := paperMachine()
+		out := appOut{row: run(i, m)}
+		if o.CollectStats {
+			out.snap = m.StatsSnapshot()
+		}
+		return out
+	})
+	snaps := make([]stats.Snapshot, n)
+	for i, x := range outs {
+		t.Rows = append(t.Rows, x.row)
+		snaps[i] = x.snap
+	}
+	if o.CollectStats {
+		t.Counters = stats.MergeAll(snaps)
+	}
+}
 
 // appRow renders the three Figure 9/10 metrics (millions, as the paper
 // plots them).
@@ -54,9 +83,8 @@ func Fig9(o Options) Table {
 		{"EBE HW scatter-add", "fig9 EBE-HW",
 			func(w *apps.SpMV, m *machine.Machine) machine.Result { return w.RunEBEHW(m) }},
 	}
-	t.Rows = mapN(o, len(variants), func(i int) []string {
+	collectApp(o, &t, len(variants), func(i int, m *machine.Machine) []string {
 		w := s.Clone()
-		m := paperMachine()
 		res := variants[i].run(w, m)
 		mustVerify(m, w, variants[i].what)
 		return appRow(variants[i].label, res)
@@ -102,9 +130,8 @@ func Fig10(o Options) Table {
 		{"HW scatter-add", "fig10 HW-SA",
 			func(w *apps.MolDyn, m *machine.Machine) machine.Result { return w.RunHWSA(m) }},
 	}
-	t.Rows = mapN(o, len(variants), func(i int) []string {
+	collectApp(o, &t, len(variants), func(i int, m *machine.Machine) []string {
 		w := md.Clone()
-		m := paperMachine()
 		res := variants[i].run(w, m)
 		mustVerify(m, w, variants[i].what)
 		return appRow(variants[i].label, res)

@@ -5,6 +5,7 @@ import (
 
 	"scatteradd/internal/apps"
 	"scatteradd/internal/machine"
+	"scatteradd/internal/stats"
 )
 
 // paperMachine returns the Table 1 configuration.
@@ -34,17 +35,41 @@ func runHW(h *apps.Histogram, m *machine.Machine) machine.Result   { return h.Ru
 func runSort(h *apps.Histogram, m *machine.Machine) machine.Result { return h.RunSortScan(m, 0) }
 func runPriv(h *apps.Histogram, m *machine.Machine) machine.Result { return h.RunPrivatization(m, 0) }
 
+// histOut is one histogram run's cycle count plus (when collecting) the
+// run's performance-counter snapshot.
+type histOut struct {
+	cycles uint64
+	snap   stats.Snapshot
+}
+
 // runHistograms fans the runs out across the worker pool and returns their
-// cycle counts in input order.
-func runHistograms(o Options, runs []histRun) []uint64 {
-	return mapN(o, len(runs), func(i int) uint64 {
+// cycle counts in input order, plus the merged counter snapshot when
+// Options.CollectStats is set. Each run's machine owns its own registry, so
+// the parallel workers never share counters; merging in input order keeps
+// the result identical for every worker count.
+func runHistograms(o Options, runs []histRun) ([]uint64, stats.Snapshot) {
+	outs := mapN(o, len(runs), func(i int) histOut {
 		r := runs[i]
 		h := apps.NewHistogram(r.n, r.rng, r.seed)
 		m := paperMachine()
 		res := r.run(h, m)
 		mustVerify(m, h, r.what)
-		return res.Cycles
+		out := histOut{cycles: res.Cycles}
+		if o.CollectStats {
+			out.snap = m.StatsSnapshot()
+		}
+		return out
 	})
+	cyc := make([]uint64, len(outs))
+	snaps := make([]stats.Snapshot, len(outs))
+	for i, x := range outs {
+		cyc[i] = x.cycles
+		snaps[i] = x.snap
+	}
+	if !o.CollectStats {
+		return cyc, stats.Snapshot{}
+	}
+	return cyc, stats.MergeAll(snaps)
 }
 
 // Fig6 reproduces Figure 6: histogram execution time for input lengths
@@ -77,7 +102,8 @@ func Fig6(o Options) Table {
 			histRun{n, rng, seed, "fig6 SW histogram", runSort},
 		)
 	}
-	cyc := runHistograms(o, runs)
+	cyc, snap := runHistograms(o, runs)
+	t.Counters = snap
 	for r, n := range ns {
 		hw, sw := cyc[2*r], cyc[2*r+1]
 		t.Rows = append(t.Rows, []string{
@@ -111,7 +137,8 @@ func Fig7(o Options) Table {
 			histRun{n, rng, seed, "fig7 SW histogram", runSort},
 		)
 	}
-	cyc := runHistograms(o, runs)
+	cyc, snap := runHistograms(o, runs)
+	t.Counters = snap
 	for r, rng := range ranges {
 		t.Rows = append(t.Rows, []string{d(uint64(rng)), f(us(cyc[2*r])), f(us(cyc[2*r+1]))})
 	}
@@ -144,7 +171,8 @@ func Fig8(o Options) Table {
 			)
 		}
 	}
-	cyc := runHistograms(o, runs)
+	cyc, snap := runHistograms(o, runs)
+	t.Counters = snap
 	for r, p := range points {
 		hw, pr := cyc[2*r], cyc[2*r+1]
 		t.Rows = append(t.Rows, []string{

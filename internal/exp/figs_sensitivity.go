@@ -3,6 +3,7 @@ package exp
 import (
 	"scatteradd/internal/apps"
 	"scatteradd/internal/machine"
+	"scatteradd/internal/stats"
 )
 
 // sensitivityMachine builds the §4.4 configuration: no cache, one
@@ -23,21 +24,45 @@ type sensPoint struct {
 	entries, fuLat, memLat, interval int
 }
 
+// sensOut is one sensitivity point's runtime plus (when collecting) the
+// run's performance-counter snapshot.
+type sensOut struct {
+	us   float64
+	snap stats.Snapshot
+}
+
 // runSensitivity times one histogram scatter-add on the simplified system;
 // each call builds its own workload and machine, so points are independent.
-func runSensitivity(o Options, p sensPoint, n, rng int) float64 {
+func runSensitivity(o Options, p sensPoint, n, rng int) sensOut {
 	h := apps.NewHistogram(n, rng, o.seed(0xF16_11))
 	m := sensitivityMachine(p.entries, p.fuLat, p.memLat, p.interval)
 	res := h.RunHW(m)
 	mustVerify(m, h, "sensitivity histogram")
-	return us(res.Cycles)
+	out := sensOut{us: us(res.Cycles)}
+	if o.CollectStats {
+		out.snap = m.StatsSnapshot()
+	}
+	return out
+}
+
+// mergeSens attaches the merged counter snapshot of a sensitivity grid to
+// its table when Options.CollectStats is set.
+func mergeSens(o Options, t *Table, outs []sensOut) {
+	if !o.CollectStats {
+		return
+	}
+	snaps := make([]stats.Snapshot, len(outs))
+	for i, x := range outs {
+		snaps[i] = x.snap
+	}
+	t.Counters = stats.MergeAll(snaps)
 }
 
 // sensitivityTable fans a (combining-store entries) x (column config) grid
 // out across the worker pool and assembles one row per store size.
 func sensitivityTable(o Options, t Table, cols []sensPoint, n, rng int) Table {
 	css := []int{2, 4, 8, 16, 64}
-	vals := mapN(o, len(css)*len(cols), func(i int) float64 {
+	vals := mapN(o, len(css)*len(cols), func(i int) sensOut {
 		p := cols[i%len(cols)]
 		p.entries = css[i/len(cols)]
 		return runSensitivity(o, p, n, rng)
@@ -45,10 +70,11 @@ func sensitivityTable(o Options, t Table, cols []sensPoint, n, rng int) Table {
 	for r, cs := range css {
 		row := []string{d(uint64(cs))}
 		for c := range cols {
-			row = append(row, f(vals[r*len(cols)+c]))
+			row = append(row, f(vals[r*len(cols)+c].us))
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	mergeSens(o, &t, vals)
 	return t
 }
 
@@ -100,16 +126,17 @@ func Fig12(o Options) Table {
 			cols = append(cols, col{interval, bins})
 		}
 	}
-	vals := mapN(o, len(css)*len(cols), func(i int) float64 {
+	vals := mapN(o, len(css)*len(cols), func(i int) sensOut {
 		cs, c := css[i/len(cols)], cols[i%len(cols)]
 		return runSensitivity(o, sensPoint{entries: cs, fuLat: 4, memLat: 16, interval: c.interval}, n, c.bins)
 	})
 	for r, cs := range css {
 		row := []string{d(uint64(cs))}
 		for c := range cols {
-			row = append(row, f(vals[r*len(cols)+c]))
+			row = append(row, f(vals[r*len(cols)+c].us))
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	mergeSens(o, &t, vals)
 	return t
 }

@@ -23,6 +23,8 @@ import (
 	"scatteradd/internal/dram"
 	"scatteradd/internal/mem"
 	"scatteradd/internal/saunit"
+	"scatteradd/internal/sim"
+	"scatteradd/internal/stats"
 )
 
 // UniformMemConfig selects the cache-less sensitivity-study memory system.
@@ -235,14 +237,35 @@ func (s *memStream) done() bool {
 	return s.issued == s.n && (!s.needResp || s.responses == s.n)
 }
 
-// Machine is one simulated node.
+// metrics are the address-generator performance counters.
+type metrics struct {
+	group    *stats.Group
+	agIssued *stats.Counter   // word requests issued by the address generators
+	agStalls *stats.Counter   // cycles some primed stream could not issue at all
+	agActive *stats.Histogram // active streams, sampled every cycle
+}
+
+func newMetrics(g *stats.Group, ags int) metrics {
+	return metrics{
+		group:    g,
+		agIssued: g.Counter("ag_issued"),
+		agStalls: g.Counter("ag_stall_cycles"),
+		agActive: g.Histogram("ag_active", ags+1),
+	}
+}
+
+// Machine is one simulated node. All components are driven by a sim.Engine
+// in consumer-before-producer order; the machine's own phases (address
+// generation, response routing, stream retirement) are engine tickers too.
 type Machine struct {
 	cfg     Config
+	eng     *sim.Engine
 	dram    *dram.DRAM
 	uniform *dram.Uniform
 	banks   []*cache.Bank
 	sas     []*saunit.Unit
-	now     uint64
+	reg     *stats.Registry
+	met     metrics
 
 	active  []*memStream
 	nextTag uint64
@@ -261,18 +284,46 @@ func New(cfg Config) *Machine {
 	if cfg.Clusters < 1 || cfg.AGWidth < 1 || cfg.SRFWordsPerCycle <= 0 {
 		panic(fmt.Sprintf("machine: invalid config %+v", cfg))
 	}
-	m := &Machine{cfg: cfg}
+	m := &Machine{cfg: cfg, eng: sim.NewEngine(), reg: stats.NewRegistry()}
+	m.met = newMetrics(m.reg.Group("machine"), cfg.AGs)
 	if cfg.UniformMem != nil {
 		m.uniform = dram.NewUniform(cfg.UniformMem.Latency, cfg.UniformMem.Interval, 64)
 		m.sas = []*saunit.Unit{saunit.New(cfg.SA, m.uniform)}
-		return m
+	} else {
+		m.dram = dram.New(cfg.DRAM)
+		for i := 0; i < cfg.Cache.Banks; i++ {
+			b := cache.NewBank(cfg.Cache, i, m.dram, cache.Normal)
+			m.banks = append(m.banks, b)
+			m.sas = append(m.sas, saunit.New(cfg.SA, b))
+		}
 	}
-	m.dram = dram.New(cfg.DRAM)
-	for i := 0; i < cfg.Cache.Banks; i++ {
-		b := cache.NewBank(cfg.Cache, i, m.dram, cache.Normal)
-		m.banks = append(m.banks, b)
-		m.sas = append(m.sas, saunit.New(cfg.SA, b))
+	for i, sa := range m.sas {
+		m.reg.Adopt(fmt.Sprintf("saunit[%d]", i), sa.StatsGroup())
 	}
+	for i, b := range m.banks {
+		m.reg.Adopt(fmt.Sprintf("cache[%d]", i), b.StatsGroup())
+	}
+	if m.dram != nil {
+		m.reg.Adopt("dram", m.dram.StatsGroup())
+	}
+
+	// Engine order mirrors the machine pipeline: issue, scatter-add units,
+	// cache banks, DRAM (+fill delivery), response routing, stream retire.
+	m.eng.Add(sim.TickFunc(m.issuePhase))
+	for _, sa := range m.sas {
+		m.eng.Add(sa)
+	}
+	for _, b := range m.banks {
+		m.eng.Add(b)
+	}
+	if m.dram != nil {
+		m.eng.Add(sim.TickFunc(m.dramPhase))
+	}
+	if m.uniform != nil {
+		m.eng.Add(m.uniform)
+	}
+	m.eng.Add(sim.TickFunc(m.responsePhase))
+	m.eng.Add(sim.TickFunc(m.retirePhase))
 	return m
 }
 
@@ -298,7 +349,28 @@ func (m *Machine) FlushCaches() {
 }
 
 // Now returns the machine's absolute cycle count.
-func (m *Machine) Now() uint64 { return m.now }
+func (m *Machine) Now() uint64 { return m.eng.Now() }
+
+// StatsRegistry returns the machine's performance-counter registry.
+func (m *Machine) StatsRegistry() *stats.Registry { return m.reg }
+
+// StatsSnapshot returns the current values of every performance counter.
+func (m *Machine) StatsSnapshot() stats.Snapshot { return m.reg.Snapshot() }
+
+// StartTimeline begins recording a registry snapshot every interval cycles
+// and returns the timeline being filled. Sampling (the only per-cycle cost
+// of the counter layer beyond plain field increments) continues until
+// StopTimeline is called.
+func (m *Machine) StartTimeline(interval uint64) *stats.Timeline {
+	tl := &stats.Timeline{Interval: interval}
+	m.eng.SetSampler(interval, func(now uint64) {
+		tl.Record(now, m.reg.Snapshot())
+	})
+	return tl
+}
+
+// StopTimeline detaches the sampler installed by StartTimeline.
+func (m *Machine) StopTimeline() { m.eng.SetSampler(0, nil) }
 
 // unitFor routes an address to its scatter-add unit (one per cache bank; a
 // single unit in uniform-memory mode).
@@ -309,63 +381,67 @@ func (m *Machine) unitFor(a mem.Addr) *saunit.Unit {
 	return m.sas[cache.BankOf(a.Line(), len(m.banks))]
 }
 
-// tick advances the whole machine one cycle: active streams issue requests
-// through their address generators, the memory system components advance,
-// and responses are delivered back to their streams. Completed streams are
-// retired, freeing their address generator.
-func (m *Machine) tick() {
-	// Issue phase: each active stream owns one address generator and may
-	// issue up to AGWidth requests per cycle, in order (head-of-line
-	// blocking on a busy bank models the hot-bank effect of Figure 7).
+// tick advances the whole machine one cycle through the engine.
+func (m *Machine) tick() { m.eng.Step() }
+
+// issuePhase: each active stream owns one address generator and may issue up
+// to AGWidth requests per cycle, in order (head-of-line blocking on a busy
+// bank models the hot-bank effect of Figure 7).
+func (m *Machine) issuePhase(now uint64) {
+	m.met.agActive.Observe(len(m.active))
+	stalled := false
 	for _, s := range m.active {
 		if s.startupLeft > 0 {
 			s.startupLeft--
 			continue
 		}
+		issuedBefore := s.issued
 		for w := 0; w < m.cfg.AGWidth && s.issued < s.n; w++ {
 			a := s.op.addr(s.issued)
 			u := m.unitFor(a)
-			if !u.CanAccept(m.now) {
+			if !u.CanAccept(now) {
 				break
 			}
 			req := mem.Request{
 				ID:   s.tag<<32 | uint64(s.issued),
 				Kind: s.op.MemKind, Addr: a, Val: s.op.val(s.issued),
 			}
-			if !u.Accept(m.now, req) {
+			if !u.Accept(now, req) {
 				break
 			}
 			if m.tracer != nil {
-				m.tracer(m.now, req)
+				m.tracer(now, req)
 			}
 			s.issued++
+			m.met.agIssued.Inc()
+		}
+		if s.issued == issuedBefore && s.issued < s.n {
+			stalled = true
 		}
 	}
+	if stalled {
+		m.met.agStalls.Inc()
+	}
+}
 
-	for _, sa := range m.sas {
-		sa.Tick(m.now)
-	}
-	for _, b := range m.banks {
-		b.Tick(m.now)
-	}
-	if m.dram != nil {
-		m.dram.Tick(m.now)
-		for {
-			r, ok := m.dram.PopResponse(m.now)
-			if !ok {
-				break
-			}
-			m.banks[cache.BankOf(r.Line, len(m.banks))].Fill(m.now, r.Line, r.Data)
+// dramPhase advances DRAM and delivers completed line reads to their banks.
+func (m *Machine) dramPhase(now uint64) {
+	m.dram.Tick(now)
+	for {
+		r, ok := m.dram.PopResponse(now)
+		if !ok {
+			break
 		}
+		m.banks[cache.BankOf(r.Line, len(m.banks))].Fill(now, r.Line, r.Data)
 	}
-	if m.uniform != nil {
-		m.uniform.Tick(m.now)
-	}
+}
 
-	// Response phase: route responses back to their streams by ID tag.
+// responsePhase routes scatter-add unit responses back to their streams by
+// ID tag.
+func (m *Machine) responsePhase(now uint64) {
 	for _, sa := range m.sas {
 		for {
-			r, ok := sa.PopResponse(m.now)
+			r, ok := sa.PopResponse(now)
 			if !ok {
 				break
 			}
@@ -378,8 +454,10 @@ func (m *Machine) tick() {
 			}
 		}
 	}
+}
 
-	// Retire completed streams.
+// retirePhase removes completed streams, freeing their address generators.
+func (m *Machine) retirePhase(uint64) {
 	live := m.active[:0]
 	for _, s := range m.active {
 		if !s.done() {
@@ -387,7 +465,6 @@ func (m *Machine) tick() {
 		}
 	}
 	m.active = live
-	m.now++
 }
 
 // streamByTag finds the active stream with the given request tag.
@@ -430,7 +507,7 @@ func (m *Machine) idle(cycles uint64) {
 // operations with Async set return as soon as an address generator is
 // claimed; everything else runs to completion.
 func (m *Machine) RunOp(op Op) Result {
-	start := m.now
+	start := m.eng.Now()
 	memRefsBefore := m.memRefs
 	saBefore := m.saStats()
 	switch op.Kind {
@@ -454,7 +531,7 @@ func (m *Machine) RunOp(op Op) Result {
 	}
 	saAfter := m.saStats()
 	return Result{
-		Cycles:  m.now - start,
+		Cycles:  m.eng.Now() - start,
 		FPOps:   uint64(op.Flops) + fpDelta(saBefore, saAfter),
 		MemRefs: m.memRefs - memRefsBefore,
 	}
@@ -463,10 +540,10 @@ func (m *Machine) RunOp(op Op) Result {
 // fence runs until every stream has completed and the memory system has
 // drained.
 func (m *Machine) fence() {
-	startCycle := m.now
+	startCycle := m.eng.Now()
 	for len(m.active) > 0 || m.memSystemBusy() {
 		m.tick()
-		if m.now-startCycle > opDeadlockCycles {
+		if m.eng.Now()-startCycle > opDeadlockCycles {
 			panic("machine: fence did not drain; likely deadlock")
 		}
 	}
@@ -501,12 +578,12 @@ func (m *Machine) saStats() saunit.Stats {
 func (m *Machine) runMemOp(op Op) {
 	n := op.count()
 	m.memRefs += uint64(n)
-	opStart := m.now
+	opStart := m.eng.Now()
 	// Claim an address generator (Table 1: 2), waiting if all are busy.
 	for len(m.active) >= m.cfg.AGs {
 		m.tick()
-		if m.now-opStart > opDeadlockCycles {
-			panic(fmt.Sprintf("machine: op %q waited %d cycles for an AG; likely deadlock", op.Name, m.now-opStart))
+		if m.eng.Now()-opStart > opDeadlockCycles {
+			panic(fmt.Sprintf("machine: op %q waited %d cycles for an AG; likely deadlock", op.Name, m.eng.Now()-opStart))
 		}
 	}
 	m.nextTag++
@@ -524,8 +601,8 @@ func (m *Machine) runMemOp(op Op) {
 	// system to drain so their data is globally visible when RunOp returns.
 	for !s.done() || (!s.needResp && m.memSystemBusy()) {
 		m.tick()
-		if m.now-opStart > opDeadlockCycles {
-			panic(fmt.Sprintf("machine: op %q has run %d cycles; likely deadlock", op.Name, m.now-opStart))
+		if m.eng.Now()-opStart > opDeadlockCycles {
+			panic(fmt.Sprintf("machine: op %q has run %d cycles; likely deadlock", op.Name, m.eng.Now()-opStart))
 		}
 	}
 }
@@ -536,7 +613,7 @@ const opDeadlockCycles = uint64(500_000_000)
 
 // Run executes a program sequentially and returns aggregate metrics.
 func (m *Machine) Run(prog []Op) Result {
-	start := m.now
+	start := m.eng.Now()
 	memRefsBefore := m.memRefs
 	flopsBefore := m.kernelFlops
 	saBefore := m.saStats()
@@ -545,7 +622,7 @@ func (m *Machine) Run(prog []Op) Result {
 	}
 	saAfter := m.saStats()
 	return Result{
-		Cycles:     m.now - start,
+		Cycles:     m.eng.Now() - start,
 		FPOps:      (m.kernelFlops - flopsBefore) + fpDelta(saBefore, saAfter),
 		MemRefs:    m.memRefs - memRefsBefore,
 		SAStats:    saAfter,

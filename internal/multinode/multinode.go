@@ -29,6 +29,7 @@ import (
 	"scatteradd/internal/network"
 	"scatteradd/internal/saunit"
 	"scatteradd/internal/sim"
+	"scatteradd/internal/stats"
 )
 
 // Ref is one scatter-add reference of a trace.
@@ -112,6 +113,7 @@ type System struct {
 	kind  mem.Kind
 	nodes []*node
 	xbar  *network.Crossbar[mem.Request]
+	reg   *stats.Registry
 	now   uint64
 }
 
@@ -131,7 +133,8 @@ func New(cfg Config, kind mem.Kind) *System {
 			panic(fmt.Sprintf("multinode: Hierarchical requires a power-of-two node count, got %d", cfg.Nodes))
 		}
 	}
-	s := &System{cfg: cfg, kind: kind, xbar: network.New[mem.Request](cfg.Net)}
+	s := &System{cfg: cfg, kind: kind, xbar: network.New[mem.Request](cfg.Net), reg: stats.NewRegistry()}
+	s.reg.Adopt("net", s.xbar.StatsGroup())
 	for id := 0; id < cfg.Nodes; id++ {
 		n := &node{
 			id:     id,
@@ -139,20 +142,29 @@ func New(cfg Config, kind mem.Kind) *System {
 			inbox:  sim.NewQueue[mem.Request](64),
 			outbox: sim.NewQueue[mem.Request](64),
 		}
+		s.reg.Adopt(fmt.Sprintf("dram[%d]", id), n.dram.StatsGroup())
 		for b := 0; b < cfg.Cache.Banks; b++ {
 			bank := cache.NewBank(cfg.Cache, b, n.dram, cache.Normal)
 			n.banks = append(n.banks, bank)
 			n.sas = append(n.sas, saunit.New(cfg.SA, bank))
+			s.reg.Adopt(fmt.Sprintf("cache[%d.%d]", id, b), bank.StatsGroup())
+			s.reg.Adopt(fmt.Sprintf("saunit[%d.%d]", id, b), n.sas[b].StatsGroup())
 			if cfg.Combining {
 				cb := cache.NewBank(cfg.Cache, b, nil, cache.CombineLocal)
 				cb.SetZeroKind(kind)
 				n.comb = append(n.comb, cb)
+				s.reg.Adopt(fmt.Sprintf("comb[%d.%d]", id, b), cb.StatsGroup())
 			}
 		}
 		s.nodes = append(s.nodes, n)
 	}
 	return s
 }
+
+// StatsSnapshot returns the current values of every performance counter in
+// the system (crossbar plus per-node DRAM, cache, combining, and scatter-add
+// groups).
+func (s *System) StatsSnapshot() stats.Snapshot { return s.reg.Snapshot() }
 
 // owner returns the node owning an address.
 func (s *System) owner(a mem.Addr) int {

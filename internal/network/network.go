@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"scatteradd/internal/sim"
+	"scatteradd/internal/stats"
 )
 
 // Packet is one message in flight.
@@ -41,6 +42,26 @@ type Stats struct {
 	Stalled   uint64 // cycles an input head packet could not traverse
 }
 
+// metrics are the crossbar performance counters.
+type metrics struct {
+	group     *stats.Group
+	grants    *stats.Counter // input-to-output grants issued by the arbiters
+	stalls    *stats.Counter // back-pressure: cycles an input with traffic sent nothing
+	sent      *stats.Counter
+	delivered *stats.Counter
+}
+
+func newMetrics() metrics {
+	g := stats.NewGroup("net")
+	return metrics{
+		group:     g,
+		grants:    g.Counter("crossbar_grants"),
+		stalls:    g.Counter("backpressure_stall_cycles"),
+		sent:      g.Counter("sent"),
+		delivered: g.Counter("delivered"),
+	}
+}
+
 // Crossbar is the input-queued switch.
 type Crossbar[T any] struct {
 	cfg     Config
@@ -49,6 +70,7 @@ type Crossbar[T any] struct {
 	outputs []*sim.Queue[Packet[T]]
 	arb     []*sim.RoundRobin // per-output arbiter over inputs
 	stats   Stats
+	met     metrics
 }
 
 // New returns a crossbar with the given configuration.
@@ -56,7 +78,7 @@ func New[T any](cfg Config) *Crossbar[T] {
 	if cfg.Nodes < 1 || cfg.WordsPerCyc < 1 || cfg.InputQDepth < 1 || cfg.OutputQDepth < 1 {
 		panic(fmt.Sprintf("network: invalid config %+v", cfg))
 	}
-	x := &Crossbar[T]{cfg: cfg}
+	x := &Crossbar[T]{cfg: cfg, met: newMetrics()}
 	for i := 0; i < cfg.Nodes; i++ {
 		x.inputs = append(x.inputs, sim.NewQueue[Packet[T]](cfg.InputQDepth))
 		x.wires = append(x.wires, sim.NewDelay[Packet[T]](cfg.Latency, cfg.Nodes*cfg.WordsPerCyc*(cfg.Latency+1)+1))
@@ -68,6 +90,10 @@ func New[T any](cfg Config) *Crossbar[T] {
 
 // Stats returns a copy of the counters.
 func (x *Crossbar[T]) Stats() Stats { return x.stats }
+
+// StatsGroup returns the crossbar's performance-counter group, for adoption
+// into a system-level registry.
+func (x *Crossbar[T]) StatsGroup() *stats.Group { return x.met.group }
 
 // CanSend reports whether node src can inject a packet this cycle.
 func (x *Crossbar[T]) CanSend(src int) bool { return !x.inputs[src].Full() }
@@ -82,6 +108,7 @@ func (x *Crossbar[T]) Send(p Packet[T]) bool {
 		return false
 	}
 	x.stats.Sent++
+	x.met.sent.Inc()
 	return true
 }
 
@@ -105,6 +132,7 @@ func (x *Crossbar[T]) Tick(now uint64) {
 			}
 			x.outputs[o].MustPush(p)
 			x.stats.Delivered++
+			x.met.delivered.Inc()
 			budget--
 		}
 	}
@@ -124,6 +152,7 @@ func (x *Crossbar[T]) Tick(now uint64) {
 			}
 			p, _ := x.inputs[in].Pop()
 			x.wires[o].Push(now, p)
+			x.met.grants.Inc()
 			granted[o]++
 			sentFrom[in]++
 		}
@@ -131,6 +160,7 @@ func (x *Crossbar[T]) Tick(now uint64) {
 	for i := 0; i < x.cfg.Nodes; i++ {
 		if !x.inputs[i].Empty() && sentFrom[i] == 0 {
 			x.stats.Stalled++
+			x.met.stalls.Inc()
 		}
 	}
 }

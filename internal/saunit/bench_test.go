@@ -1,0 +1,21 @@
+package saunit
+
+import (
+	"testing"
+
+	"scatteradd/internal/mem"
+)
+
+// BenchmarkSAUnitTick measures the scatter-add unit's per-cycle cost under
+// a steady stream of combining scatter-adds over a 64-entry index range —
+// the CAM scan, FU pipeline, and counter increments of the hot path.
+func BenchmarkSAUnitTick(b *testing.B) {
+	r := newRig(DefaultConfig(), 4, 1)
+	for i := 0; i < b.N; i++ {
+		req := mem.Request{ID: uint64(i), Kind: mem.AddI64, Addr: mem.Addr((i * 7) % 64), Val: mem.I64(1)}
+		if r.u.CanAccept(r.now) {
+			r.u.Accept(r.now, req)
+		}
+		r.step()
+	}
+}

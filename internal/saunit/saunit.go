@@ -25,6 +25,7 @@ import (
 	"scatteradd/internal/mem"
 	"scatteradd/internal/port"
 	"scatteradd/internal/sim"
+	"scatteradd/internal/stats"
 )
 
 // saIDTag marks downstream request IDs that belong to the unit itself (reads
@@ -100,6 +101,40 @@ type fuOp struct {
 	result   mem.Word // value after this add
 }
 
+// metrics are the unit's performance counters (§4.3's microarchitecture
+// events): combining-store behavior, occupancy, and FU utilization. They are
+// allocated once at construction and updated with plain increments.
+type metrics struct {
+	group       *stats.Group
+	csHits      *stats.Counter   // requests combined into a live address
+	csMisses    *stats.Counter   // requests that allocated a fresh reader
+	csEvictions *stats.Counter   // combining-store entries freed
+	csOccupancy *stats.Histogram // valid entries, sampled every cycle
+	fuBusy      *stats.Counter   // cycles with >= 1 op in the FU pipeline
+	stallFull   *stats.Counter   // cycles the head request stalled on a full store
+	memReads    *stats.Counter   // current-value reads issued downstream
+	memWrites   *stats.Counter   // sum write-backs issued downstream
+	bypassed    *stats.Counter   // ordinary requests passed through
+	wbQDepth    *stats.Gauge     // write-back queue high-water mark
+}
+
+func newMetrics(entries int) metrics {
+	g := stats.NewGroup("saunit")
+	return metrics{
+		group:       g,
+		csHits:      g.Counter("cs_hits"),
+		csMisses:    g.Counter("cs_misses"),
+		csEvictions: g.Counter("cs_evictions"),
+		csOccupancy: g.Histogram("cs_occupancy", entries+1),
+		fuBusy:      g.Counter("fu_busy_cycles"),
+		stallFull:   g.Counter("stall_full_cycles"),
+		memReads:    g.Counter("mem_reads"),
+		memWrites:   g.Counter("mem_writes"),
+		bypassed:    g.Counter("bypassed"),
+		wbQDepth:    g.Gauge("wbq_depth"),
+	}
+}
+
 // Unit is one scatter-add unit.
 type Unit struct {
 	cfg     Config
@@ -108,11 +143,13 @@ type Unit struct {
 	upQ     *sim.Queue[mem.Response] // responses to deliver upstream
 	wbQ     *sim.Queue[mem.Request]  // sum write-backs awaiting downstream
 	cs      []entry
+	csUsed  int     // valid combining-store entries (occupancy)
 	ready   []chain // values ready to combine or write back
 	fu      *sim.Delay[fuOp]
 	active  map[mem.Addr]bool // addresses with a live chain (ready, FU, or wbQ)
 	nextSeq uint64
 	stats   Stats
+	met     metrics
 }
 
 // New returns a unit in front of downstream memory down.
@@ -135,11 +172,16 @@ func New(cfg Config, down port.Word) *Unit {
 		cs:     make([]entry, cfg.Entries),
 		fu:     sim.NewDelay[fuOp](cfg.FULatency, cfg.FULatency*cfg.FUIssueWidth+1),
 		active: make(map[mem.Addr]bool),
+		met:    newMetrics(cfg.Entries),
 	}
 }
 
 // Stats returns a copy of the activity counters.
 func (u *Unit) Stats() Stats { return u.stats }
+
+// StatsGroup returns the unit's performance-counter group, for adoption
+// into a machine-level stats.Registry.
+func (u *Unit) StatsGroup() *stats.Group { return u.met.group }
 
 // Config returns the unit's configuration.
 func (u *Unit) Config() Config { return u.cfg }
@@ -198,6 +240,10 @@ func (u *Unit) csFree() int {
 // that a read for an address never overtakes the write-back of its previous
 // sum in the downstream FIFO.
 func (u *Unit) Tick(now uint64) {
+	u.met.csOccupancy.Observe(u.csUsed)
+	if u.fu.Len() > 0 {
+		u.met.fuBusy.Inc()
+	}
 	u.drainDownstream(now)
 	u.completeFU(now)
 	u.issueFU(now)
@@ -249,6 +295,8 @@ func (u *Unit) completeFU(now uint64) {
 			})
 		}
 		*e = entry{}
+		u.csUsed--
+		u.met.csEvictions.Inc()
 		u.ready = append(u.ready, chain{addr: op.ch.addr, kind: op.ch.kind, val: op.result})
 	}
 }
@@ -270,6 +318,8 @@ func (u *Unit) issueFU(now uint64) {
 			// Chain drained: write the sum back to memory.
 			if u.wbQ.Push(mem.Request{ID: saIDTag, Kind: mem.Write, Addr: ch.addr, Val: ch.val}) {
 				u.stats.MemWrites++
+				u.met.memWrites.Inc()
+				u.met.wbQDepth.Set(int64(u.wbQ.Len()))
 				delete(u.active, ch.addr)
 			} else {
 				still = append(still, ch)
@@ -339,6 +389,7 @@ func (u *Unit) issueReads(now uint64) {
 			}
 			e.sent = true
 			u.stats.MemReads++
+			u.met.memReads.Inc()
 		}
 	}
 }
@@ -356,12 +407,14 @@ func (u *Unit) acceptInput(now uint64) {
 				return
 			}
 			u.stats.Bypassed++
+			u.met.bypassed.Inc()
 			u.inQ.Pop()
 			continue
 		}
 		i := u.csFree()
 		if i < 0 {
 			u.stats.StallFull++
+			u.met.stallFull.Inc()
 			return
 		}
 		// CAM: is this address already covered by a buffered entry or a
@@ -370,13 +423,16 @@ func (u *Unit) acceptInput(now uint64) {
 		e := &u.cs[i]
 		u.nextSeq++
 		*e = entry{valid: true, addr: r.Addr, kind: r.Kind, val: r.Val, node: r.Node, seq: u.nextSeq}
+		u.csUsed++
 		if r.Kind.IsFetch() {
 			e.fetchID = r.ID + 1
 		}
 		if exists {
 			u.stats.Combined++
+			u.met.csHits.Inc()
 		} else {
 			e.reader = true
+			u.met.csMisses.Inc()
 		}
 		u.stats.SARequests++
 		u.inQ.Pop()
@@ -414,6 +470,8 @@ func (u *Unit) eagerCombine() {
 			}
 			a.val = mem.Combine(a.kind, a.val, b.val)
 			*b = entry{}
+			u.csUsed--
+			u.met.csEvictions.Inc()
 			u.stats.EagerOps++
 			u.stats.FUOps++
 			if a.kind.IsFP() {

@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineStep measures the bare per-cycle dispatch cost of the
+// engine over a representative set of queue-shuffling components, including
+// the (inactive) sampler check. The full-machine hot path is covered by
+// BenchmarkEngineTick in internal/machine.
+func BenchmarkEngineStep(b *testing.B) {
+	e := NewEngine()
+	const stages = 8
+	qs := make([]*Queue[int], stages+1)
+	for i := range qs {
+		qs[i] = NewQueue[int](16)
+	}
+	for s := 0; s < stages; s++ {
+		in, out := qs[s], qs[s+1]
+		e.Add(TickFunc(func(uint64) {
+			if v, ok := in.Peek(); ok && out.Push(v) {
+				in.Pop()
+			}
+		}))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qs[0].Push(i)
+		qs[stages].Pop()
+		e.Step()
+	}
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	q := NewQueue[int](64)
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		q.Pop()
+	}
+}
+
+func BenchmarkDelayPushPop(b *testing.B) {
+	d := NewDelay[int](4, 64)
+	now := uint64(0)
+	for i := 0; i < b.N; i++ {
+		d.Push(now, i)
+		d.Pop(now)
+		now++
+	}
+}
+
+func BenchmarkRoundRobinPick(b *testing.B) {
+	rr := NewRoundRobin(8)
+	want := func(i int) bool { return i&1 == 0 }
+	for i := 0; i < b.N; i++ {
+		rr.Pick(want)
+	}
+}

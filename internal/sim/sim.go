@@ -30,6 +30,9 @@ func (f TickFunc) Tick(now uint64) { f(now) }
 type Engine struct {
 	now     uint64
 	tickers []Ticker
+
+	sampleEvery uint64
+	sample      func(now uint64)
 }
 
 // NewEngine returns an Engine at cycle 0 with no components.
@@ -43,12 +46,28 @@ func (e *Engine) Add(ts ...Ticker) {
 // Now reports the number of cycles executed so far.
 func (e *Engine) Now() uint64 { return e.now }
 
+// SetSampler installs a hook invoked after every cycle whose completed count
+// is a multiple of every (cycles every, 2*every, ...). Runs use it to record
+// performance-counter snapshots at a fixed cycle interval. A zero interval
+// or nil fn removes the hook; with no hook installed Step pays only a nil
+// check.
+func (e *Engine) SetSampler(every uint64, fn func(now uint64)) {
+	if every == 0 || fn == nil {
+		e.sampleEvery, e.sample = 0, nil
+		return
+	}
+	e.sampleEvery, e.sample = every, fn
+}
+
 // Step advances the simulation by one cycle.
 func (e *Engine) Step() {
 	for _, t := range e.tickers {
 		t.Tick(e.now)
 	}
 	e.now++
+	if e.sample != nil && e.now%e.sampleEvery == 0 {
+		e.sample(e.now)
+	}
 }
 
 // RunUntil steps until done() reports true or limit cycles have elapsed. It

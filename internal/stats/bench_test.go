@@ -1,0 +1,56 @@
+package stats
+
+import "testing"
+
+// The counting primitives must stay cheap enough to leave on every hot
+// path: a Counter.Inc is one integer add, a Histogram.Observe two adds and
+// a bounds check. BenchmarkEngineTick in internal/machine guards the
+// end-to-end cost.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewGroup("g").Counter("c")
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != uint64(b.N) {
+		b.Fatal("lost increments")
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewGroup("g").Gauge("g")
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i & 1023))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewGroup("g").Histogram("h", 16)
+	for i := 0; i < b.N; i++ {
+		h.Observe(i & 15)
+	}
+}
+
+// BenchmarkRegistrySnapshot covers the cold path: the per-sample cost of a
+// timeline over a machine-sized registry (17 groups as in the Table 1 node).
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	r := NewRegistry()
+	for gi := 0; gi < 17; gi++ {
+		g := r.Group(benchName(gi))
+		for ci := 0; ci < 8; ci++ {
+			g.Counter(benchName(ci)).Add(uint64(gi + ci))
+		}
+		g.Histogram("occ", 9).Observe(gi % 9)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := r.Snapshot()
+		if s.Len() == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+func benchName(i int) string {
+	return string([]byte{'g', byte('0' + i/10), byte('0' + i%10)})
+}

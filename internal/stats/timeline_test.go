@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sampleTimeline records two samples of a counter advancing 10 then 25.
+func sampleTimeline() *Timeline {
+	r := NewRegistry()
+	c := r.Group("g").Counter("n")
+	ga := r.Group("g").Gauge("lvl")
+	tl := &Timeline{Interval: 100}
+	c.Add(10)
+	ga.Set(2)
+	tl.Record(100, r.Snapshot())
+	c.Add(15)
+	ga.Set(1)
+	tl.Record(200, r.Snapshot())
+	return tl
+}
+
+func TestTimelineDeltas(t *testing.T) {
+	d := sampleTimeline().Deltas()
+	if len(d.Samples) != 2 || d.Interval != 100 {
+		t.Fatalf("deltas shape: %+v", d)
+	}
+	if v, _ := d.Samples[0].Snap.Get("g/n"); v != 10 {
+		t.Fatalf("first delta = %d, want 10 (cumulative)", v)
+	}
+	if v, _ := d.Samples[1].Snap.Get("g/n"); v != 15 {
+		t.Fatalf("second delta = %d, want 15", v)
+	}
+	if v, _ := d.Samples[1].Snap.Get("g/lvl"); v != 2 {
+		t.Fatalf("gauge keeps high-water: %d, want 2", v)
+	}
+}
+
+func TestTimelineWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTimeline().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "cycle,key,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// 2 samples x 2 keys.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), b.String())
+	}
+	if lines[2] != "100,g/n,10" {
+		t.Fatalf("row = %q, want 100,g/n,10", lines[2])
+	}
+	if lines[4] != "200,g/n,25" {
+		t.Fatalf("row = %q, want 200,g/n,25", lines[4])
+	}
+}
+
+func TestTimelineWriteJSONL(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTimeline().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var rec struct {
+		Cycle    uint64            `json:"cycle"`
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Cycle != 200 || rec.Counters["g/n"] != 25 {
+		t.Fatalf("record = %+v", rec)
+	}
+}
