@@ -13,6 +13,12 @@
 //	sabench -app moldyn    -variant nosa|hw|sw -mol 903 -cutoff 8
 //
 // Common flags: -trace FILE (dump the reference trace as CSV), -seed N.
+//
+// Request-lifecycle spans: -span-out FILE samples 1 in -span-rate memory
+// operations and writes either a Perfetto/Chrome trace-event JSON
+// (-span-format perfetto, load in ui.perfetto.dev) or a latency-attribution
+// report (-span-format report). Profiling the simulator itself:
+// -pprof-http ADDR, -cpuprofile/-memprofile FILE, -trace-out FILE.
 package main
 
 import (
@@ -22,8 +28,17 @@ import (
 
 	"scatteradd/internal/apps"
 	"scatteradd/internal/machine"
+	"scatteradd/internal/prof"
+	"scatteradd/internal/span"
 	"scatteradd/internal/trace"
 )
+
+// spanOpts carries the span-tracing flags.
+type spanOpts struct {
+	out    string
+	format string
+	rate   int
+}
 
 func main() {
 	app := flag.String("app", "histogram", "histogram | spmv | moldyn")
@@ -35,19 +50,48 @@ func main() {
 	cutoff := flag.Float64("cutoff", 8.0, "moldyn neighbor cutoff")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	traceOut := flag.String("trace", "", "write the memory-reference trace CSV here")
+	spanOut := flag.String("span-out", "", "write sampled request-lifecycle spans here")
+	spanFormat := flag.String("span-format", "perfetto", "span output format: perfetto | report")
+	spanRate := flag.Int("span-rate", 16, "sample 1 in N issued memory operations for -span-out")
+	profCfg := prof.Flags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*app, *variant, *n, *rangeSize, *batch, *mol, *cutoff, *seed, *traceOut); err != nil {
+	sess, err := prof.Start(*profCfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sabench: %v\n", err)
+		os.Exit(1)
+	}
+	if addr := sess.HTTPAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "sabench: pprof at http://%s/debug/pprof/\n", addr)
+	}
+	sp := spanOpts{out: *spanOut, format: *spanFormat, rate: *spanRate}
+	if err := run(*app, *variant, *n, *rangeSize, *batch, *mol, *cutoff, *seed, *traceOut, sp); err != nil {
+		sess.Stop()
+		fmt.Fprintf(os.Stderr, "sabench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := sess.Stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "sabench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(app, variant string, n, rangeSize, batch, mol int, cutoff float64, seed uint64, traceOut string) error {
+func run(app, variant string, n, rangeSize, batch, mol int, cutoff float64, seed uint64, traceOut string, sp spanOpts) error {
 	m := machine.New(machine.DefaultConfig())
 	rec := trace.NewRecorder(0)
 	if traceOut != "" {
 		m.SetTracer(rec.Observe)
+	}
+	var spanTr *span.Tracer
+	if sp.out != "" {
+		if sp.format != "perfetto" && sp.format != "report" {
+			return fmt.Errorf("span format %q (want perfetto, report)", sp.format)
+		}
+		if sp.rate < 1 {
+			return fmt.Errorf("span rate %d (want >= 1)", sp.rate)
+		}
+		spanTr = span.New(sp.rate)
+		m.SetSpanTracer(spanTr)
 	}
 
 	type verifier interface{ Verify(*machine.Machine) error }
@@ -132,6 +176,37 @@ func run(app, variant string, n, rangeSize, batch, mol int, cutoff float64, seed
 		fmt.Printf("  trace         %d references -> %s (%s)\n",
 			len(rec.Records()), traceOut, trace.Summarize(rec.Records()))
 	}
+	if spanTr != nil {
+		if err := writeSpans(spanTr, sp, fmt.Sprintf("%s/%s", app, variant)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSpans exports the sampled request lifecycles in the chosen format.
+func writeSpans(tr *span.Tracer, sp spanOpts, name string) error {
+	f, err := os.Create(sp.out)
+	if err != nil {
+		return err
+	}
+	switch sp.format {
+	case "perfetto":
+		err = span.WriteTraceEvents(f, []span.Process{tr.Process(0, name)})
+	case "report":
+		rep := span.Aggregate(tr.Ops())
+		header := fmt.Sprintf("%s: %d sampled ops (1 in %d), mean %.1f cycles, p50 %d, p99 %d\n",
+			name, rep.Ops, tr.Rate(), rep.Mean, rep.P50, rep.P99)
+		_, err = fmt.Fprintf(f, "%s%s", header, rep.Format("  "))
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  spans         %d sampled ops (1 in %d) -> %s (%s)\n",
+		len(tr.Ops()), tr.Rate(), sp.out, sp.format)
 	return nil
 }
 

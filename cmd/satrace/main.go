@@ -17,11 +17,13 @@
 //	-workload  narrow | wide | mole | spas   (default narrow)
 //	-n         reference count for the histogram workloads (default 65536)
 //	-out/-in   file paths (default stdout/none)
+//	-gzip      gzip-compress gen/stats output
 //	-interval  timeline sample interval in cycles for stats (default 1024)
 //	-format    timeline format for stats: csv | jsonl (default csv)
 package main
 
 import (
+	"compress/gzip"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +41,7 @@ func main() {
 	n := flag.Int("n", 65536, "reference count for the histogram workloads")
 	out := flag.String("out", "", "output file for gen/stats (default stdout)")
 	in := flag.String("in", "", "existing trace CSV for summary/stats")
+	gz := flag.Bool("gzip", false, "gzip-compress gen/stats output")
 	interval := flag.Uint64("interval", 1024, "stats timeline sample interval in cycles")
 	format := flag.String("format", "csv", "stats timeline format: csv | jsonl")
 	flag.Parse()
@@ -55,13 +58,13 @@ func main() {
 		})
 	}
 	cmd := flag.Arg(0)
-	if err := run(cmd, *wl, *n, *out, *in, *interval, *format); err != nil {
+	if err := run(cmd, *wl, *n, *out, *in, *gz, *interval, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "satrace: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(cmd, wl string, n int, out, in string, interval uint64, format string) error {
+func run(cmd, wl string, n int, out, in string, gz bool, interval uint64, format string) error {
 	var recs []trace.Record
 	if in != "" {
 		f, err := os.Open(in)
@@ -82,37 +85,49 @@ func run(cmd, wl string, n int, out, in string, interval uint64, format string) 
 	}
 	switch cmd {
 	case "gen":
-		return writeOut(out, func(w io.Writer) error { return trace.WriteCSV(w, recs) })
+		return writeOut(out, gz, func(w io.Writer) error { return trace.WriteCSV(w, recs) })
 	case "summary":
 		fmt.Println(trace.Summarize(recs))
 		return nil
 	case "stats":
-		return runStats(recs, out, interval, format)
+		return runStats(recs, out, gz, interval, format)
 	}
 	return fmt.Errorf("unknown command %q (want gen, summary, or stats)", cmd)
 }
 
-// writeOut runs emit against the -out file (or stdout), propagating the
-// Close error — for a buffered file, that is where a full disk surfaces.
-func writeOut(out string, emit func(io.Writer) error) error {
-	if out == "" {
-		return emit(os.Stdout)
+// writeOut runs emit against the -out file (or stdout), optionally wrapping
+// it in a gzip compressor, and propagates the Close errors — for a buffered
+// or compressed stream, that is where a full disk surfaces.
+func writeOut(out string, gz bool, emit func(io.Writer) error) error {
+	var w io.Writer = os.Stdout
+	var closers []io.Closer
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		w = f
+		closers = append(closers, f)
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		return err
+	if gz {
+		zw := gzip.NewWriter(w)
+		w = zw
+		// The compressor must flush before the file closes beneath it.
+		closers = append([]io.Closer{zw}, closers...)
 	}
-	if err := emit(f); err != nil {
-		f.Close()
-		return err
+	err := emit(w)
+	for _, c := range closers {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
 	}
-	return f.Close()
+	return err
 }
 
 // runStats replays the trace as one scatter-add stream operation on the
 // Table 1 machine, sampling the hardware performance counters every
 // interval cycles, and exports the timeline.
-func runStats(recs []trace.Record, out string, interval uint64, format string) error {
+func runStats(recs []trace.Record, out string, gz bool, interval uint64, format string) error {
 	if format != "csv" && format != "jsonl" {
 		return fmt.Errorf("unknown -format %q (want csv or jsonl)", format)
 	}
@@ -142,12 +157,7 @@ func runStats(recs []trace.Record, out string, interval uint64, format string) e
 	if len(tl.Samples) == 0 || tl.Samples[len(tl.Samples)-1].Cycle != m.Now() {
 		tl.Record(m.Now(), m.StatsSnapshot())
 	}
-	return writeOut(out, func(w io.Writer) error {
-		if format == "jsonl" {
-			return tl.WriteJSONL(w)
-		}
-		return tl.WriteCSV(w)
-	})
+	return writeOut(out, gz, func(w io.Writer) error { return tl.Write(w, format) })
 }
 
 // generate builds one of the §4.5 trace workloads.

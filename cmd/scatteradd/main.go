@@ -10,12 +10,19 @@
 //
 // Flags:
 //
-//	-scale N   divide dataset sizes by N for a quick run (default 1 = paper scale)
-//	-jobs N    run up to N independent simulations concurrently (default NumCPU;
-//	           1 = sequential; output is byte-identical for every N)
-//	-seed N    perturb every workload seed (default 0 = the paper's fixed seeds)
-//	-csv       emit CSV instead of aligned text
-//	-stats     append a hardware performance-counter appendix to each table
+//	-scale N      divide dataset sizes by N for a quick run (default 1 = paper scale)
+//	-jobs N       run up to N independent simulations concurrently (default NumCPU;
+//	              1 = sequential; output is byte-identical for every N)
+//	-seed N       perturb every workload seed (default 0 = the paper's fixed seeds)
+//	-csv          emit CSV instead of aligned text
+//	-stats        append a hardware performance-counter appendix to each table
+//	-spans        append a sampled request-lifecycle latency-attribution
+//	              appendix to each table (see -span-rate)
+//	-span-rate N  sample 1 in N issued memory operations for -spans (default 16)
+//
+// Profiling the simulator itself: -pprof-http ADDR serves net/http/pprof,
+// -cpuprofile/-memprofile FILE write pprof profiles, -trace-out FILE writes
+// a runtime execution trace (go tool trace).
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"time"
 
 	"scatteradd"
+	"scatteradd/internal/prof"
 )
 
 func main() {
@@ -35,6 +43,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	doPlot := flag.Bool("plot", false, "also render ASCII charts of the figures")
 	withStats := flag.Bool("stats", false, "append a hardware performance-counter appendix to each table")
+	withSpans := flag.Bool("spans", false, "append a sampled request-lifecycle latency appendix to each table")
+	spanRate := flag.Int("span-rate", 16, "sample 1 in N issued memory operations for -spans")
+	profCfg := prof.Flags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -45,17 +56,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "scatteradd: -jobs %d invalid (want >= 1)\n", *jobs)
 		os.Exit(2)
 	}
-	o := scatteradd.ExpOptions{Scale: *scale, Jobs: *jobs, Seed: *seed, CollectStats: *withStats}
+	if *spanRate < 1 {
+		fmt.Fprintf(os.Stderr, "scatteradd: -span-rate %d invalid (want >= 1)\n", *spanRate)
+		os.Exit(2)
+	}
+	sess, err := prof.Start(*profCfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scatteradd: %v\n", err)
+		os.Exit(1)
+	}
+	if addr := sess.HTTPAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "scatteradd: pprof at http://%s/debug/pprof/\n", addr)
+	}
+	o := scatteradd.ExpOptions{
+		Scale: *scale, Jobs: *jobs, Seed: *seed,
+		CollectStats: *withStats, CollectSpans: *withSpans, SpanRate: *spanRate,
+	}
 	for _, name := range flag.Args() {
 		if err := run(name, o, *csv, *doPlot); err != nil {
+			sess.Stop()
 			fmt.Fprintf(os.Stderr, "scatteradd: %v\n", err)
 			os.Exit(1)
 		}
 	}
+	if err := sess.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "scatteradd: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: scatteradd [-scale N] [-jobs N] [-seed N] [-csv] [-stats] <experiment>...
+	fmt.Fprintf(os.Stderr, `usage: scatteradd [-scale N] [-jobs N] [-seed N] [-csv] [-stats] [-spans] <experiment>...
 
 experiments:
   table1           machine parameters (paper Table 1)

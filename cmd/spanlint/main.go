@@ -1,0 +1,51 @@
+// Command spanlint sanity-checks Chrome trace-event / Perfetto JSON files
+// produced by the span exporter (sabench -span-out, span.WriteTraceEvents).
+// It verifies the trace-event envelope and the per-phase required fields so
+// CI can gate exported artifacts before anyone tries to load a broken file
+// in ui.perfetto.dev.
+//
+// Usage:
+//
+//	spanlint FILE...
+//
+// Exits non-zero if any file fails validation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scatteradd/internal/span"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: spanlint FILE...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	failed := 0
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spanlint: %v\n", err)
+			failed++
+			continue
+		}
+		events, err := span.ValidateTraceJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spanlint: %s: %v\n", path, err)
+			failed++
+			continue
+		}
+		fmt.Printf("%s: OK (%d trace events)\n", path, events)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

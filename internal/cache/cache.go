@@ -19,6 +19,7 @@ import (
 	"scatteradd/internal/dram"
 	"scatteradd/internal/mem"
 	"scatteradd/internal/sim"
+	"scatteradd/internal/span"
 	"scatteradd/internal/stats"
 )
 
@@ -104,6 +105,7 @@ type mshr struct {
 	filled      bool     // line is resident; pending drains as respQ allows
 	pending     []mem.Request
 	pendingFill *[mem.LineWords]mem.Word // fill data staged while eviction is blocked
+	alloc       uint64                   // allocation cycle, for miss spans
 }
 
 // EvictedLine is a partial-sum line surfaced by a CombineLocal bank.
@@ -123,6 +125,10 @@ type wcbEntry struct {
 }
 
 const fullMask = uint8(1<<mem.LineWords - 1)
+
+// wcbReplayID marks the internal word writes replayed from a spilled
+// write-combining entry, so they can never alias a traced upstream ID.
+const wcbReplayID = uint64(1) << 63
 
 // metrics are the bank's performance counters: the contention and occupancy
 // events behind the paper's hot-bank effect (§4.3, Figure 7).
@@ -179,6 +185,9 @@ type Bank struct {
 	flushPos int // next line index to examine during flush
 
 	zeroKind mem.Kind // combine kind for zero-allocation in CombineLocal
+
+	tr    *span.Tracer
+	track string
 }
 
 // NewBank constructs bank index of a cache described by cfg, backed by d.
@@ -229,6 +238,13 @@ func (b *Bank) Stats() Stats { return b.stats }
 // StatsGroup returns the bank's performance-counter group, for adoption into
 // a machine-level registry.
 func (b *Bank) StatsGroup() *stats.Group { return b.met.group }
+
+// SetSpanTracer installs a request-lifecycle tracer; track names the bank
+// in exported traces (e.g. "cache[3]"). A nil tracer disables tracing.
+func (b *Bank) SetSpanTracer(tr *span.Tracer, track string) {
+	b.tr = tr
+	b.track = track
+}
 
 // BankOf maps a line-aligned address to its bank number. Successive lines
 // map to successive banks; a narrow index range therefore concentrates on
@@ -325,6 +341,15 @@ func (b *Bank) install(now uint64, a mem.Addr, data [mem.LineWords]mem.Word, par
 // apply performs a word operation on a resident line and, when a response is
 // due, pushes it. The caller has verified respQ capacity.
 func (b *Bank) apply(now uint64, ln *line, r mem.Request) {
+	if b.tr != nil {
+		// Sampled ops that get a response move to the reply path; all
+		// others (stores, local combines) complete here.
+		if r.Kind == mem.Read || r.Kind.IsFetch() {
+			b.tr.OpStage(r.Node, r.ID, span.StageReply, now)
+		} else {
+			b.tr.OpEnd(r.Node, r.ID, now)
+		}
+	}
 	ln.lastUsed = now
 	off := r.Addr.LineOffset()
 	switch r.Kind {
@@ -427,6 +452,9 @@ func (b *Bank) drainMSHR(now uint64, m *mshr) {
 		}
 		b.apply(now, ln, r)
 		m.pending = m.pending[1:]
+	}
+	if b.tr != nil {
+		b.tr.SpanAsync(b.track, fmt.Sprintf("miss line=%d", m.line), m.alloc, now)
 	}
 	*m = mshr{}
 	b.mshrUsed--
@@ -543,7 +571,7 @@ func (b *Bank) wcbVictim() int {
 // write-back queue (no fill); a partial line converts into an MSHR
 // fetch-and-merge whose pending list replays the buffered word writes.
 // It reports false when the needed queue or MSHR was unavailable.
-func (b *Bank) spillWCB(i int) bool {
+func (b *Bank) spillWCB(now uint64, i int) bool {
 	e := &b.wcb[i]
 	if e.mask == fullMask {
 		if b.wbQ.Full() {
@@ -564,12 +592,15 @@ func (b *Bank) spillWCB(i int) bool {
 		}
 		*m = mshr{valid: true, line: e.line}
 		b.mshrUsed++
+		if b.tr != nil {
+			m.alloc = now
+		}
 		b.stats.Misses++
 		b.met.misses.Inc()
 	}
 	for w := 0; w < mem.LineWords; w++ {
 		if e.mask&(1<<w) != 0 {
-			m.pending = append(m.pending, mem.Request{Kind: mem.Write, Addr: e.line + mem.Addr(w), Val: e.data[w]})
+			m.pending = append(m.pending, mem.Request{ID: wcbReplayID, Kind: mem.Write, Addr: e.line + mem.Addr(w), Val: e.data[w]})
 		}
 	}
 	b.stats.WCBSpills++
@@ -585,7 +616,7 @@ func (b *Bank) wcbWrite(now uint64, r mem.Request) bool {
 	i := b.wcbFind(line)
 	if i < 0 {
 		i = b.wcbVictim()
-		if b.wcb[i].valid && !b.spillWCB(i) {
+		if b.wcb[i].valid && !b.spillWCB(now, i) {
 			b.stats.Stalls++
 			b.met.stallCycles.Inc()
 			return false
@@ -597,6 +628,10 @@ func (b *Bank) wcbWrite(now uint64, r mem.Request) bool {
 	e.data[r.Addr.LineOffset()] = r.Val
 	e.mask |= 1 << r.Addr.LineOffset()
 	e.lastUsed = now
+	if b.tr != nil {
+		// A sampled store completes once the combining buffer owns it.
+		b.tr.OpEnd(r.Node, r.ID, now)
+	}
 	b.stats.WCBMerges++
 	if e.mask == fullMask && !b.wbQ.Full() {
 		b.wbQ.MustPush(dram.LineReq{Line: e.line, Write: true, Data: e.data})
@@ -636,7 +671,7 @@ func (b *Bank) processOne(now uint64) bool {
 		// the subsequent fill merges the buffered writes before this
 		// request is serviced.
 		if i := b.wcbFind(lineAddr); i >= 0 {
-			if !b.spillWCB(i) {
+			if !b.spillWCB(now, i) {
 				b.stats.Stalls++
 				b.met.stallCycles.Inc()
 				return false
@@ -673,6 +708,9 @@ func (b *Bank) processOne(now uint64) bool {
 	}
 	if m := b.mshrFor(lineAddr); m != nil {
 		m.pending = append(m.pending, r)
+		if b.tr != nil {
+			b.tr.OpStage(r.Node, r.ID, span.StageDRAM, now)
+		}
 		b.stats.MergedMiss++
 		b.inQ.Pop()
 		return true
@@ -685,6 +723,10 @@ func (b *Bank) processOne(now uint64) bool {
 	}
 	*m = mshr{valid: true, line: lineAddr, pending: []mem.Request{r}}
 	b.mshrUsed++
+	if b.tr != nil {
+		m.alloc = now
+		b.tr.OpStage(r.Node, r.ID, span.StageDRAM, now)
+	}
 	b.stats.Misses++
 	b.met.misses.Inc()
 	b.inQ.Pop()

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"scatteradd/internal/mem"
+	"scatteradd/internal/span"
 	"scatteradd/internal/stats"
 )
 
@@ -163,6 +164,8 @@ type DRAM struct {
 	stats    Stats
 	met      metrics
 	rrChan   int // round-robin pointer for response draining
+	tr       *span.Tracer
+	track    string
 }
 
 // New returns a DRAM with the given configuration, owning a fresh store.
@@ -194,6 +197,14 @@ func (d *DRAM) StatsGroup() *stats.Group { return d.met.group }
 
 // Config returns the configuration the DRAM was built with.
 func (d *DRAM) Config() Config { return d.cfg }
+
+// SetSpanTracer installs a request-lifecycle tracer; track prefixes the
+// per-channel track names (e.g. "dram" yields "dram[0]", "dram[1]", ...).
+// A nil tracer disables tracing.
+func (d *DRAM) SetSpanTracer(tr *span.Tracer, track string) {
+	d.tr = tr
+	d.track = track
+}
 
 // lineIndex returns the global line number of a line-aligned address.
 func lineIndex(line mem.Addr) uint64 { return uint64(line) / mem.LineWords }
@@ -294,7 +305,8 @@ func (d *DRAM) Tick(now uint64) {
 		b, row := d.bankRowOf(cr.req.Line)
 		bk := &ch.banks[b]
 		lat := uint64(d.cfg.TCas)
-		if bk.openRow == row {
+		rowHit := bk.openRow == row
+		if rowHit {
 			d.stats.RowHits++
 			d.met.rowHits.Inc()
 		} else {
@@ -311,6 +323,20 @@ func (d *DRAM) Tick(now uint64) {
 		ch.busFree = now + lat + bus // serialize transfers on the channel bus
 		d.stats.BusCycles += bus
 		d.met.busBusy.Add(bus)
+		if d.tr != nil {
+			// One serialized service span per channel transaction, with
+			// the queueing delay and row outcome in the slice name.
+			rw, rowTag := "rd", "hit"
+			if cr.req.Write {
+				rw = "wr"
+			}
+			if !rowHit {
+				rowTag = "miss"
+			}
+			d.tr.Span(fmt.Sprintf("%s[%d]", d.track, ci),
+				fmt.Sprintf("%s line=%d q=%d row-%s", rw, cr.req.Line, now-cr.arrival, rowTag),
+				now, now+lat+bus)
+		}
 		if cr.req.Write {
 			d.stats.Writes++
 			d.met.writes.Inc()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"scatteradd/internal/mem"
+	"scatteradd/internal/span"
 )
 
 // Uniform is the simplified memory model of the paper's sensitivity study
@@ -23,6 +24,9 @@ type Uniform struct {
 	resps    []mem.Response
 
 	reads, writes uint64
+
+	tr    *span.Tracer
+	track string
 }
 
 type pendingWord struct {
@@ -51,6 +55,13 @@ func (u *Uniform) Store() *mem.Store { return u.store }
 // Accesses reports the number of word reads and writes serviced.
 func (u *Uniform) Accesses() (reads, writes uint64) { return u.reads, u.writes }
 
+// SetSpanTracer installs a request-lifecycle tracer; track names the
+// memory in exported traces. A nil tracer disables tracing.
+func (u *Uniform) SetSpanTracer(tr *span.Tracer, track string) {
+	u.tr = tr
+	u.track = track
+}
+
 // CanAccept reports whether the request queue has room.
 func (u *Uniform) CanAccept(now uint64) bool { return len(u.queue) < u.depth }
 
@@ -63,6 +74,11 @@ func (u *Uniform) Accept(now uint64, r mem.Request) bool {
 	}
 	if len(u.queue) >= u.depth {
 		return false
+	}
+	if u.tr != nil {
+		// Queue wait and service are both attributed to the memory stage;
+		// there is no cache in the uniform configuration.
+		u.tr.OpStage(r.Node, r.ID, span.StageDRAM, now)
 	}
 	u.queue = append(u.queue, r)
 	return true
@@ -78,9 +94,16 @@ func (u *Uniform) Tick(now uint64) {
 		if r.Kind == mem.Write {
 			u.writes++
 			u.store.StoreWord(r.Addr, r.Val)
+			if u.tr != nil {
+				u.tr.OpEnd(r.Node, r.ID, now)
+				u.tr.SpanAsync(u.track, fmt.Sprintf("wr a=%d", r.Addr), now, now+u.interval)
+			}
 			return
 		}
 		u.reads++
+		if u.tr != nil {
+			u.tr.SpanAsync(u.track, fmt.Sprintf("rd a=%d", r.Addr), now, now+u.latency)
+		}
 		u.pending = append(u.pending, pendingWord{
 			resp: mem.Response{
 				ID: r.ID, Kind: mem.Read, Addr: r.Addr,

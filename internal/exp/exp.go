@@ -31,6 +31,11 @@ type Table struct {
 	// behind the table, merged in input order (Options.CollectStats). When
 	// non-empty, String appends them as a counter appendix.
 	Counters stats.Snapshot
+
+	// Spans holds the per-run latency-attribution reports of every
+	// simulation behind the table, in input order (Options.CollectSpans).
+	// When non-empty, String appends them as a span appendix.
+	Spans []SpanRow
 }
 
 // String renders the table as aligned text.
@@ -75,6 +80,10 @@ func (t Table) String() string {
 		b.WriteString("counter appendix (merged across runs, collapsed across instances):\n")
 		b.WriteString(t.Counters.Collapse().Format("  "))
 	}
+	if len(t.Spans) > 0 {
+		b.WriteString("span appendix (sampled request lifecycles, per run):\n")
+		b.WriteString(formatSpanRows(t.Spans, "  "))
+	}
 	return b.String()
 }
 
@@ -115,6 +124,14 @@ type Options struct {
 	// Counting itself is always on; this only controls snapshot collection,
 	// so leaving it off costs nothing on the simulation hot path.
 	CollectStats bool
+	// CollectSpans samples per-request lifecycle spans on every simulation
+	// behind a figure and attaches the per-run latency-attribution reports
+	// to its Table (rendered as a span appendix). Off, no tracer is
+	// installed and the simulation hot path pays nothing.
+	CollectSpans bool
+	// SpanRate samples one in every SpanRate issued memory operations when
+	// CollectSpans is set (0 = a default of 16).
+	SpanRate int
 }
 
 // DefaultOptions runs at the paper's full dataset sizes with one worker per

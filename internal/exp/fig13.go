@@ -5,6 +5,7 @@ import (
 
 	"scatteradd/internal/mem"
 	"scatteradd/internal/multinode"
+	"scatteradd/internal/span"
 	"scatteradd/internal/stats"
 	"scatteradd/internal/workload"
 )
@@ -77,22 +78,30 @@ func spasTrace(o Options) trace {
 }
 
 // tracePointOut is one Figure 13 point's rendered throughput plus (when
-// collecting) the system's performance-counter snapshot.
+// collecting) the system's performance-counter snapshot and span report.
 type tracePointOut struct {
-	cell string
-	snap stats.Snapshot
+	cell  string
+	snap  stats.Snapshot
+	rep   span.Report
+	label string
 }
 
 // runTracePoint replays one trace on one configuration and node count,
 // returning GB/s.
 func runTracePoint(o Options, tr trace, tc traceConfig, nodes int) tracePointOut {
-	span := (tr.span/mem.Addr(nodes) + mem.LineWords) &^ (mem.LineWords - 1)
-	cfg := multinode.DefaultConfig(nodes, tc.bandwidth, span)
+	ownerSpan := (tr.span/mem.Addr(nodes) + mem.LineWords) &^ (mem.LineWords - 1)
+	cfg := multinode.DefaultConfig(nodes, tc.bandwidth, ownerSpan)
 	cfg.Combining = tc.combining
 	s := multinode.New(cfg, tr.kind)
+	sp := o.newTracer()
+	s.SetSpanTracer(sp)
 	out := tracePointOut{cell: fmt.Sprintf("%.2f", s.RunTrace(tr.refs).GBps())}
 	if o.CollectStats {
 		out.snap = s.StatsSnapshot()
+	}
+	if o.CollectSpans {
+		out.rep = spanReport(sp)
+		out.label = fmt.Sprintf("%s nodes=%d", tc.label, nodes)
 	}
 	return out
 }
@@ -156,6 +165,11 @@ func Fig13(o Options) Table {
 			row = append(row, points[r*len(nodeCounts)+c].cell)
 		}
 		t.Rows = append(t.Rows, row)
+	}
+	if o.CollectSpans {
+		for _, p := range points {
+			t.Spans = append(t.Spans, SpanRow{Label: p.label, Report: p.rep})
+		}
 	}
 	if o.CollectStats {
 		snaps := make([]stats.Snapshot, len(points))

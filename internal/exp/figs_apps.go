@@ -3,24 +3,33 @@ package exp
 import (
 	"scatteradd/internal/apps"
 	"scatteradd/internal/machine"
+	"scatteradd/internal/span"
 	"scatteradd/internal/stats"
 )
 
 // appOut is one application run's rendered row plus (when collecting) the
-// run's performance-counter snapshot.
+// run's performance-counter snapshot and span report.
 type appOut struct {
 	row  []string
 	snap stats.Snapshot
+	rep  span.Report
 }
 
 // collectApp fans variant runs out and assembles rows in input order,
-// attaching the merged counter snapshot to the table when requested.
+// attaching the merged counter snapshot and per-run span reports to the
+// table when requested. Span rows are labeled by the variant (the row's
+// first cell).
 func collectApp(o Options, t *Table, n int, run func(i int, m *machine.Machine) []string) {
 	outs := mapN(o, n, func(i int) appOut {
 		m := paperMachine()
+		tr := o.newTracer()
+		m.SetSpanTracer(tr)
 		out := appOut{row: run(i, m)}
 		if o.CollectStats {
 			out.snap = m.StatsSnapshot()
+		}
+		if o.CollectSpans {
+			out.rep = spanReport(tr)
 		}
 		return out
 	})
@@ -28,6 +37,9 @@ func collectApp(o Options, t *Table, n int, run func(i int, m *machine.Machine) 
 	for i, x := range outs {
 		t.Rows = append(t.Rows, x.row)
 		snaps[i] = x.snap
+		if o.CollectSpans {
+			t.Spans = append(t.Spans, SpanRow{Label: x.row[0], Report: x.rep})
+		}
 	}
 	if o.CollectStats {
 		t.Counters = stats.MergeAll(snaps)

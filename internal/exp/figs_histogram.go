@@ -5,6 +5,7 @@ import (
 
 	"scatteradd/internal/apps"
 	"scatteradd/internal/machine"
+	"scatteradd/internal/span"
 	"scatteradd/internal/stats"
 )
 
@@ -36,40 +37,52 @@ func runSort(h *apps.Histogram, m *machine.Machine) machine.Result { return h.Ru
 func runPriv(h *apps.Histogram, m *machine.Machine) machine.Result { return h.RunPrivatization(m, 0) }
 
 // histOut is one histogram run's cycle count plus (when collecting) the
-// run's performance-counter snapshot.
+// run's performance-counter snapshot and span report.
 type histOut struct {
 	cycles uint64
 	snap   stats.Snapshot
+	rep    span.Report
 }
 
 // runHistograms fans the runs out across the worker pool and returns their
-// cycle counts in input order, plus the merged counter snapshot when
-// Options.CollectStats is set. Each run's machine owns its own registry, so
-// the parallel workers never share counters; merging in input order keeps
-// the result identical for every worker count.
-func runHistograms(o Options, runs []histRun) ([]uint64, stats.Snapshot) {
+// cycle counts in input order, plus the merged counter snapshot and the
+// per-run span reports when Options.CollectStats / CollectSpans are set.
+// Each run's machine owns its own registry and its own tracer, so the
+// parallel workers never share state; assembling in input order keeps the
+// result identical for every worker count.
+func runHistograms(o Options, runs []histRun) ([]uint64, stats.Snapshot, []SpanRow) {
 	outs := mapN(o, len(runs), func(i int) histOut {
 		r := runs[i]
 		h := apps.NewHistogram(r.n, r.rng, r.seed)
 		m := paperMachine()
+		tr := o.newTracer()
+		m.SetSpanTracer(tr)
 		res := r.run(h, m)
 		mustVerify(m, h, r.what)
 		out := histOut{cycles: res.Cycles}
 		if o.CollectStats {
 			out.snap = m.StatsSnapshot()
 		}
+		if o.CollectSpans {
+			out.rep = spanReport(tr)
+		}
 		return out
 	})
 	cyc := make([]uint64, len(outs))
 	snaps := make([]stats.Snapshot, len(outs))
+	var spanRows []SpanRow
 	for i, x := range outs {
 		cyc[i] = x.cycles
 		snaps[i] = x.snap
+		if o.CollectSpans {
+			label := fmt.Sprintf("%s n=%d rng=%d", runs[i].what, runs[i].n, runs[i].rng)
+			spanRows = append(spanRows, SpanRow{Label: label, Report: x.rep})
+		}
 	}
 	if !o.CollectStats {
-		return cyc, stats.Snapshot{}
+		return cyc, stats.Snapshot{}, spanRows
 	}
-	return cyc, stats.MergeAll(snaps)
+	return cyc, stats.MergeAll(snaps), spanRows
 }
 
 // Fig6 reproduces Figure 6: histogram execution time for input lengths
@@ -102,8 +115,8 @@ func Fig6(o Options) Table {
 			histRun{n, rng, seed, "fig6 SW histogram", runSort},
 		)
 	}
-	cyc, snap := runHistograms(o, runs)
-	t.Counters = snap
+	cyc, snap, spans := runHistograms(o, runs)
+	t.Counters, t.Spans = snap, spans
 	for r, n := range ns {
 		hw, sw := cyc[2*r], cyc[2*r+1]
 		t.Rows = append(t.Rows, []string{
@@ -137,8 +150,8 @@ func Fig7(o Options) Table {
 			histRun{n, rng, seed, "fig7 SW histogram", runSort},
 		)
 	}
-	cyc, snap := runHistograms(o, runs)
-	t.Counters = snap
+	cyc, snap, spans := runHistograms(o, runs)
+	t.Counters, t.Spans = snap, spans
 	for r, rng := range ranges {
 		t.Rows = append(t.Rows, []string{d(uint64(rng)), f(us(cyc[2*r])), f(us(cyc[2*r+1]))})
 	}
@@ -171,8 +184,8 @@ func Fig8(o Options) Table {
 			)
 		}
 	}
-	cyc, snap := runHistograms(o, runs)
-	t.Counters = snap
+	cyc, snap, spans := runHistograms(o, runs)
+	t.Counters, t.Spans = snap, spans
 	for r, p := range points {
 		hw, pr := cyc[2*r], cyc[2*r+1]
 		t.Rows = append(t.Rows, []string{

@@ -1,8 +1,11 @@
 package exp
 
 import (
+	"fmt"
+
 	"scatteradd/internal/apps"
 	"scatteradd/internal/machine"
+	"scatteradd/internal/span"
 	"scatteradd/internal/stats"
 )
 
@@ -25,10 +28,12 @@ type sensPoint struct {
 }
 
 // sensOut is one sensitivity point's runtime plus (when collecting) the
-// run's performance-counter snapshot.
+// run's performance-counter snapshot and span report.
 type sensOut struct {
-	us   float64
-	snap stats.Snapshot
+	us    float64
+	snap  stats.Snapshot
+	rep   span.Report
+	label string
 }
 
 // runSensitivity times one histogram scatter-add on the simplified system;
@@ -36,18 +41,30 @@ type sensOut struct {
 func runSensitivity(o Options, p sensPoint, n, rng int) sensOut {
 	h := apps.NewHistogram(n, rng, o.seed(0xF16_11))
 	m := sensitivityMachine(p.entries, p.fuLat, p.memLat, p.interval)
+	tr := o.newTracer()
+	m.SetSpanTracer(tr)
 	res := h.RunHW(m)
 	mustVerify(m, h, "sensitivity histogram")
 	out := sensOut{us: us(res.Cycles)}
 	if o.CollectStats {
 		out.snap = m.StatsSnapshot()
 	}
+	if o.CollectSpans {
+		out.rep = spanReport(tr)
+		out.label = fmt.Sprintf("cs=%d fu=%d mem=%d int=%d bins=%d",
+			p.entries, p.fuLat, p.memLat, p.interval, rng)
+	}
 	return out
 }
 
-// mergeSens attaches the merged counter snapshot of a sensitivity grid to
-// its table when Options.CollectStats is set.
+// mergeSens attaches the merged counter snapshot and per-point span reports
+// of a sensitivity grid to its table when the collect options are set.
 func mergeSens(o Options, t *Table, outs []sensOut) {
+	if o.CollectSpans {
+		for _, x := range outs {
+			t.Spans = append(t.Spans, SpanRow{Label: x.label, Report: x.rep})
+		}
+	}
 	if !o.CollectStats {
 		return
 	}

@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"scatteradd/internal/span"
+)
+
+// TestSpanAppendixDeterministicAcrossJobs renders a figure with span
+// collection at -jobs 1 and -jobs 8 and requires byte-identical output —
+// the tentpole's determinism contract: per-run tracers, reports assembled
+// in input order.
+func TestSpanAppendixDeterministicAcrossJobs(t *testing.T) {
+	base := Options{Scale: 16, CollectSpans: true, SpanRate: 8}
+	seq, par := base, base
+	seq.Jobs, par.Jobs = 1, 8
+	s1 := Fig6(seq).String()
+	s8 := Fig6(par).String()
+	if s1 != s8 {
+		t.Fatalf("span appendix differs between jobs=1 and jobs=8:\n%s\nvs\n%s", s1, s8)
+	}
+	if !strings.Contains(s1, "span appendix") {
+		t.Fatalf("output missing span appendix:\n%s", s1)
+	}
+	if !strings.Contains(s1, "bottleneck") {
+		t.Fatalf("span appendix missing bottleneck column:\n%s", s1)
+	}
+}
+
+// TestSpanAppendixOffByDefault keeps the hot path clean: without
+// CollectSpans no appendix is rendered and no reports are attached.
+func TestSpanAppendixOffByDefault(t *testing.T) {
+	tab := Fig6(Options{Scale: 16, Jobs: 2})
+	if len(tab.Spans) != 0 {
+		t.Fatalf("spans attached without CollectSpans: %d rows", len(tab.Spans))
+	}
+	if strings.Contains(tab.String(), "span appendix") {
+		t.Fatal("span appendix rendered without CollectSpans")
+	}
+}
+
+// TestSensitivitySpansUniformMemory checks span collection on the §4.4
+// cache-less machine: attribution must flow to the memory stage, not the
+// (absent) cache.
+func TestSensitivitySpansUniformMemory(t *testing.T) {
+	o := Options{Scale: 16, Jobs: 2, CollectSpans: true, SpanRate: 4}
+	tab := Fig11(o)
+	if len(tab.Spans) == 0 {
+		t.Fatal("no span rows on Fig11")
+	}
+	sawOps := false
+	for _, r := range tab.Spans {
+		if r.Report.Ops == 0 {
+			continue
+		}
+		sawOps = true
+		for _, st := range r.Report.Stages {
+			if st.Stage == span.StageCache {
+				t.Fatalf("run %s attributes cycles to the cache on a cache-less machine", r.Label)
+			}
+		}
+	}
+	if !sawOps {
+		t.Fatal("every Fig11 span report is empty")
+	}
+}
+
+// TestFig13SpansMultiNode checks span collection flows through the
+// multi-node path with per-point labels.
+func TestFig13SpansMultiNode(t *testing.T) {
+	o := Options{Scale: 64, Jobs: 4, CollectSpans: true, SpanRate: 16}
+	tab := Fig13(o)
+	if len(tab.Spans) == 0 {
+		t.Fatal("no span rows on Fig13")
+	}
+	for _, r := range tab.Spans {
+		if !strings.Contains(r.Label, "nodes=") {
+			t.Fatalf("fig13 span label %q missing node count", r.Label)
+		}
+	}
+}
+
+// TestFormatSpanRowsEmptyReport renders a row whose run sampled nothing.
+func TestFormatSpanRowsEmptyReport(t *testing.T) {
+	out := formatSpanRows([]SpanRow{{Label: "empty", Report: span.Report{}}}, "")
+	if !strings.Contains(out, "empty") || !strings.Contains(out, "-") {
+		t.Fatalf("empty-report rendering: %q", out)
+	}
+}

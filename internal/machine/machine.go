@@ -24,6 +24,7 @@ import (
 	"scatteradd/internal/mem"
 	"scatteradd/internal/saunit"
 	"scatteradd/internal/sim"
+	"scatteradd/internal/span"
 	"scatteradd/internal/stats"
 )
 
@@ -227,7 +228,9 @@ type memStream struct {
 	issued      int
 	responses   int
 	needResp    bool
-	startupLeft int // cycles of AG/pipeline priming before first issue
+	startupLeft int    // cycles of AG/pipeline priming before first issue
+	lane        int    // address-generator lane (span tracing only)
+	start       uint64 // cycle the stream claimed its AG (span tracing only)
 }
 
 // done reports whether the stream has issued everything and received every
@@ -271,6 +274,9 @@ type Machine struct {
 	nextTag uint64
 	tracer  func(cycle uint64, req mem.Request)
 
+	tr       *span.Tracer
+	laneBusy []bool // AG lane occupancy (span tracing only)
+
 	kernelFlops uint64
 	memRefs     uint64
 }
@@ -278,6 +284,37 @@ type Machine struct {
 // SetTracer installs a hook observing every memory request the address
 // generators issue (nil disables tracing).
 func (m *Machine) SetTracer(fn func(cycle uint64, req mem.Request)) { m.tracer = fn }
+
+// SetSpanTracer installs a request-lifecycle tracer on the machine and
+// every memory-system component, so sampled operations record their stage
+// transitions from address-generator issue to reply. Install it before
+// running ops; a nil tracer disables tracing everywhere.
+func (m *Machine) SetSpanTracer(tr *span.Tracer) {
+	m.tr = tr
+	m.laneBusy = nil
+	if tr != nil {
+		m.laneBusy = make([]bool, m.cfg.AGs)
+	}
+	for i, sa := range m.sas {
+		sa.SetSpanTracer(tr, fmt.Sprintf("saunit[%d]", i))
+		if m.uniform != nil {
+			// No cache below the unit: bypasses go straight to memory.
+			sa.SetSpanDownstream(span.StageDRAM)
+		}
+	}
+	for i, b := range m.banks {
+		b.SetSpanTracer(tr, fmt.Sprintf("cache[%d]", i))
+	}
+	if m.dram != nil {
+		m.dram.SetSpanTracer(tr, "dram")
+	}
+	if m.uniform != nil {
+		m.uniform.SetSpanTracer(tr, "uniform")
+	}
+}
+
+// SpanTracer returns the installed request-lifecycle tracer (nil if none).
+func (m *Machine) SpanTracer() *span.Tracer { return m.tr }
 
 // New constructs a machine.
 func New(cfg Config) *Machine {
@@ -412,6 +449,9 @@ func (m *Machine) issuePhase(now uint64) {
 			if m.tracer != nil {
 				m.tracer(now, req)
 			}
+			if m.tr != nil && m.tr.SampleNext() {
+				m.tr.OpBegin(0, req.ID, req.Kind, req.Addr, now)
+			}
 			s.issued++
 			m.met.agIssued.Inc()
 		}
@@ -447,6 +487,9 @@ func (m *Machine) responsePhase(now uint64) {
 			}
 			if s := m.streamByTag(r.ID >> 32); s != nil {
 				s.responses++
+				if m.tr != nil {
+					m.tr.OpEnd(0, r.ID, now)
+				}
 				if s.op.OnResp != nil {
 					r.ID &= (1 << 32) - 1 // restore the caller's index
 					s.op.OnResp(r)
@@ -457,11 +500,18 @@ func (m *Machine) responsePhase(now uint64) {
 }
 
 // retirePhase removes completed streams, freeing their address generators.
-func (m *Machine) retirePhase(uint64) {
+func (m *Machine) retirePhase(now uint64) {
 	live := m.active[:0]
 	for _, s := range m.active {
 		if !s.done() {
 			live = append(live, s)
+			continue
+		}
+		if m.tr != nil && s.lane < len(m.laneBusy) {
+			// One serialized activity span per AG lane per stream.
+			m.tr.Span(fmt.Sprintf("ag[%d]", s.lane),
+				fmt.Sprintf("%s n=%d", s.op.Name, s.n), s.start, now)
+			m.laneBusy[s.lane] = false
 		}
 	}
 	m.active = live
@@ -591,6 +641,15 @@ func (m *Machine) runMemOp(op Op) {
 		op: op, tag: m.nextTag, n: n,
 		needResp:    op.MemKind == mem.Read || op.MemKind.IsFetch(),
 		startupLeft: m.cfg.MemOpStartup,
+	}
+	if m.tr != nil {
+		s.start = m.eng.Now()
+		for i, busy := range m.laneBusy {
+			if !busy {
+				s.lane, m.laneBusy[i] = i, true
+				break
+			}
+		}
 	}
 	m.active = append(m.active, s)
 	if op.Async {

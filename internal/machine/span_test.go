@@ -1,0 +1,145 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"scatteradd/internal/mem"
+	"scatteradd/internal/span"
+)
+
+// saProgram builds a deterministic scatter-add workload.
+func saProgram(n, rng int) []Op {
+	addrs := make([]mem.Addr, n)
+	for i := range addrs {
+		addrs[i] = mem.Addr((i * 17) % rng)
+	}
+	return []Op{ScatterAdd("spans", mem.AddI64, addrs, []mem.Word{mem.I64(1)})}
+}
+
+// TestSpanTracerObservesLifecycles checks the wiring end to end on the full
+// Table 1 machine: sampled ops complete, visit the expected stages, and
+// their timestamps are consistent.
+func TestSpanTracerObservesLifecycles(t *testing.T) {
+	m := New(DefaultConfig())
+	tr := span.New(4)
+	m.SetSpanTracer(tr)
+	m.Run(saProgram(512, 128))
+	ops := tr.Ops()
+	if len(ops) == 0 {
+		t.Fatal("no ops sampled")
+	}
+	if live := tr.Live(); live != 0 {
+		t.Fatalf("%d sampled ops never completed", live)
+	}
+	for i, op := range ops {
+		if op.End < op.Start {
+			t.Fatalf("op %d: End %d < Start %d", i, op.End, op.Start)
+		}
+		if len(op.Trans) == 0 || op.Trans[0].Stage != span.StageBankQ {
+			t.Fatalf("op %d: lifecycle does not start in the bank queue: %+v", i, op.Trans)
+		}
+		for j := 1; j < len(op.Trans); j++ {
+			if op.Trans[j].Cycle < op.Trans[j-1].Cycle {
+				t.Fatalf("op %d: transitions not monotone: %+v", i, op.Trans)
+			}
+		}
+	}
+	rep := span.Aggregate(ops)
+	if rep.Ops != len(ops) || rep.Mean <= 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	// A scatter-add must pass through the combining store and the FPU.
+	seen := map[span.Stage]bool{}
+	for _, st := range rep.Stages {
+		seen[st.Stage] = true
+	}
+	if !seen[span.StageCS] || !seen[span.StageFU] {
+		t.Fatalf("stages missing combining-store/fpu: %+v", rep.Stages)
+	}
+	// Component tracks must have produced activity spans too.
+	if len(tr.Events()) == 0 {
+		t.Fatal("no component track events recorded")
+	}
+}
+
+// TestSpanTracerDoesNotPerturbTiming runs the same workload bare, with the
+// stats sampler, with the span tracer, and with both, and requires the
+// identical cycle count: observability must never change simulated time.
+func TestSpanTracerDoesNotPerturbTiming(t *testing.T) {
+	run := func(sampler bool, rate int) (uint64, *span.Tracer) {
+		m := New(DefaultConfig())
+		var tr *span.Tracer
+		if rate > 0 {
+			tr = span.New(rate)
+			m.SetSpanTracer(tr)
+		}
+		if sampler {
+			m.StartTimeline(64)
+			defer m.StopTimeline()
+		}
+		res := m.Run(saProgram(512, 128))
+		return res.Cycles, tr
+	}
+	bare, _ := run(false, 0)
+	withSampler, _ := run(true, 0)
+	withTracer, tr1 := run(false, 2)
+	withBoth, tr2 := run(true, 2)
+	if withSampler != bare {
+		t.Fatalf("stats sampler changed cycles: %d != %d", withSampler, bare)
+	}
+	if withTracer != bare {
+		t.Fatalf("span tracer changed cycles: %d != %d", withTracer, bare)
+	}
+	if withBoth != bare {
+		t.Fatalf("sampler+tracer changed cycles: %d != %d", withBoth, bare)
+	}
+	// The attribution report must not depend on whether the sampler ran.
+	r1, r2 := span.Aggregate(tr1.Ops()), span.Aggregate(tr2.Ops())
+	if r1.Format("") != r2.Format("") {
+		t.Fatalf("report differs with sampler:\n%s\nvs\n%s", r1.Format(""), r2.Format(""))
+	}
+}
+
+// TestSpanReportDeterminism requires byte-identical reports and Perfetto
+// exports across repeated runs of the same configuration.
+func TestSpanReportDeterminism(t *testing.T) {
+	export := func() (string, []byte) {
+		m := New(DefaultConfig())
+		tr := span.New(8)
+		m.SetSpanTracer(tr)
+		m.Run(saProgram(256, 64))
+		var buf bytes.Buffer
+		if err := span.WriteTraceEvents(&buf, []span.Process{tr.Process(0, "machine")}); err != nil {
+			t.Fatal(err)
+		}
+		return span.Aggregate(tr.Ops()).Format("  "), buf.Bytes()
+	}
+	rep1, json1 := export()
+	rep2, json2 := export()
+	if rep1 != rep2 {
+		t.Fatalf("reports differ:\n%s\nvs\n%s", rep1, rep2)
+	}
+	if !bytes.Equal(json1, json2) {
+		t.Fatal("perfetto exports differ between identical runs")
+	}
+	if _, err := span.ValidateTraceJSON(json1); err != nil {
+		t.Fatalf("export does not validate: %v", err)
+	}
+}
+
+// TestSpanTracerDisabledIsFree checks the nil-tracer path stays inert: no
+// ops, no events, no panics, and SetSpanTracer(nil) detaches cleanly.
+func TestSpanTracerDisabledIsFree(t *testing.T) {
+	m := New(DefaultConfig())
+	tr := span.New(1)
+	m.SetSpanTracer(tr)
+	m.SetSpanTracer(nil)
+	m.Run(saProgram(64, 16))
+	if len(tr.Ops()) != 0 || len(tr.Events()) != 0 {
+		t.Fatal("detached tracer still observed activity")
+	}
+	if m.SpanTracer() != nil {
+		t.Fatal("SpanTracer not cleared")
+	}
+}

@@ -29,8 +29,16 @@ import (
 	"scatteradd/internal/network"
 	"scatteradd/internal/saunit"
 	"scatteradd/internal/sim"
+	"scatteradd/internal/span"
 	"scatteradd/internal/stats"
 )
+
+// sumBackTag marks the IDs of sum-back requests generated when combining
+// caches evict partial lines. Sum-backs are internal traffic; the tag keeps
+// them from aliasing a traced (node, id) pair from the replayed trace. Bit 62
+// is used because bit 63 is reserved by the scatter-add unit for its own
+// internal memory traffic.
+const sumBackTag = uint64(1) << 62
 
 // Ref is one scatter-add reference of a trace.
 type Ref struct {
@@ -115,6 +123,9 @@ type System struct {
 	xbar  *network.Crossbar[mem.Request]
 	reg   *stats.Registry
 	now   uint64
+
+	tr         *span.Tracer
+	sumBackSeq uint64
 }
 
 // New constructs the system for traces of the given combine kind.
@@ -165,6 +176,28 @@ func New(cfg Config, kind mem.Kind) *System {
 // the system (crossbar plus per-node DRAM, cache, combining, and scatter-add
 // groups).
 func (s *System) StatsSnapshot() stats.Snapshot { return s.reg.Snapshot() }
+
+// SetSpanTracer installs a request-lifecycle tracer across the whole system:
+// the crossbar plus every node's DRAM, cache banks, scatter-add units, and
+// (in combining mode) combining banks, each on a node-qualified track. A nil
+// tracer disables tracing.
+func (s *System) SetSpanTracer(tr *span.Tracer) {
+	s.tr = tr
+	s.xbar.SetSpanTracer(tr)
+	for _, n := range s.nodes {
+		n.dram.SetSpanTracer(tr, fmt.Sprintf("dram[%d]", n.id))
+		for b := range n.banks {
+			n.banks[b].SetSpanTracer(tr, fmt.Sprintf("cache[%d.%d]", n.id, b))
+			n.sas[b].SetSpanTracer(tr, fmt.Sprintf("saunit[%d.%d]", n.id, b))
+		}
+		for b := range n.comb {
+			n.comb[b].SetSpanTracer(tr, fmt.Sprintf("comb[%d.%d]", n.id, b))
+		}
+	}
+}
+
+// SpanTracer returns the installed tracer, if any.
+func (s *System) SpanTracer() *span.Tracer { return s.tr }
 
 // owner returns the node owning an address.
 func (s *System) owner(a mem.Addr) int {
@@ -286,6 +319,10 @@ func (s *System) stepNode(n *node) {
 			if !u.CanAccept(s.now) || !u.Accept(s.now, r) {
 				break
 			}
+			if s.tr != nil {
+				// Remote request reached its owner: back in a bank queue.
+				s.tr.OpStage(r.Node, r.ID, span.StageBankQ, s.now)
+			}
 		} else {
 			if !s.cfg.Hierarchical {
 				panic(fmt.Sprintf("multinode: node %d received request for node %d without hierarchy",
@@ -304,6 +341,13 @@ func (s *System) stepNode(n *node) {
 		req := mem.Request{ID: uint64(n.issued), Kind: s.kind, Addr: ref.Addr, Val: ref.Val, Node: n.id}
 		if !s.routeRequest(n, req) {
 			break
+		}
+		if s.tr != nil && s.tr.SampleNext() {
+			s.tr.OpBegin(n.id, req.ID, req.Kind, req.Addr, s.now)
+			if !s.cfg.Combining && s.owner(req.Addr) != n.id {
+				// Direct mode: the request is already on the wire.
+				s.tr.OpStage(n.id, req.ID, span.StageNet, s.now)
+			}
 		}
 		n.issued++
 	}
@@ -386,8 +430,10 @@ func (s *System) routeRequest(n *node, req mem.Request) bool {
 // sparse address ranges).
 func (s *System) queueSumBack(n *node, ev cache.EvictedLine) {
 	for i := 0; i < mem.LineWords; i++ {
+		id := sumBackTag | s.sumBackSeq
+		s.sumBackSeq++
 		n.outbox.MustPush(mem.Request{
-			Kind: ev.Kind, Addr: ev.Line + mem.Addr(i), Val: ev.Data[i], Node: n.id,
+			ID: id, Kind: ev.Kind, Addr: ev.Line + mem.Addr(i), Val: ev.Data[i], Node: n.id,
 		})
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"scatteradd/internal/sim"
+	"scatteradd/internal/span"
 	"scatteradd/internal/stats"
 )
 
@@ -71,6 +72,7 @@ type Crossbar[T any] struct {
 	arb     []*sim.RoundRobin // per-output arbiter over inputs
 	stats   Stats
 	met     metrics
+	tr      *span.Tracer
 }
 
 // New returns a crossbar with the given configuration.
@@ -94,6 +96,11 @@ func (x *Crossbar[T]) Stats() Stats { return x.stats }
 // StatsGroup returns the crossbar's performance-counter group, for adoption
 // into a system-level registry.
 func (x *Crossbar[T]) StatsGroup() *stats.Group { return x.met.group }
+
+// SetSpanTracer installs a request-lifecycle tracer. Each granted wire
+// crossing becomes an async span on the output port's track. A nil tracer
+// disables tracing.
+func (x *Crossbar[T]) SetSpanTracer(tr *span.Tracer) { x.tr = tr }
 
 // CanSend reports whether node src can inject a packet this cycle.
 func (x *Crossbar[T]) CanSend(src int) bool { return !x.inputs[src].Full() }
@@ -152,6 +159,11 @@ func (x *Crossbar[T]) Tick(now uint64) {
 			}
 			p, _ := x.inputs[in].Pop()
 			x.wires[o].Push(now, p)
+			if x.tr != nil {
+				x.tr.SpanAsync(fmt.Sprintf("net.out[%d]", o),
+					fmt.Sprintf("pkt %d->%d", p.Src, p.Dst),
+					now, now+uint64(x.cfg.Latency))
+			}
 			x.met.grants.Inc()
 			granted[o]++
 			sentFrom[in]++

@@ -1,0 +1,140 @@
+// Package prof wires the standard Go profiling surfaces — net/http/pprof,
+// CPU/heap profiles, and the runtime execution tracer — behind one Config so
+// every CLI exposes them uniformly. The simulator is single-threaded per
+// run but the experiment layer fans runs out across CPUs; the execution
+// trace is the tool of choice for seeing how the worker pool schedules, and
+// the CPU profile for finding simulation hot spots.
+package prof
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Config selects the profiling surfaces to enable. The zero value enables
+// nothing and Start returns a no-op session.
+type Config struct {
+	HTTPAddr   string // serve net/http/pprof here (e.g. "localhost:6060")
+	CPUProfile string // write a CPU profile to this file
+	MemProfile string // write a heap profile to this file at Stop
+	Trace      string // write a runtime execution trace to this file
+}
+
+// Flags registers the standard profiling flags on fs and returns the Config
+// they fill in at parse time.
+func Flags(fs *flag.FlagSet) *Config {
+	var c Config
+	fs.StringVar(&c.HTTPAddr, "pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&c.Trace, "trace-out", "", "write a runtime execution trace to this file")
+	return &c
+}
+
+// Enabled reports whether any surface is configured.
+func (c Config) Enabled() bool {
+	return c.HTTPAddr != "" || c.CPUProfile != "" || c.MemProfile != "" || c.Trace != ""
+}
+
+// Session holds the running profiling surfaces. A nil Session is inert:
+// Stop is a no-op and HTTPAddr returns "".
+type Session struct {
+	ln         net.Listener
+	cpuF       *os.File
+	traceF     *os.File
+	memProfile string
+}
+
+// Start enables the configured surfaces. The caller must Stop the returned
+// session to flush profiles; on error, anything already started is torn
+// down and a nil session is returned.
+func Start(cfg Config) (*Session, error) {
+	s := &Session{memProfile: cfg.MemProfile}
+	fail := func(err error) (*Session, error) {
+		s.Stop()
+		return nil, err
+	}
+	if cfg.CPUProfile != "" {
+		f, err := os.Create(cfg.CPUProfile)
+		if err != nil {
+			return fail(err)
+		}
+		s.cpuF = f
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(fmt.Errorf("prof: start CPU profile: %w", err))
+		}
+	}
+	if cfg.Trace != "" {
+		f, err := os.Create(cfg.Trace)
+		if err != nil {
+			return fail(err)
+		}
+		s.traceF = f
+		if err := trace.Start(f); err != nil {
+			return fail(fmt.Errorf("prof: start execution trace: %w", err))
+		}
+	}
+	if cfg.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", cfg.HTTPAddr)
+		if err != nil {
+			return fail(fmt.Errorf("prof: pprof listener: %w", err))
+		}
+		s.ln = ln
+		go func() {
+			// Serve exits when Stop closes the listener.
+			_ = http.Serve(ln, nil)
+		}()
+	}
+	return s, nil
+}
+
+// HTTPAddr returns the actual pprof listen address ("" when off), useful
+// when the configured address had port 0.
+func (s *Session) HTTPAddr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Stop flushes and closes every enabled surface. It is safe to call on a
+// nil or partially-started session, and more than once.
+func (s *Session) Stop() error {
+	if s == nil {
+		return nil
+	}
+	var errs []error
+	if s.cpuF != nil {
+		pprof.StopCPUProfile()
+		errs = append(errs, s.cpuF.Close())
+		s.cpuF = nil
+	}
+	if s.traceF != nil {
+		trace.Stop()
+		errs = append(errs, s.traceF.Close())
+		s.traceF = nil
+	}
+	if s.memProfile != "" {
+		f, err := os.Create(s.memProfile)
+		if err != nil {
+			errs = append(errs, err)
+		} else {
+			runtime.GC() // materialize the final live set
+			errs = append(errs, pprof.WriteHeapProfile(f), f.Close())
+		}
+		s.memProfile = ""
+	}
+	if s.ln != nil {
+		errs = append(errs, s.ln.Close())
+		s.ln = nil
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,118 @@
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// filepathStat returns the size of a file.
+func filepathStat(p string) (int64, error) {
+	fi, err := os.Stat(p)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func TestNilSessionIsInert(t *testing.T) {
+	var s *Session
+	if err := s.Stop(); err != nil {
+		t.Fatalf("nil Stop: %v", err)
+	}
+	if a := s.HTTPAddr(); a != "" {
+		t.Fatalf("nil HTTPAddr = %q, want empty", a)
+	}
+}
+
+func TestZeroConfigStartsNothing(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero Config reports Enabled")
+	}
+	s, err := Start(Config{})
+	if err != nil {
+		t.Fatalf("Start(zero): %v", err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}
+
+func TestFileProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		Trace:      filepath.Join(dir, "trace.out"),
+	}
+	if !cfg.Enabled() {
+		t.Fatal("file config reports disabled")
+	}
+	s, err := Start(cfg)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Generate a little work so the profiles have something to record.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i * i
+	}
+	_ = sink
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	for _, p := range []string{cfg.CPUProfile, cfg.MemProfile, cfg.Trace} {
+		if fi, err := filepathStat(p); err != nil || fi == 0 {
+			t.Errorf("profile %s: size=%d err=%v", p, fi, err)
+		}
+	}
+}
+
+func TestHTTPServesPprofIndex(t *testing.T) {
+	s, err := Start(Config{HTTPAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer s.Stop()
+	addr := s.HTTPAddr()
+	if addr == "" {
+		t.Fatal("no listen address")
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %q", resp.StatusCode, body)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty pprof index")
+	}
+}
+
+func TestFlagsRegisterAndFill(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	cfg := Flags(fs)
+	err := fs.Parse([]string{
+		"-pprof-http", "localhost:7070",
+		"-cpuprofile", "cpu.out",
+		"-memprofile", "mem.out",
+		"-trace-out", "t.out",
+	})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := Config{HTTPAddr: "localhost:7070", CPUProfile: "cpu.out", MemProfile: "mem.out", Trace: "t.out"}
+	if *cfg != want {
+		t.Fatalf("parsed %+v, want %+v", *cfg, want)
+	}
+}

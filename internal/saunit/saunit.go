@@ -25,6 +25,7 @@ import (
 	"scatteradd/internal/mem"
 	"scatteradd/internal/port"
 	"scatteradd/internal/sim"
+	"scatteradd/internal/span"
 	"scatteradd/internal/stats"
 )
 
@@ -84,6 +85,8 @@ type entry struct {
 	fetchID uint64   // upstream ID+1 to answer for Fetch* kinds (0 = none)
 	node    int      // issuing node, echoed in fetch responses
 	seq     uint64   // arrival order, for OrderedChains
+	sid     uint64   // upstream ID+1 of a sampled span op (0 = untraced)
+	alloc   uint64   // allocation cycle, for combining-store residency spans
 }
 
 // chain is the running value for one address: a returned memory value or a
@@ -137,19 +140,22 @@ func newMetrics(entries int) metrics {
 
 // Unit is one scatter-add unit.
 type Unit struct {
-	cfg     Config
-	down    port.Word
-	inQ     *sim.Queue[mem.Request]
-	upQ     *sim.Queue[mem.Response] // responses to deliver upstream
-	wbQ     *sim.Queue[mem.Request]  // sum write-backs awaiting downstream
-	cs      []entry
-	csUsed  int     // valid combining-store entries (occupancy)
-	ready   []chain // values ready to combine or write back
-	fu      *sim.Delay[fuOp]
-	active  map[mem.Addr]bool // addresses with a live chain (ready, FU, or wbQ)
-	nextSeq uint64
-	stats   Stats
-	met     metrics
+	cfg       Config
+	down      port.Word
+	inQ       *sim.Queue[mem.Request]
+	upQ       *sim.Queue[mem.Response] // responses to deliver upstream
+	wbQ       *sim.Queue[mem.Request]  // sum write-backs awaiting downstream
+	cs        []entry
+	csUsed    int     // valid combining-store entries (occupancy)
+	ready     []chain // values ready to combine or write back
+	fu        *sim.Delay[fuOp]
+	active    map[mem.Addr]bool // addresses with a live chain (ready, FU, or wbQ)
+	nextSeq   uint64
+	stats     Stats
+	met       metrics
+	tr        *span.Tracer
+	track     string
+	downStage span.Stage
 }
 
 // New returns a unit in front of downstream memory down.
@@ -185,6 +191,21 @@ func (u *Unit) StatsGroup() *stats.Group { return u.met.group }
 
 // Config returns the unit's configuration.
 func (u *Unit) Config() Config { return u.cfg }
+
+// SetSpanTracer installs a request-lifecycle tracer; track names the unit
+// in exported traces (e.g. "saunit[3]"). A nil tracer disables tracing.
+// Bypassed (non-scatter-add) requests are attributed to the cache stage;
+// use SetSpanDownstream when the unit sits directly on a memory with no
+// cache in between (the §4.4 uniform configuration).
+func (u *Unit) SetSpanTracer(tr *span.Tracer, track string) {
+	u.tr = tr
+	u.track = track
+	u.downStage = span.StageCache
+}
+
+// SetSpanDownstream overrides the stage charged when a request leaves the
+// unit for the downstream port.
+func (u *Unit) SetSpanDownstream(st span.Stage) { u.downStage = st }
 
 // CanAccept reports whether the input queue has room.
 func (u *Unit) CanAccept(now uint64) bool { return !u.inQ.Full() }
@@ -251,7 +272,7 @@ func (u *Unit) Tick(now uint64) {
 	u.issueReads(now)
 	u.acceptInput(now)
 	if u.cfg.EagerCombine {
-		u.eagerCombine()
+		u.eagerCombine(now)
 	}
 }
 
@@ -274,6 +295,11 @@ func (u *Unit) drainDownstream(now uint64) {
 			panic(fmt.Sprintf("saunit: memory value for addr %d with no reader entry", resp.Addr))
 		}
 		u.cs[i].reader = false // now a plain buffered operand for the chain
+		if u.tr != nil && u.cs[i].sid != 0 {
+			// The sampled op that fetched the current value goes back
+			// to waiting in the combining store for the FU chain.
+			u.tr.OpStage(u.cs[i].node, u.cs[i].sid-1, span.StageCS, now)
+		}
 		u.active[resp.Addr] = true
 		u.ready = append(u.ready, chain{addr: resp.Addr, kind: u.cs[i].kind, val: resp.Val})
 	}
@@ -293,6 +319,16 @@ func (u *Unit) completeFU(now uint64) {
 			u.upQ.MustPush(mem.Response{
 				ID: e.fetchID - 1, Kind: e.kind, Addr: e.addr, Val: op.ch.val, Node: e.node,
 			})
+		}
+		if u.tr != nil {
+			if e.sid != 0 {
+				if e.fetchID != 0 {
+					u.tr.OpStage(e.node, e.sid-1, span.StageReply, now)
+				} else {
+					u.tr.OpEnd(e.node, e.sid-1, now)
+				}
+			}
+			u.tr.SpanAsync(u.track, fmt.Sprintf("cs %v a=%d", e.kind, e.addr), e.alloc, now)
 		}
 		*e = entry{}
 		u.csUsed--
@@ -328,6 +364,9 @@ func (u *Unit) issueFU(now uint64) {
 		}
 		e := &u.cs[i]
 		e.inFU = true
+		if u.tr != nil && e.sid != 0 {
+			u.tr.OpStage(e.node, e.sid-1, span.StageFU, now)
+		}
 		u.fu.Push(now, fuOp{
 			entryIdx: i,
 			ch:       ch,
@@ -388,6 +427,9 @@ func (u *Unit) issueReads(now uint64) {
 				return
 			}
 			e.sent = true
+			if u.tr != nil && e.sid != 0 {
+				u.tr.OpStage(e.node, e.sid-1, span.StageDRAM, now)
+			}
 			u.stats.MemReads++
 			u.met.memReads.Inc()
 		}
@@ -405,6 +447,9 @@ func (u *Unit) acceptInput(now uint64) {
 		if !r.Kind.IsScatterAdd() {
 			if !u.down.CanAccept(now) || !u.down.Accept(now, r) {
 				return
+			}
+			if u.tr != nil {
+				u.tr.OpStage(r.Node, r.ID, u.downStage, now)
 			}
 			u.stats.Bypassed++
 			u.met.bypassed.Inc()
@@ -424,6 +469,13 @@ func (u *Unit) acceptInput(now uint64) {
 		u.nextSeq++
 		*e = entry{valid: true, addr: r.Addr, kind: r.Kind, val: r.Val, node: r.Node, seq: u.nextSeq}
 		u.csUsed++
+		if u.tr != nil {
+			e.alloc = now
+			if u.tr.Sampled(r.Node, r.ID) {
+				e.sid = r.ID + 1
+				u.tr.OpStage(r.Node, r.ID, span.StageCS, now)
+			}
+		}
 		if r.Kind.IsFetch() {
 			e.fetchID = r.ID + 1
 		}
@@ -457,7 +509,7 @@ func (u *Unit) drainWriteBacks(now uint64) {
 // operands for the same address while the memory value is still in flight.
 // It models an extra combining ALU cycle; fetch entries are excluded since
 // they need an observable serialization point.
-func (u *Unit) eagerCombine() {
+func (u *Unit) eagerCombine(now uint64) {
 	for i := range u.cs {
 		a := &u.cs[i]
 		if !a.valid || a.inFU || a.reader || a.fetchID != 0 {
@@ -469,6 +521,14 @@ func (u *Unit) eagerCombine() {
 				continue
 			}
 			a.val = mem.Combine(a.kind, a.val, b.val)
+			if u.tr != nil {
+				if b.sid != 0 {
+					// The merged op's lifetime ends at the pre-combine;
+					// its value rides entry a from here on.
+					u.tr.OpEnd(b.node, b.sid-1, now)
+				}
+				u.tr.SpanAsync(u.track, fmt.Sprintf("cs %v a=%d", b.kind, b.addr), b.alloc, now)
+			}
 			*b = entry{}
 			u.csUsed--
 			u.met.csEvictions.Inc()

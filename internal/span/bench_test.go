@@ -1,0 +1,45 @@
+package span
+
+import (
+	"testing"
+
+	"scatteradd/internal/mem"
+)
+
+// BenchmarkSpanRecord measures one full sampled op lifecycle (sample,
+// begin, two stage transitions, end). CI gates this against main so the
+// tracer hot path cannot silently regress.
+func BenchmarkSpanRecord(b *testing.B) {
+	tr := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i)
+		now := uint64(i)
+		tr.SampleNext()
+		tr.OpBegin(0, id, mem.AddI64, mem.Addr(id&1023), now)
+		tr.OpStage(0, id, StageCS, now+2)
+		tr.OpStage(0, id, StageFU, now+7)
+		tr.OpEnd(0, id, now+9)
+		if len(tr.ops) >= 1<<14 {
+			b.StopTimer()
+			tr.Reset()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkSpanRecordDisabled measures the hooks' cost on a nil tracer —
+// the price every component pays when tracing is off.
+func BenchmarkSpanRecordDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i)
+		tr.SampleNext()
+		tr.OpBegin(0, id, mem.AddI64, 0, id)
+		tr.OpStage(0, id, StageCS, id)
+		tr.OpEnd(0, id, id)
+	}
+}

@@ -1,0 +1,133 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Process groups one machine's (or one multinode node's) ops and component
+// events under a Perfetto process. Pid must be unique across the export.
+type Process struct {
+	Pid    int
+	Name   string
+	Ops    []Op
+	Events []Event
+}
+
+// Process packages the tracer's recorded data as a single Perfetto
+// process, ready for WriteTraceEvents.
+func (t *Tracer) Process(pid int, name string) Process {
+	return Process{Pid: pid, Name: name, Ops: t.Ops(), Events: t.Events()}
+}
+
+// traceEvent is one Chrome trace-event object. Field order is fixed by
+// the struct, so exports are byte-deterministic.
+type traceEvent struct {
+	Name string     `json:"name"`
+	Cat  string     `json:"cat,omitempty"`
+	Ph   string     `json:"ph"`
+	Ts   uint64     `json:"ts"`
+	Dur  *uint64    `json:"dur,omitempty"`
+	Pid  int        `json:"pid"`
+	Tid  int        `json:"tid"`
+	ID   string     `json:"id,omitempty"`
+	Args *eventArgs `json:"args,omitempty"`
+}
+
+type eventArgs struct {
+	Name string `json:"name,omitempty"`
+	Kind string `json:"kind,omitempty"`
+	Addr uint64 `json:"addr,omitempty"`
+	Node int    `json:"node,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvents exports processes as Chrome trace-event JSON that loads
+// directly in ui.perfetto.dev (or chrome://tracing). Serialized component
+// events become complete ("X") slices, one thread track per hardware
+// resource (AG lane, DRAM channel, ...); overlapping component activity
+// (cache misses, crossbar crossings) and sampled op lifecycles become
+// legacy async ("b"/"e") slices, grouped per track and per op. Timestamps
+// are simulated cycles, presented as microseconds.
+func WriteTraceEvents(w io.Writer, procs []Process) error {
+	var evs []traceEvent
+	asyncSeq := 0
+	for _, p := range procs {
+		evs = append(evs, traceEvent{
+			Name: "process_name", Ph: "M", Pid: p.Pid, Tid: 0,
+			Args: &eventArgs{Name: p.Name},
+		})
+		// One thread per distinct component track, in sorted order;
+		// tid 0 carries the sampled op lifecycles.
+		tids := map[string]int{}
+		var tracks []string
+		for _, e := range p.Events {
+			if _, ok := tids[e.Track]; !ok {
+				tids[e.Track] = 0
+				tracks = append(tracks, e.Track)
+			}
+		}
+		sort.Strings(tracks)
+		evs = append(evs, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: p.Pid, Tid: 0,
+			Args: &eventArgs{Name: "ops"},
+		})
+		for i, tr := range tracks {
+			tids[tr] = i + 1
+			evs = append(evs, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: p.Pid, Tid: i + 1,
+				Args: &eventArgs{Name: tr},
+			})
+		}
+		for _, e := range p.Events {
+			tid := tids[e.Track]
+			if e.Async {
+				asyncSeq++
+				id := fmt.Sprintf("0x%x", asyncSeq)
+				evs = append(evs,
+					traceEvent{Name: e.Name, Cat: e.Track, Ph: "b", Ts: e.Start, Pid: p.Pid, Tid: tid, ID: id},
+					traceEvent{Name: e.Name, Cat: e.Track, Ph: "e", Ts: e.End, Pid: p.Pid, Tid: tid, ID: id},
+				)
+				continue
+			}
+			dur := e.End - e.Start
+			evs = append(evs, traceEvent{
+				Name: e.Name, Cat: "component", Ph: "X", Ts: e.Start, Dur: &dur,
+				Pid: p.Pid, Tid: tid,
+			})
+		}
+		// Each op is one async track: an outer slice for the whole
+		// lifecycle with nested sequential slices per stage visit.
+		for i := range p.Ops {
+			op := &p.Ops[i]
+			asyncSeq++
+			id := fmt.Sprintf("0x%x", asyncSeq)
+			name := fmt.Sprintf("%v a=%d", op.Kind, op.Addr)
+			args := &eventArgs{Kind: op.Kind.String(), Addr: uint64(op.Addr), Node: op.Node}
+			evs = append(evs, traceEvent{
+				Name: name, Cat: "op", Ph: "b", Ts: op.Start, Pid: p.Pid, Tid: 0, ID: id, Args: args,
+			})
+			for j, tr := range op.Trans {
+				end := op.End
+				if j+1 < len(op.Trans) {
+					end = op.Trans[j+1].Cycle
+				}
+				evs = append(evs,
+					traceEvent{Name: tr.Stage.String(), Cat: "op", Ph: "b", Ts: tr.Cycle, Pid: p.Pid, Tid: 0, ID: id},
+					traceEvent{Name: tr.Stage.String(), Cat: "op", Ph: "e", Ts: end, Pid: p.Pid, Tid: 0, ID: id},
+				)
+			}
+			evs = append(evs, traceEvent{
+				Name: name, Cat: "op", Ph: "e", Ts: op.End, Pid: p.Pid, Tid: 0, ID: id,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,129 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"scatteradd/internal/mem"
+)
+
+func exportOneProcess(t *testing.T) []byte {
+	t.Helper()
+	tr := New(1)
+	tr.OpBegin(0, 1, mem.AddI64, 64, 0)
+	tr.OpStage(0, 1, StageCS, 3)
+	tr.OpStage(0, 1, StageFU, 9)
+	tr.OpEnd(0, 1, 12)
+	tr.Span("dram[0]", "rd line=8", 4, 30)
+	tr.SpanAsync("cache[1]", "miss line=8", 4, 28)
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, []Process{tr.Process(0, "machine")}); err != nil {
+		t.Fatalf("WriteTraceEvents: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestWriteTraceEventsValidates(t *testing.T) {
+	data := exportOneProcess(t)
+	n, err := ValidateTraceJSON(data)
+	if err != nil {
+		t.Fatalf("export does not validate: %v\n%s", err, data)
+	}
+	// 3 metadata (process + ops thread + 2 tracks = 4), 1 X, 2 async
+	// component, 2 op outer + 3 stages * 2 = 8 op events.
+	if n < 10 {
+		t.Fatalf("suspiciously few events: %d", n)
+	}
+}
+
+func TestWriteTraceEventsShape(t *testing.T) {
+	data := exportOneProcess(t)
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatal(err)
+	}
+	var sawX, sawAsync, sawMeta, sawOp bool
+	for _, ev := range tf.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			sawX = true
+			if ev["dur"].(float64) != 26 {
+				t.Fatalf("X dur = %v, want 26", ev["dur"])
+			}
+		case "M":
+			sawMeta = true
+		case "b":
+			if ev["cat"] == "op" {
+				sawOp = true
+			}
+			if ev["cat"] == "cache[1]" {
+				sawAsync = true
+			}
+			if ev["id"] == "" {
+				t.Fatal("async event without id")
+			}
+		}
+	}
+	if !sawX || !sawAsync || !sawMeta || !sawOp {
+		t.Fatalf("missing event classes: X=%v async=%v meta=%v op=%v",
+			sawX, sawAsync, sawMeta, sawOp)
+	}
+	// Deterministic export: same tracer state, same bytes.
+	if !bytes.Equal(data, exportOneProcess(t)) {
+		t.Fatal("export not byte-deterministic")
+	}
+}
+
+func TestValidateTraceJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"no traceEvents":  `{"foo": []}`,
+		"empty events":    `{"traceEvents": []}`,
+		"missing name":    `{"traceEvents":[{"ph":"X","ts":0,"dur":1,"pid":0,"tid":0}]}`,
+		"missing ph":      `{"traceEvents":[{"name":"a","ts":0,"pid":0,"tid":0}]}`,
+		"missing pid":     `{"traceEvents":[{"name":"a","ph":"X","ts":0,"dur":1,"tid":0}]}`,
+		"X without dur":   `{"traceEvents":[{"name":"a","ph":"X","ts":0,"pid":0,"tid":0}]}`,
+		"async no id":     `{"traceEvents":[{"name":"a","ph":"b","ts":0,"cat":"c","pid":0,"tid":0}]}`,
+		"async no cat":    `{"traceEvents":[{"name":"a","ph":"b","ts":0,"id":"0x1","pid":0,"tid":0}]}`,
+		"unknown phase":   `{"traceEvents":[{"name":"a","ph":"Z","ts":0,"pid":0,"tid":0}]}`,
+		"metadata only":   `{"traceEvents":[{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"x"}}]}`,
+		"malformed event": `{"traceEvents":[42]}`,
+	}
+	for what, in := range cases {
+		if _, err := ValidateTraceJSON([]byte(in)); err == nil {
+			t.Errorf("%s: validated but should not", what)
+		}
+	}
+	ok := `{"traceEvents":[
+		{"name":"t","ph":"M","pid":0,"tid":0,"args":{"name":"x"}},
+		{"name":"a","ph":"X","ts":1,"dur":2,"pid":0,"tid":1},
+		{"name":"a","ph":"b","ts":1,"cat":"c","id":"0x1","pid":0,"tid":0},
+		{"name":"a","ph":"e","ts":3,"cat":"c","id":"0x1","pid":0,"tid":0}
+	]}`
+	if n, err := ValidateTraceJSON([]byte(ok)); err != nil || n != 4 {
+		t.Fatalf("valid trace rejected: n=%d err=%v", n, err)
+	}
+}
+
+func TestMultiProcessExport(t *testing.T) {
+	a, b := New(1), New(1)
+	a.OpBegin(0, 1, mem.AddI64, 8, 0)
+	a.OpEnd(0, 1, 5)
+	b.SpanAsync("net.out[0]", "pkt 1->0", 2, 6)
+	var buf bytes.Buffer
+	err := WriteTraceEvents(&buf, []Process{a.Process(0, "node0"), b.Process(1, "node1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("multi-process export invalid: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"node0"`) || !strings.Contains(out, `"node1"`) {
+		t.Fatal("missing process names")
+	}
+}

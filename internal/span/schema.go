@@ -1,0 +1,75 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ValidateTraceJSON sanity-checks a Chrome trace-event export: the JSON
+// object format with a non-empty traceEvents array whose events carry the
+// fields their phase requires. It is the CI gate behind cmd/spanlint and
+// intentionally checks structure, not semantics.
+func ValidateTraceJSON(data []byte) (events int, err error) {
+	var tf struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return 0, fmt.Errorf("not a trace-event JSON object: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return 0, fmt.Errorf("traceEvents array is missing or empty")
+	}
+	sliceEvents := 0
+	for i, raw := range tf.TraceEvents {
+		var ev struct {
+			Name *string  `json:"name"`
+			Cat  string   `json:"cat"`
+			Ph   *string  `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Pid  *int     `json:"pid"`
+			Tid  *int     `json:"tid"`
+			ID   string   `json:"id"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return 0, fmt.Errorf("event %d: %v", i, err)
+		}
+		if ev.Name == nil || *ev.Name == "" {
+			return 0, fmt.Errorf("event %d: missing name", i)
+		}
+		if ev.Ph == nil {
+			return 0, fmt.Errorf("event %d (%s): missing ph", i, *ev.Name)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return 0, fmt.Errorf("event %d (%s): missing pid/tid", i, *ev.Name)
+		}
+		switch *ev.Ph {
+		case "M":
+			// Metadata carries its payload in args; ts optional.
+		case "X":
+			if ev.Ts == nil || ev.Dur == nil {
+				return 0, fmt.Errorf("event %d (%s): complete event needs ts and dur", i, *ev.Name)
+			}
+			sliceEvents++
+		case "B", "E", "i":
+			if ev.Ts == nil {
+				return 0, fmt.Errorf("event %d (%s): %s event needs ts", i, *ev.Name, *ev.Ph)
+			}
+			sliceEvents++
+		case "b", "e", "n":
+			if ev.Ts == nil {
+				return 0, fmt.Errorf("event %d (%s): async event needs ts", i, *ev.Name)
+			}
+			if ev.ID == "" || ev.Cat == "" {
+				return 0, fmt.Errorf("event %d (%s): async event needs id and cat", i, *ev.Name)
+			}
+			sliceEvents++
+		default:
+			return 0, fmt.Errorf("event %d (%s): unknown phase %q", i, *ev.Name, *ev.Ph)
+		}
+	}
+	if sliceEvents == 0 {
+		return 0, fmt.Errorf("trace has metadata only, no slice events")
+	}
+	return len(tf.TraceEvents), nil
+}

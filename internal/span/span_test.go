@@ -1,0 +1,192 @@
+package span
+
+import (
+	"strings"
+	"testing"
+
+	"scatteradd/internal/mem"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.SampleNext() {
+		t.Fatal("nil tracer sampled an op")
+	}
+	tr.OpBegin(0, 1, mem.AddI64, 8, 0)
+	tr.OpStage(0, 1, StageCS, 1)
+	tr.OpEnd(0, 1, 2)
+	tr.Span("t", "n", 0, 1)
+	tr.SpanAsync("t", "n", 0, 1)
+	tr.Reset()
+	if tr.Sampled(0, 1) || tr.Live() != 0 || tr.Ops() != nil || tr.Events() != nil || tr.Rate() != 0 {
+		t.Fatal("nil tracer reported state")
+	}
+}
+
+func TestSamplingCadence(t *testing.T) {
+	tr := New(4)
+	var got []bool
+	for i := 0; i < 9; i++ {
+		got = append(got, tr.SampleNext())
+	}
+	want := []bool{true, false, false, false, true, false, false, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: sampled=%v, want %v", i, got[i], want[i])
+		}
+	}
+	if New(0).Rate() != 1 {
+		t.Fatal("rate < 1 not clamped to 1")
+	}
+}
+
+func TestOpLifecycle(t *testing.T) {
+	tr := New(1)
+	tr.OpBegin(2, 7, mem.AddF64, 100, 10)
+	if !tr.Sampled(2, 7) {
+		t.Fatal("op not live after OpBegin")
+	}
+	if tr.Sampled(0, 7) || tr.Sampled(2, 8) {
+		t.Fatal("Sampled matched wrong node/id")
+	}
+	tr.OpStage(2, 7, StageCS, 12)
+	tr.OpStage(2, 7, StageFU, 20)
+	tr.OpStage(0, 99, StageFU, 20) // unsampled: must be a no-op
+	tr.OpEnd(2, 7, 23)
+	tr.OpEnd(2, 7, 23) // double-end: no-op
+
+	if tr.Live() != 0 {
+		t.Fatalf("Live() = %d after end, want 0", tr.Live())
+	}
+	ops := tr.Ops()
+	if len(ops) != 1 {
+		t.Fatalf("got %d ops, want 1", len(ops))
+	}
+	op := ops[0]
+	if op.ID != 7 || op.Node != 2 || op.Kind != mem.AddF64 || op.Addr != 100 {
+		t.Fatalf("op identity wrong: %+v", op)
+	}
+	if op.Start != 10 || op.End != 23 {
+		t.Fatalf("op interval [%d,%d], want [10,23]", op.Start, op.End)
+	}
+	cyc, visited := op.StageCycles()
+	if visited != 3 {
+		t.Fatalf("visited %d stages, want 3", visited)
+	}
+	if cyc[StageBankQ] != 2 || cyc[StageCS] != 8 || cyc[StageFU] != 3 {
+		t.Fatalf("stage cycles bankq=%d cs=%d fu=%d, want 2/8/3",
+			cyc[StageBankQ], cyc[StageCS], cyc[StageFU])
+	}
+}
+
+func TestStageCyclesAccumulatesRevisits(t *testing.T) {
+	op := Op{Start: 0, End: 10, Trans: []Transition{
+		{StageCS, 0}, {StageDRAM, 2}, {StageCS, 5}, {StageFU, 9},
+	}}
+	cyc, visited := op.StageCycles()
+	if visited != 3 {
+		t.Fatalf("visited = %d, want 3", visited)
+	}
+	if cyc[StageCS] != 2+4 || cyc[StageDRAM] != 3 || cyc[StageFU] != 1 {
+		t.Fatalf("cs=%d dram=%d fu=%d, want 6/3/1", cyc[StageCS], cyc[StageDRAM], cyc[StageFU])
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New(1)
+	tr.OpBegin(0, 1, mem.AddI64, 8, 0)
+	tr.OpEnd(0, 1, 4)
+	tr.OpBegin(0, 2, mem.AddI64, 8, 5)
+	tr.Span("t", "n", 0, 1)
+	tr.Reset()
+	if len(tr.Ops()) != 0 || len(tr.Events()) != 0 || tr.Live() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	for s := Stage(0); s < numStages; s++ {
+		if s.String() == "unknown" || s.String() == "" {
+			t.Fatalf("stage %d has no name", s)
+		}
+		if c := s.Class(); c != "queue" && c != "service" {
+			t.Fatalf("stage %v class %q", s, c)
+		}
+	}
+	if Stage(200).String() != "unknown" {
+		t.Fatal("out-of-range stage name")
+	}
+}
+
+func mkOp(start, end uint64, trans ...Transition) Op {
+	return Op{Kind: mem.AddI64, Start: start, End: end, Trans: trans}
+}
+
+func TestAggregate(t *testing.T) {
+	ops := []Op{
+		mkOp(0, 10, Transition{StageBankQ, 0}, Transition{StageCS, 2}, Transition{StageFU, 8}),
+		mkOp(0, 20, Transition{StageBankQ, 0}, Transition{StageCS, 4}, Transition{StageFU, 18}),
+		mkOp(0, 100, Transition{StageBankQ, 0}, Transition{StageDRAM, 10}),
+	}
+	r := Aggregate(ops)
+	if r.Ops != 3 {
+		t.Fatalf("Ops = %d", r.Ops)
+	}
+	if want := (10 + 20 + 100) / 3.0; r.Mean != want {
+		t.Fatalf("Mean = %v, want %v", r.Mean, want)
+	}
+	if r.P50 != 20 || r.P99 != 100 {
+		t.Fatalf("p50=%d p99=%d, want 20/100", r.P50, r.P99)
+	}
+	// bank-queue: 2+4+10 = 16; cs: 6+14 = 20; fpu: 2+2 = 4; dram: 90.
+	if q := r.QueueCycles(); q != 16+20 {
+		t.Fatalf("QueueCycles = %d, want 36", q)
+	}
+	if s := r.ServiceCycles(); s != 4+90 {
+		t.Fatalf("ServiceCycles = %d, want 94", s)
+	}
+	bn, ok := r.Bottleneck()
+	if !ok || bn.Stage != StageDRAM || bn.Cycles != 90 {
+		t.Fatalf("Bottleneck = %+v ok=%v, want dram/90", bn, ok)
+	}
+	out := r.Format("  ")
+	for _, want := range []string{"sampled ops: 3", "dram", "bottleneck: dram"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+	// Determinism: same input, same bytes.
+	if out != Aggregate(ops).Format("  ") {
+		t.Fatal("Format not deterministic")
+	}
+
+	empty := Aggregate(nil)
+	if empty.Ops != 0 {
+		t.Fatal("empty aggregate has ops")
+	}
+	if !strings.Contains(empty.Format(""), "no ops sampled") {
+		t.Fatal("empty format missing placeholder")
+	}
+	if _, ok := empty.Bottleneck(); ok {
+		t.Fatal("empty report has a bottleneck")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    int
+		want uint64
+	}{{50, 5}, {95, 10}, {99, 10}, {100, 10}, {1, 1}}
+	for _, c := range cases {
+		if got := percentileU64(sorted, c.p); got != c.want {
+			t.Fatalf("p%d = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if percentileU64(nil, 50) != 0 {
+		t.Fatal("empty percentile != 0")
+	}
+	if got := percentileU64([]uint64{42}, 99); got != 42 {
+		t.Fatalf("single-element p99 = %d", got)
+	}
+}

@@ -41,6 +41,19 @@ func (t *Timeline) Deltas() *Timeline {
 	return out
 }
 
+// Write emits the timeline in the named format: "csv" (WriteCSV) or
+// "jsonl" (WriteJSONL). It is the single dispatch point for every timeline
+// exporter, so format names stay consistent across CLIs.
+func (t *Timeline) Write(w io.Writer, format string) error {
+	switch format {
+	case "csv":
+		return t.WriteCSV(w)
+	case "jsonl":
+		return t.WriteJSONL(w)
+	}
+	return fmt.Errorf("stats: unknown timeline format %q (want csv or jsonl)", format)
+}
+
 // WriteCSV emits the timeline in long form — one row per (cycle, metric) —
 // with a cycle,key,value header. Values are cumulative as sampled; use
 // Deltas first for per-interval activity.

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"scatteradd/internal/mem"
+)
+
+// FuzzReadCSV feeds arbitrary byte strings to the trace parser. The corpus
+// is seeded with round-tripped WriteCSV output (the format ReadCSV promises
+// to parse) plus the malformed shapes the unit tests pin. Properties:
+// ReadCSV never panics, and whatever it accepts must survive a
+// write-then-read round trip unchanged.
+func FuzzReadCSV(f *testing.F) {
+	seedRecs := [][]Record{
+		nil,
+		{{Cycle: 0, Kind: mem.Read, Addr: 0, Val: 0}},
+		{
+			{Cycle: 1, Kind: mem.Read, Addr: 100, Val: 0},
+			{Cycle: 2, Kind: mem.AddF64, Addr: 200, Val: mem.F64(2.5)},
+			{Cycle: 9, Kind: mem.FetchAddI64, Addr: 300, Val: mem.I64(-1)},
+		},
+		{{Cycle: ^uint64(0), Kind: mem.MaxI64, Addr: ^mem.Addr(0), Val: ^mem.Word(0)}},
+	}
+	for _, recs := range seedRecs {
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, recs); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("cycle,kind,addr,val\n1,2,3\n"))
+	f.Add([]byte("cycle,kind,addr,val\n1,Bogus,1,2\n"))
+	f.Add([]byte("cycle,kind,addr,val\n\n\n1,Read,1,2\n"))
+	f.Add([]byte("no header at all"))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip: write the parsed records and read
+		// them back identically.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, recs); err != nil {
+			t.Fatalf("WriteCSV of parsed records: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written records: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed length: %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if again[i] != recs[i] {
+				t.Fatalf("record %d changed in round trip: %+v -> %+v", i, recs[i], again[i])
+			}
+		}
+		// Summarize must tolerate anything the parser accepts.
+		sum := Summarize(recs)
+		if sum.Refs != len(recs) {
+			t.Fatalf("summary refs %d, parsed %d", sum.Refs, len(recs))
+		}
+		if strings.TrimSpace(sum.String()) == "" {
+			t.Fatal("empty summary string")
+		}
+	})
+}

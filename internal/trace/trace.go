@@ -10,6 +10,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -127,7 +128,14 @@ type Summary struct {
 	UniqueLines int     // distinct cache lines
 	MaxPerAddr  int     // heaviest address multiplicity
 	AvgPerAddr  float64 // Refs / Unique
-	ScatterAdds int     // references with RMW kinds
+	// P50/P95/P99PerAddr are nearest-rank percentiles of the per-address
+	// multiplicity distribution. The mean hides skew: a trace with one hot
+	// address (P99 far above P50) combines well in a small store, while a
+	// flat distribution (P99 ~ P50) does not.
+	P50PerAddr  int
+	P95PerAddr  int
+	P99PerAddr  int
+	ScatterAdds int // references with RMW kinds
 }
 
 // Summarize computes a trace's locality summary.
@@ -144,19 +152,38 @@ func Summarize(recs []Record) Summary {
 	}
 	s.Unique = len(perAddr)
 	s.UniqueLines = len(lines)
+	counts := make([]int, 0, len(perAddr))
 	for _, c := range perAddr {
 		if c > s.MaxPerAddr {
 			s.MaxPerAddr = c
 		}
+		counts = append(counts, c)
 	}
 	if s.Unique > 0 {
 		s.AvgPerAddr = float64(s.Refs) / float64(s.Unique)
+		sort.Ints(counts)
+		s.P50PerAddr = percentileInt(counts, 50)
+		s.P95PerAddr = percentileInt(counts, 95)
+		s.P99PerAddr = percentileInt(counts, 99)
 	}
 	return s
 }
 
+// percentileInt returns the nearest-rank p-th percentile of sorted values.
+func percentileInt(sorted []int, p int) int {
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
 // String renders the summary on one line.
 func (s Summary) String() string {
-	return fmt.Sprintf("refs=%d unique=%d lines=%d max/addr=%d avg/addr=%.2f scatter-adds=%d",
-		s.Refs, s.Unique, s.UniqueLines, s.MaxPerAddr, s.AvgPerAddr, s.ScatterAdds)
+	return fmt.Sprintf("refs=%d unique=%d lines=%d max/addr=%d avg/addr=%.2f p50/addr=%d p95/addr=%d p99/addr=%d scatter-adds=%d",
+		s.Refs, s.Unique, s.UniqueLines, s.MaxPerAddr, s.AvgPerAddr,
+		s.P50PerAddr, s.P95PerAddr, s.P99PerAddr, s.ScatterAdds)
 }

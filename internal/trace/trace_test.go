@@ -128,6 +128,59 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestSummarizePercentiles pins the nearest-rank per-address multiplicity
+// percentiles on distributions with known shapes.
+func TestSummarizePercentiles(t *testing.T) {
+	// mk expands {addr: count} into a flat record slice.
+	mk := func(counts map[int]int) []Record {
+		var recs []Record
+		for a, c := range counts {
+			for i := 0; i < c; i++ {
+				recs = append(recs, Record{Kind: mem.AddI64, Addr: mem.Addr(a)})
+			}
+		}
+		return recs
+	}
+	uniform := func(addrs, per int) map[int]int {
+		m := make(map[int]int, addrs)
+		for a := 0; a < addrs; a++ {
+			m[a] = per
+		}
+		return m
+	}
+	cases := []struct {
+		name          string
+		recs          []Record
+		p50, p95, p99 int
+	}{
+		{"empty", nil, 0, 0, 0},
+		{"single addr", mk(map[int]int{7: 5}), 5, 5, 5},
+		{"flat", mk(uniform(100, 3)), 3, 3, 3},
+		{"two hot addrs in 100", mk(func() map[int]int {
+			m := uniform(98, 1)
+			m[1000], m[1001] = 50, 50 // ranks 99 and 100 of 100
+			return m
+		}()), 1, 1, 50},
+		{"two counts", mk(map[int]int{0: 1, 1: 9}), 1, 9, 9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Summarize(tc.recs)
+			if s.P50PerAddr != tc.p50 || s.P95PerAddr != tc.p95 || s.P99PerAddr != tc.p99 {
+				t.Fatalf("p50/p95/p99 = %d/%d/%d, want %d/%d/%d",
+					s.P50PerAddr, s.P95PerAddr, s.P99PerAddr, tc.p50, tc.p95, tc.p99)
+			}
+		})
+	}
+	// The percentiles must render in the one-line summary.
+	s := Summarize(mk(map[int]int{0: 2, 1: 4}))
+	for _, want := range []string{"p50/addr=", "p95/addr=", "p99/addr="} {
+		if !strings.Contains(s.String(), want) {
+			t.Fatalf("summary %q missing %q", s.String(), want)
+		}
+	}
+}
+
 func TestMachineTracerHook(t *testing.T) {
 	cfg := machine.DefaultConfig()
 	cfg.Cache.TotalLines = 256
