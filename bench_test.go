@@ -40,8 +40,13 @@ func benchReport(b *testing.B, jobs int) {
 
 func benchFigure(b *testing.B, n int) {
 	b.Helper()
+	benchFigureOpts(b, n, benchOpts)
+}
+
+func benchFigureOpts(b *testing.B, n int, o ExpOptions) {
+	b.Helper()
 	for i := 0; i < b.N; i++ {
-		tab, err := Figure(n, benchOpts)
+		tab, err := Figure(n, o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -50,6 +55,24 @@ func benchFigure(b *testing.B, n int) {
 		}
 	}
 }
+
+// legacyOpts disables quiescence fast-forwarding so the engine ticks every
+// cycle; comparing BenchmarkFigNLegacy against BenchmarkFigN measures the
+// fast-forward speedup (internal/differ proves the outputs identical).
+func legacyOpts() ExpOptions {
+	o := benchOpts
+	o.Legacy = true
+	return o
+}
+
+// BenchmarkFig6Legacy regenerates Figure 6 with per-cycle stepping.
+func BenchmarkFig6Legacy(b *testing.B) { benchFigureOpts(b, 6, legacyOpts()) }
+
+// BenchmarkFig10Legacy regenerates Figure 10 with per-cycle stepping.
+func BenchmarkFig10Legacy(b *testing.B) { benchFigureOpts(b, 10, legacyOpts()) }
+
+// BenchmarkFig13Legacy regenerates Figure 13 with per-cycle stepping.
+func BenchmarkFig13Legacy(b *testing.B) { benchFigureOpts(b, 13, legacyOpts()) }
 
 // BenchmarkTable1 renders the machine-parameter table.
 func BenchmarkTable1(b *testing.B) {

@@ -45,6 +45,7 @@ func main() {
 	withStats := flag.Bool("stats", false, "append a hardware performance-counter appendix to each table")
 	withSpans := flag.Bool("spans", false, "append a sampled request-lifecycle latency appendix to each table")
 	spanRate := flag.Int("span-rate", 16, "sample 1 in N issued memory operations for -spans")
+	legacy := flag.Bool("legacy", false, "per-cycle engine stepping instead of quiescence fast-forward (identical output, slower)")
 	profCfg := prof.Flags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
@@ -71,6 +72,7 @@ func main() {
 	o := scatteradd.ExpOptions{
 		Scale: *scale, Jobs: *jobs, Seed: *seed,
 		CollectStats: *withStats, CollectSpans: *withSpans, SpanRate: *spanRate,
+		Legacy: *legacy,
 	}
 	for _, name := range flag.Args() {
 		if err := run(name, o, *csv, *doPlot); err != nil {

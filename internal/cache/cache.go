@@ -543,6 +543,37 @@ func (b *Bank) Tick(now uint64) {
 	}
 }
 
+// NextEvent reports the earliest cycle at which the bank can do work (see
+// sim.FastForwarder). Queued input, pending write-backs or evictions, an
+// active flush walk, and any MSHR that still has local work (unissued fetch,
+// staged fill, or a filled line draining) are work in the current cycle.
+// MSHRs waiting on DRAM are woken by the DRAM model's own NextEvent; the
+// only self-timed state is the hit-latency response pipe, whose head-ready
+// cycle is reported so the engine never jumps past a deliverable response.
+// Write-combining entries hold no timer: they drain only in reaction to new
+// requests or spills.
+func (b *Bank) NextEvent(now uint64) uint64 {
+	if !b.inQ.Empty() || !b.wbQ.Empty() || !b.evictQ.Empty() || b.flushing {
+		return now
+	}
+	for i := range b.mshrs {
+		m := &b.mshrs[i]
+		if m.valid && (m.filled || m.pendingFill != nil || !m.issued) {
+			return now
+		}
+	}
+	return b.respQ.NextReady()
+}
+
+// Skip applies the per-cycle occupancy samples of cycles skipped idle Ticks.
+// Bank-conflict and stall counters only move when the input queue is
+// non-empty, which NextEvent reports as work, so no other counter can accrue
+// during a skip.
+func (b *Bank) Skip(now, cycles uint64) {
+	b.met.mshrOccupancy.ObserveN(b.mshrUsed, cycles)
+	b.met.wcbOccupancy.ObserveN(b.wcbUsed, cycles)
+}
+
 // wcbFind returns the write-combining entry for a line, or -1.
 func (b *Bank) wcbFind(line mem.Addr) int {
 	for i := range b.wcb {

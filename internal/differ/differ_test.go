@@ -1,0 +1,99 @@
+package differ
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"scatteradd/internal/exp"
+)
+
+// figsUnderTest returns the figure set to diff: FFDIFF_FIGS narrows it for
+// targeted CI jobs (comma-separated figure numbers), otherwise every figure.
+func figsUnderTest(t *testing.T) []int {
+	env := os.Getenv("FFDIFF_FIGS")
+	if env == "" {
+		return Figures
+	}
+	var figs []int
+	for _, f := range strings.Split(env, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			t.Fatalf("FFDIFF_FIGS=%q: %v", env, err)
+		}
+		figs = append(figs, n)
+	}
+	return figs
+}
+
+// scaleUnderTest returns the dataset scale divisor: FFDIFF_SCALE overrides
+// the default of 8 (small enough to diff every figure in one test run,
+// large enough that every component — caches, DRAM, network, combining
+// stores — sees real traffic).
+func scaleUnderTest(t *testing.T) int {
+	env := os.Getenv("FFDIFF_SCALE")
+	if env == "" {
+		return 8
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil {
+		t.Fatalf("FFDIFF_SCALE=%q: %v", env, err)
+	}
+	return n
+}
+
+// TestFastForwardEquivalence is the differential gate: every figure must
+// produce byte-identical output — rendered table, raw counter snapshot,
+// span reports — under quiescence fast-forward and legacy per-cycle
+// stepping.
+func TestFastForwardEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential gate runs full figure suites")
+	}
+	scale := scaleUnderTest(t)
+	for _, fig := range figsUnderTest(t) {
+		fig := fig
+		t.Run(fmt.Sprintf("fig%d", fig), func(t *testing.T) {
+			t.Parallel()
+			// Jobs: 1 inside each run — the figures under test already run
+			// in parallel with each other here, and single-worker runs keep
+			// any divergence deterministic to rerun.
+			if err := Diff(fig, exp.Options{Scale: scale, Jobs: 1}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFastForwardJobsInvariance checks the fast-forward path composes with
+// the parallel experiment runner: a multi-worker fast-forward run must be
+// indistinguishable from a single-worker legacy run.
+func TestFastForwardJobsInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential gate runs full figure suites")
+	}
+	scale := scaleUnderTest(t)
+	o := exp.Options{Scale: scale, CollectStats: true, CollectSpans: true}
+	o.Legacy, o.Jobs = false, 4
+	ff, err := Run(6, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Legacy, o.Jobs = true, 1
+	legacy, err := Run(6, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Compare(ff, legacy); err != nil {
+		t.Fatalf("fig 6 at jobs=4 (fast-forward) vs jobs=1 (per-cycle): %v", err)
+	}
+}
+
+// TestRunRejectsUnknownFigure covers the error path.
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if _, err := Run(99, exp.Options{Scale: 8}); err == nil {
+		t.Fatal("Run(99) succeeded; want error")
+	}
+}

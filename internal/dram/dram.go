@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"scatteradd/internal/mem"
+	"scatteradd/internal/sim"
 	"scatteradd/internal/span"
 	"scatteradd/internal/stats"
 )
@@ -349,6 +350,62 @@ func (d *DRAM) Tick(now uint64) {
 		ch.pending = append(ch.pending, pendingResp{resp: resp, ready: now + lat + bus})
 	}
 }
+
+// NextEvent reports the earliest cycle at which any channel can do work
+// (see sim.FastForwarder): an undelivered response is work now; otherwise
+// the earliest pending-read completion or the earliest cycle a queued
+// transaction can start (data bus free and a serviceable bank ready — the
+// head's bank under FIFO, any queued request's bank under FR-FCFS).
+func (d *DRAM) NextEvent(now uint64) uint64 {
+	ev := sim.Never
+	for i := range d.channels {
+		ch := &d.channels[i]
+		if len(ch.resps) > 0 {
+			return now
+		}
+		// busFree serializes transfers, so pending completions are
+		// FIFO-ordered: the head is the earliest.
+		if len(ch.pending) > 0 && ch.pending[0].ready < ev {
+			ev = ch.pending[0].ready
+		}
+		if len(ch.queue) > 0 {
+			if t := d.nextIssue(ch); t < ev {
+				ev = t
+			}
+		}
+	}
+	if ev < now {
+		return now
+	}
+	return ev
+}
+
+// nextIssue returns the earliest cycle at which ch can start a queued
+// transaction under the configured policy.
+func (d *DRAM) nextIssue(ch *channel) uint64 {
+	var bankReady uint64
+	if d.cfg.Policy == FIFO {
+		// Strict order: only the head request can issue.
+		b, _ := d.bankRowOf(ch.queue[0].req.Line)
+		bankReady = ch.banks[b].busyUntil
+	} else {
+		bankReady = sim.Never
+		for i := range ch.queue {
+			b, _ := d.bankRowOf(ch.queue[i].req.Line)
+			if u := ch.banks[b].busyUntil; u < bankReady {
+				bankReady = u
+			}
+		}
+	}
+	if ch.busFree > bankReady {
+		return ch.busFree
+	}
+	return bankReady
+}
+
+// Skip is a no-op: the DRAM keeps no per-cycle counters while idle (bus
+// occupancy is charged per transaction at schedule time).
+func (d *DRAM) Skip(now, cycles uint64) {}
 
 // PopResponse returns a completed read, draining channels round-robin.
 func (d *DRAM) PopResponse(now uint64) (LineResp, bool) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"scatteradd/internal/mem"
+	"scatteradd/internal/sim"
 	"scatteradd/internal/span"
 )
 
@@ -113,6 +114,29 @@ func (u *Uniform) Tick(now uint64) {
 		})
 	}
 }
+
+// NextEvent reports the earliest cycle at which the memory can do work (see
+// sim.FastForwarder): the next issue slot when a request is queued, else the
+// head pending completion (issues are monotone with fixed latency, so the
+// head is the earliest), else Never.
+func (u *Uniform) NextEvent(now uint64) uint64 {
+	if len(u.queue) > 0 {
+		if u.nextFree > now {
+			return u.nextFree
+		}
+		return now
+	}
+	if len(u.pending) > 0 {
+		if r := u.pending[0].ready; r > now {
+			return r
+		}
+		return now
+	}
+	return sim.Never
+}
+
+// Skip is a no-op: the uniform memory keeps no per-cycle counters.
+func (u *Uniform) Skip(now, cycles uint64) {}
 
 // PopResponse returns one completed read response, if ready.
 func (u *Uniform) PopResponse(now uint64) (mem.Response, bool) {

@@ -27,6 +27,7 @@ func AblationDRAMSched(o Options) Table {
 		pol := pols[i]
 		cfg := machine.DefaultConfig()
 		cfg.DRAM.Policy = pol
+		cfg.LegacyStepping = o.Legacy
 		m := machine.New(cfg)
 		h := apps.NewHistogram(n, 1<<20, o.seed(0xAB1))
 		res := h.RunHW(m)
@@ -54,6 +55,7 @@ func AblationSAPlacement(o Options) Table {
 		cfg.Cache.Banks = banks
 		cfg.Cache.PortWidth = 8 / banks // keep total cache bandwidth fixed
 		cfg.SA.PortWidth = 8 / banks
+		cfg.LegacyStepping = o.Legacy
 		m := machine.New(cfg)
 		h := apps.NewHistogram(n, 2048, o.seed(0xAB2))
 		res := h.RunHW(m)
@@ -80,7 +82,7 @@ func AblationBatchSize(o Options) Table {
 	t.Rows = mapN(o, len(batches), func(i int) []string {
 		batch := batches[i]
 		h := apps.NewHistogram(n, 2048, o.seed(0xAB3))
-		m := paperMachine()
+		m := paperMachine(o)
 		res := h.RunSortScan(m, batch)
 		mustVerify(m, h, "ablation batch histogram")
 		return []string{d(uint64(batch)), f(us(res.Cycles))}
@@ -102,6 +104,7 @@ func AblationEagerCombine(o Options) Table {
 		eager := modes[i]
 		cfg := machine.DefaultConfig()
 		cfg.SA.EagerCombine = eager
+		cfg.LegacyStepping = o.Legacy
 		m := machine.New(cfg)
 		h := apps.NewHistogram(n, 64, o.seed(0xAB4))
 		res := h.RunHW(m)
@@ -158,7 +161,7 @@ func AblationOverlap(o Options) Table {
 	t.Rows = mapN(o, len(schedules), func(i int) []string {
 		h := apps.NewHistogram(n, 2048, o.seed(0xAB6))
 		equalize := machine.Kernel("equalize", float64(8*n), float64(2*n))
-		m := paperMachine()
+		m := paperMachine(o)
 		res := schedules[i].run(h, m, equalize)
 		mustVerify(m, h, schedules[i].what)
 		return []string{schedules[i].label, f(us(res.Cycles))}
@@ -185,6 +188,7 @@ func AblationWritePolicy(o Options) Table {
 		}
 		cfg := machine.DefaultConfig()
 		cfg.Cache.WriteNoAllocate = noAlloc
+		cfg.LegacyStepping = o.Legacy
 		m := machine.New(cfg)
 		res := m.RunOp(machine.StoreStream("result", 0, vals))
 		m.FlushCaches()
@@ -238,6 +242,7 @@ func AblationHierarchical(o Options) Table {
 		cfg := multinode.DefaultConfig(p.nodes, 1, span)
 		cfg.Combining = true
 		cfg.Hierarchical = p.hier
+		cfg.LegacyStepping = o.Legacy
 		s := multinode.New(cfg, mem.AddI64)
 		res := s.RunTrace(refs)
 		label := "linear"
@@ -262,6 +267,7 @@ func AblationCombiningStore(o Options) Table {
 		entries := sizes[i]
 		cfg := machine.DefaultConfig()
 		cfg.SA.Entries = entries
+		cfg.LegacyStepping = o.Legacy
 		m := machine.New(cfg)
 		h := apps.NewHistogram(n, 65536, o.seed(0xAB5))
 		res := h.RunHW(m)

@@ -132,6 +132,11 @@ type Options struct {
 	// SpanRate samples one in every SpanRate issued memory operations when
 	// CollectSpans is set (0 = a default of 16).
 	SpanRate int
+	// Legacy runs every simulation with per-cycle engine stepping instead
+	// of the quiescence fast-forward path. Output is byte-identical either
+	// way (enforced by internal/differ); the option exists for that
+	// comparison and for performance attribution.
+	Legacy bool
 }
 
 // DefaultOptions runs at the paper's full dataset sizes with one worker per

@@ -92,6 +92,7 @@ func runTracePoint(o Options, tr trace, tc traceConfig, nodes int) tracePointOut
 	ownerSpan := (tr.span/mem.Addr(nodes) + mem.LineWords) &^ (mem.LineWords - 1)
 	cfg := multinode.DefaultConfig(nodes, tc.bandwidth, ownerSpan)
 	cfg.Combining = tc.combining
+	cfg.LegacyStepping = o.Legacy
 	s := multinode.New(cfg, tr.kind)
 	sp := o.newTracer()
 	s.SetSpanTracer(sp)

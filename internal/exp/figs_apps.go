@@ -21,7 +21,7 @@ type appOut struct {
 // first cell).
 func collectApp(o Options, t *Table, n int, run func(i int, m *machine.Machine) []string) {
 	outs := mapN(o, n, func(i int) appOut {
-		m := paperMachine()
+		m := paperMachine(o)
 		tr := o.newTracer()
 		m.SetSpanTracer(tr)
 		out := appOut{row: run(i, m)}

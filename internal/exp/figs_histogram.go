@@ -10,8 +10,10 @@ import (
 )
 
 // paperMachine returns the Table 1 configuration.
-func paperMachine() *machine.Machine {
-	return machine.New(machine.DefaultConfig())
+func paperMachine(o Options) *machine.Machine {
+	cfg := machine.DefaultConfig()
+	cfg.LegacyStepping = o.Legacy
+	return machine.New(cfg)
 }
 
 // mustVerify panics when an application run produced a wrong result — every
@@ -54,7 +56,7 @@ func runHistograms(o Options, runs []histRun) ([]uint64, stats.Snapshot, []SpanR
 	outs := mapN(o, len(runs), func(i int) histOut {
 		r := runs[i]
 		h := apps.NewHistogram(r.n, r.rng, r.seed)
-		m := paperMachine()
+		m := paperMachine(o)
 		tr := o.newTracer()
 		m.SetSpanTracer(tr)
 		res := r.run(h, m)

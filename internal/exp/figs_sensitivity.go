@@ -12,13 +12,14 @@ import (
 // sensitivityMachine builds the §4.4 configuration: no cache, one
 // scatter-add unit with the given combining-store size and FU latency, in
 // front of a uniform memory with the given latency and word interval.
-func sensitivityMachine(entries, fuLat, memLat, interval int) *machine.Machine {
+func sensitivityMachine(o Options, entries, fuLat, memLat, interval int) *machine.Machine {
 	cfg := machine.DefaultConfig()
 	cfg.SA.Entries = entries
 	cfg.SA.FULatency = fuLat
 	// Let the input queue keep the single unit fed regardless of store size.
 	cfg.SA.InQDepth = 16
 	cfg.UniformMem = &machine.UniformMemConfig{Latency: memLat, Interval: interval}
+	cfg.LegacyStepping = o.Legacy
 	return machine.New(cfg)
 }
 
@@ -40,7 +41,7 @@ type sensOut struct {
 // each call builds its own workload and machine, so points are independent.
 func runSensitivity(o Options, p sensPoint, n, rng int) sensOut {
 	h := apps.NewHistogram(n, rng, o.seed(0xF16_11))
-	m := sensitivityMachine(p.entries, p.fuLat, p.memLat, p.interval)
+	m := sensitivityMachine(o, p.entries, p.fuLat, p.memLat, p.interval)
 	tr := o.newTracer()
 	m.SetSpanTracer(tr)
 	res := h.RunHW(m)

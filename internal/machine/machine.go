@@ -54,6 +54,12 @@ type Config struct {
 	// UniformMem, when non-nil, replaces the cache and DRAM with a single
 	// scatter-add unit in front of a uniform word memory (§4.4).
 	UniformMem *UniformMemConfig
+
+	// LegacyStepping forces per-cycle engine stepping, disabling the
+	// quiescence fast-forward path. Results are cycle-exact either way (the
+	// differential harness in internal/differ enforces it); the flag exists
+	// for that comparison and as an escape hatch.
+	LegacyStepping bool
 }
 
 // DefaultConfig returns the paper's Table 1 machine.
@@ -346,7 +352,10 @@ func New(cfg Config) *Machine {
 
 	// Engine order mirrors the machine pipeline: issue, scatter-add units,
 	// cache banks, DRAM (+fill delivery), response routing, stream retire.
-	m.eng.Add(sim.TickFunc(m.issuePhase))
+	// The machine's own phases are named types rather than closures so they
+	// can implement sim.FastForwarder alongside sim.Ticker (and so phase
+	// registration captures nothing per tick).
+	m.eng.Add(issuePhase{m})
 	for _, sa := range m.sas {
 		m.eng.Add(sa)
 	}
@@ -354,13 +363,16 @@ func New(cfg Config) *Machine {
 		m.eng.Add(b)
 	}
 	if m.dram != nil {
-		m.eng.Add(sim.TickFunc(m.dramPhase))
+		m.eng.Add(dramPhase{m})
 	}
 	if m.uniform != nil {
 		m.eng.Add(m.uniform)
 	}
-	m.eng.Add(sim.TickFunc(m.responsePhase))
-	m.eng.Add(sim.TickFunc(m.retirePhase))
+	m.eng.Add(responsePhase{m})
+	m.eng.Add(retirePhase{m})
+	if cfg.LegacyStepping {
+		m.eng.SetFastForward(false)
+	}
 	return m
 }
 
@@ -421,10 +433,84 @@ func (m *Machine) unitFor(a mem.Addr) *saunit.Unit {
 // tick advances the whole machine one cycle through the engine.
 func (m *Machine) tick() { m.eng.Step() }
 
-// issuePhase: each active stream owns one address generator and may issue up
+// issuePhase drives the address generators (see issueTick). Its quiescence
+// contract: a primed stream with requests left is work now; a stream still
+// priming wakes when its startup counter expires; fully issued streams wait
+// on the memory system, which reports its own events.
+type issuePhase struct{ m *Machine }
+
+func (p issuePhase) Tick(now uint64) { p.m.issueTick(now) }
+
+func (p issuePhase) NextEvent(now uint64) uint64 {
+	ev := sim.Never
+	for _, s := range p.m.active {
+		if s.startupLeft > 0 {
+			if t := now + uint64(s.startupLeft); t < ev {
+				ev = t
+			}
+			continue
+		}
+		if s.issued < s.n {
+			return now
+		}
+	}
+	return ev
+}
+
+// Skip applies the per-cycle effects of skipped idle issue Ticks: the
+// active-stream occupancy sample and the startup countdown (the engine
+// never jumps past a startup expiry, so the subtraction cannot underflow).
+// Streams in startup never count as AG stalls, so that counter is unmoved.
+func (p issuePhase) Skip(now, cycles uint64) {
+	m := p.m
+	m.met.agActive.ObserveN(len(m.active), cycles)
+	for _, s := range m.active {
+		if s.startupLeft > 0 {
+			s.startupLeft -= int(cycles)
+		}
+	}
+}
+
+// dramPhase advances DRAM and delivers completed line reads to their banks.
+type dramPhase struct{ m *Machine }
+
+func (p dramPhase) Tick(now uint64)             { p.m.dramTick(now) }
+func (p dramPhase) NextEvent(now uint64) uint64 { return p.m.dram.NextEvent(now) }
+func (p dramPhase) Skip(now, cycles uint64)     { p.m.dram.Skip(now, cycles) }
+
+// responsePhase routes scatter-add unit responses back to their streams. It
+// is purely reactive: a deliverable response is reported as work by the
+// unit's own NextEvent (non-empty upstream queue), so it never wakes the
+// engine itself.
+type responsePhase struct{ m *Machine }
+
+func (p responsePhase) Tick(now uint64)             { p.m.responseTick(now) }
+func (p responsePhase) NextEvent(now uint64) uint64 { return sim.Never }
+func (p responsePhase) Skip(now, cycles uint64)     {}
+
+// retirePhase removes completed streams. A completed-but-unretired stream is
+// work now (retirement frees its address generator next cycle, exactly as
+// under per-cycle stepping); anything else waits on responses, which the
+// memory system reports.
+type retirePhase struct{ m *Machine }
+
+func (p retirePhase) Tick(now uint64) { p.m.retireTick(now) }
+
+func (p retirePhase) NextEvent(now uint64) uint64 {
+	for _, s := range p.m.active {
+		if s.done() {
+			return now
+		}
+	}
+	return sim.Never
+}
+
+func (p retirePhase) Skip(now, cycles uint64) {}
+
+// issueTick: each active stream owns one address generator and may issue up
 // to AGWidth requests per cycle, in order (head-of-line blocking on a busy
 // bank models the hot-bank effect of Figure 7).
-func (m *Machine) issuePhase(now uint64) {
+func (m *Machine) issueTick(now uint64) {
 	m.met.agActive.Observe(len(m.active))
 	stalled := false
 	for _, s := range m.active {
@@ -464,8 +550,8 @@ func (m *Machine) issuePhase(now uint64) {
 	}
 }
 
-// dramPhase advances DRAM and delivers completed line reads to their banks.
-func (m *Machine) dramPhase(now uint64) {
+// dramTick advances DRAM and delivers completed line reads to their banks.
+func (m *Machine) dramTick(now uint64) {
 	m.dram.Tick(now)
 	for {
 		r, ok := m.dram.PopResponse(now)
@@ -476,9 +562,9 @@ func (m *Machine) dramPhase(now uint64) {
 	}
 }
 
-// responsePhase routes scatter-add unit responses back to their streams by
+// responseTick routes scatter-add unit responses back to their streams by
 // ID tag.
-func (m *Machine) responsePhase(now uint64) {
+func (m *Machine) responseTick(now uint64) {
 	for _, sa := range m.sas {
 		for {
 			r, ok := sa.PopResponse(now)
@@ -499,8 +585,8 @@ func (m *Machine) responsePhase(now uint64) {
 	}
 }
 
-// retirePhase removes completed streams, freeing their address generators.
-func (m *Machine) retirePhase(now uint64) {
+// retireTick removes completed streams, freeing their address generators.
+func (m *Machine) retireTick(now uint64) {
 	live := m.active[:0]
 	for _, s := range m.active {
 		if !s.done() {
@@ -545,12 +631,16 @@ func (m *Machine) memSystemBusy() bool {
 	return false
 }
 
+// neverDone is the RunUntil predicate for fixed-length advances; a
+// package-level func keeps the idle hot path allocation-free.
+func neverDone() bool { return false }
+
 // idle advances cycles without starting new work (kernel execution time);
-// outstanding asynchronous streams keep issuing underneath.
+// outstanding asynchronous streams keep issuing underneath. It runs through
+// the engine's RunUntil so dead stretches (no active streams, memory system
+// drained or waiting on a timer) fast-forward instead of ticking.
 func (m *Machine) idle(cycles uint64) {
-	for i := uint64(0); i < cycles; i++ {
-		m.tick()
-	}
+	m.eng.RunUntil(neverDone, m.eng.Now()+cycles)
 }
 
 // RunOp executes one stream operation and returns its metrics. Memory
@@ -588,15 +678,19 @@ func (m *Machine) RunOp(op Op) Result {
 }
 
 // fence runs until every stream has completed and the memory system has
-// drained.
+// drained. The predicate reads only component state, which cannot change
+// across skipped cycles, so it is safe under fast-forward.
 func (m *Machine) fence() {
-	startCycle := m.eng.Now()
-	for len(m.active) > 0 || m.memSystemBusy() {
-		m.tick()
-		if m.eng.Now()-startCycle > opDeadlockCycles {
-			panic("machine: fence did not drain; likely deadlock")
-		}
+	limit := m.eng.Now() + opDeadlockCycles
+	if _, ok := m.eng.RunUntil(m.drained, limit); !ok {
+		panic("machine: fence did not drain; likely deadlock")
 	}
+}
+
+// drained reports fence completion: no active streams and an idle memory
+// system.
+func (m *Machine) drained() bool {
+	return len(m.active) == 0 && !m.memSystemBusy()
 }
 
 // fpDelta counts floating-point FU operations performed between two stat
@@ -630,9 +724,9 @@ func (m *Machine) runMemOp(op Op) {
 	m.memRefs += uint64(n)
 	opStart := m.eng.Now()
 	// Claim an address generator (Table 1: 2), waiting if all are busy.
-	for len(m.active) >= m.cfg.AGs {
-		m.tick()
-		if m.eng.Now()-opStart > opDeadlockCycles {
+	if len(m.active) >= m.cfg.AGs {
+		agFree := func() bool { return len(m.active) < m.cfg.AGs }
+		if _, ok := m.eng.RunUntil(agFree, opStart+opDeadlockCycles); !ok {
 			panic(fmt.Sprintf("machine: op %q waited %d cycles for an AG; likely deadlock", op.Name, m.eng.Now()-opStart))
 		}
 	}
@@ -658,11 +752,9 @@ func (m *Machine) runMemOp(op Op) {
 	// Synchronous semantics: reads are complete when every response has
 	// arrived; writes and scatter-adds additionally wait for the memory
 	// system to drain so their data is globally visible when RunOp returns.
-	for !s.done() || (!s.needResp && m.memSystemBusy()) {
-		m.tick()
-		if m.eng.Now()-opStart > opDeadlockCycles {
-			panic(fmt.Sprintf("machine: op %q has run %d cycles; likely deadlock", op.Name, m.eng.Now()-opStart))
-		}
+	opDone := func() bool { return s.done() && (s.needResp || !m.memSystemBusy()) }
+	if _, ok := m.eng.RunUntil(opDone, opStart+opDeadlockCycles); !ok {
+		panic(fmt.Sprintf("machine: op %q has run %d cycles; likely deadlock", op.Name, m.eng.Now()-opStart))
 	}
 }
 

@@ -60,6 +60,10 @@ type Config struct {
 	Hierarchical bool
 	IssueRate    int // trace references issued per node per cycle
 
+	// LegacyStepping forces per-cycle stepping, disabling the quiescence
+	// fast-forward over dead cycles (kept for differential testing).
+	LegacyStepping bool
+
 	Net   network.Config
 	Cache cache.Config
 	SA    saunit.Config
@@ -124,6 +128,8 @@ type System struct {
 	reg   *stats.Registry
 	now   uint64
 
+	ff bool // fast-forward over quiescent cycles
+
 	tr         *span.Tracer
 	sumBackSeq uint64
 }
@@ -144,7 +150,7 @@ func New(cfg Config, kind mem.Kind) *System {
 			panic(fmt.Sprintf("multinode: Hierarchical requires a power-of-two node count, got %d", cfg.Nodes))
 		}
 	}
-	s := &System{cfg: cfg, kind: kind, xbar: network.New[mem.Request](cfg.Net), reg: stats.NewRegistry()}
+	s := &System{cfg: cfg, kind: kind, xbar: network.New[mem.Request](cfg.Net), reg: stats.NewRegistry(), ff: !cfg.LegacyStepping}
 	s.reg.Adopt("net", s.xbar.StatsGroup())
 	for id := 0; id < cfg.Nodes; id++ {
 		n := &node{
@@ -234,7 +240,21 @@ func (s *System) RunTrace(refs []Ref) Result {
 	limit := s.now + 2_000_000_000
 	runPhase := func() {
 		for !s.done() {
-			s.step()
+			// Jump over quiescent stretches (all queues empty, every timer in
+			// the future); clamp to just past the limit so a drained-but-
+			// not-done state (Never) still trips the deadlock check.
+			h := s.now
+			if s.ff {
+				h = s.nextEvent()
+			}
+			if h > s.now {
+				if h > limit {
+					h = limit + 1
+				}
+				s.skipTo(h)
+			} else {
+				s.step()
+			}
 			if s.now > limit {
 				panic("multinode: trace did not drain; flow-control deadlock")
 			}
@@ -284,6 +304,65 @@ func (s *System) RunTrace(refs []Ref) Result {
 		}
 	}
 	return res
+}
+
+// nextEvent returns the earliest cycle at which any part of the system can
+// do work (the multi-node analogue of sim.Engine's horizon; the System owns
+// its own clock rather than a sim.Engine). Pending trace issue or staged
+// inbox/outbox traffic is work now; otherwise the minimum over every
+// component's NextEvent.
+func (s *System) nextEvent() uint64 {
+	ev := s.xbar.NextEvent(s.now)
+	for _, n := range s.nodes {
+		if ev <= s.now {
+			return s.now
+		}
+		if n.issued < len(n.trace) || !n.inbox.Empty() || !n.outbox.Empty() {
+			return s.now
+		}
+		for _, u := range n.sas {
+			if t := u.NextEvent(s.now); t < ev {
+				ev = t
+			}
+		}
+		for _, b := range n.banks {
+			if t := b.NextEvent(s.now); t < ev {
+				ev = t
+			}
+		}
+		for _, cb := range n.comb {
+			if t := cb.NextEvent(s.now); t < ev {
+				ev = t
+			}
+		}
+		if t := n.dram.NextEvent(s.now); t < ev {
+			ev = t
+		}
+	}
+	if ev < s.now {
+		return s.now
+	}
+	return ev
+}
+
+// skipTo jumps the clock to cycle h, applying every component's batch
+// skipped-cycle effects (per-cycle occupancy samples).
+func (s *System) skipTo(h uint64) {
+	cycles := h - s.now
+	s.xbar.Skip(s.now, cycles)
+	for _, n := range s.nodes {
+		for _, u := range n.sas {
+			u.Skip(s.now, cycles)
+		}
+		for _, b := range n.banks {
+			b.Skip(s.now, cycles)
+		}
+		for _, cb := range n.comb {
+			cb.Skip(s.now, cycles)
+		}
+		n.dram.Skip(s.now, cycles)
+	}
+	s.now = h
 }
 
 // step advances the whole system one cycle.

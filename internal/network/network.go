@@ -73,6 +73,11 @@ type Crossbar[T any] struct {
 	stats   Stats
 	met     metrics
 	tr      *span.Tracer
+
+	// Per-Tick arbitration scratch, allocated once (the hot loop must not
+	// allocate): grants per output and sends per input this cycle.
+	granted  []int
+	sentFrom []int
 }
 
 // New returns a crossbar with the given configuration.
@@ -87,6 +92,8 @@ func New[T any](cfg Config) *Crossbar[T] {
 		x.outputs = append(x.outputs, sim.NewQueue[Packet[T]](cfg.OutputQDepth))
 		x.arb = append(x.arb, sim.NewRoundRobin(cfg.Nodes))
 	}
+	x.granted = make([]int, cfg.Nodes)
+	x.sentFrom = make([]int, cfg.Nodes)
 	return x
 }
 
@@ -146,8 +153,10 @@ func (x *Crossbar[T]) Tick(now uint64) {
 	// Input side: each input forwards up to WordsPerCyc head packets; each
 	// output accepts at most WordsPerCyc new packets per cycle, arbitrated
 	// round-robin over inputs.
-	granted := make([]int, x.cfg.Nodes) // per-output grants this cycle
-	sentFrom := make([]int, x.cfg.Nodes)
+	granted, sentFrom := x.granted, x.sentFrom
+	for i := range granted {
+		granted[i], sentFrom[i] = 0, 0
+	}
 	for o := 0; o < x.cfg.Nodes; o++ {
 		for granted[o] < x.cfg.WordsPerCyc {
 			in := x.arb[o].Pick(func(i int) bool {
@@ -176,6 +185,29 @@ func (x *Crossbar[T]) Tick(now uint64) {
 		}
 	}
 }
+
+// NextEvent reports the earliest cycle at which the crossbar can do work
+// (see sim.FastForwarder): queued input or undelivered output is work now;
+// otherwise the earliest wire-crossing completion.
+func (x *Crossbar[T]) NextEvent(now uint64) uint64 {
+	ev := sim.Never
+	for i := 0; i < x.cfg.Nodes; i++ {
+		if !x.inputs[i].Empty() || !x.outputs[i].Empty() {
+			return now
+		}
+		if r := x.wires[i].NextReady(); r < ev {
+			ev = r
+		}
+	}
+	if ev < now {
+		return now
+	}
+	return ev
+}
+
+// Skip is a no-op: back-pressure stalls only accrue while an input queue is
+// non-empty, which NextEvent reports as work.
+func (x *Crossbar[T]) Skip(now, cycles uint64) {}
 
 // Busy reports whether any packet is queued or in flight.
 func (x *Crossbar[T]) Busy() bool {

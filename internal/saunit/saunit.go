@@ -235,6 +235,37 @@ func (u *Unit) Busy() bool {
 	return u.down.Busy()
 }
 
+// NextEvent reports the earliest cycle at which the unit can do work (see
+// sim.FastForwarder). Anything queued — input, upstream responses, ready
+// chains, pending write-backs, an unsent current-value read, or an eager
+// pre-combine opportunity — is work in the current cycle; otherwise the only
+// self-timed activity is the functional-unit pipeline. Reader entries whose
+// read is in flight are woken by the downstream component's own NextEvent.
+func (u *Unit) NextEvent(now uint64) uint64 {
+	if !u.inQ.Empty() || !u.upQ.Empty() || !u.wbQ.Empty() || len(u.ready) > 0 {
+		return now
+	}
+	if u.cfg.EagerCombine && u.csUsed >= 2 {
+		return now
+	}
+	for i := range u.cs {
+		if e := &u.cs[i]; e.valid && e.reader && !e.sent {
+			return now
+		}
+	}
+	return u.fu.NextReady()
+}
+
+// Skip applies the per-cycle counter effects of cycles skipped idle Ticks:
+// the occupancy sample and the FU-busy count (an in-flight op still inside
+// its latency keeps the pipeline busy across a jump).
+func (u *Unit) Skip(now, cycles uint64) {
+	u.met.csOccupancy.ObserveN(u.csUsed, cycles)
+	if u.fu.Len() > 0 {
+		u.met.fuBusy.Add(cycles)
+	}
+}
+
 // csFind returns the index of a valid entry matching addr for which pred
 // holds, or -1. This is the CAM search of Figure 4b.
 func (u *Unit) csFind(addr mem.Addr, pred func(*entry) bool) int {

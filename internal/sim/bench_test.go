@@ -29,8 +29,61 @@ func BenchmarkEngineStep(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineFastForward measures the quiescence jump loop: a machine
+// of mostly-idle components (period-64 pulses, out of phase) advanced 1024
+// cycles per iteration. Steady state must be allocation free — the engine,
+// horizon scan, and Skip fan-out all run on preallocated state — which the
+// CI bench run checks via the reported allocs/op.
+func BenchmarkEngineFastForward(b *testing.B) {
+	e := NewEngine()
+	ps := make([]*ffPulse, 8)
+	for i := range ps {
+		ps[i] = &ffPulse{period: 64, phase: uint64(i * 8)}
+		e.Add(ps[i])
+	}
+	done := func() bool { return false }
+	limit := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		limit += 1024
+		e.RunUntil(done, limit)
+	}
+	b.StopTimer()
+	for _, p := range ps {
+		if p.work != limit/p.period || p.idleSkipped == 0 {
+			b.Fatalf("pulse accounting broken: work=%d skipped=%d limit=%d", p.work, p.idleSkipped, limit)
+		}
+	}
+}
+
+// ffPulse does work every period cycles at the given phase offset and is
+// quiescent otherwise (benchmark twin of the pulse in fastforward_test.go).
+type ffPulse struct {
+	period, phase uint64
+	work          uint64
+	idleSkipped   uint64
+}
+
+func (p *ffPulse) Tick(now uint64) {
+	if (now+p.phase)%p.period == 0 {
+		p.work++
+	}
+}
+
+func (p *ffPulse) NextEvent(now uint64) uint64 {
+	n := now + p.phase
+	if n%p.period == 0 {
+		return now
+	}
+	return (n/p.period+1)*p.period - p.phase
+}
+
+func (p *ffPulse) Skip(now, cycles uint64) { p.idleSkipped += cycles }
+
 func BenchmarkQueuePushPop(b *testing.B) {
 	q := NewQueue[int](64)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q.Push(i)
 		q.Pop()
@@ -40,6 +93,7 @@ func BenchmarkQueuePushPop(b *testing.B) {
 func BenchmarkDelayPushPop(b *testing.B) {
 	d := NewDelay[int](4, 64)
 	now := uint64(0)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d.Push(now, i)
 		d.Pop(now)

@@ -23,6 +23,33 @@ type TickFunc func(now uint64)
 // Tick calls f(now).
 func (f TickFunc) Tick(now uint64) { f(now) }
 
+// Never is the NextEvent answer of a component that is fully drained: no
+// future cycle exists at which it can do work on its own.
+const Never = ^uint64(0)
+
+// FastForwarder is the optional quiescence interface a Ticker may implement
+// to let the engine skip dead cycles. The contract:
+//
+//   - NextEvent(now) returns the earliest cycle >= now at which the
+//     component might do observable work (change state, move an item, touch
+//     a counter other than pure occupancy sampling). A component with work
+//     pending in the current cycle returns now; a fully drained component
+//     returns Never. The answer must be conservative: returning a cycle
+//     earlier than the true next event is always safe, later is not.
+//   - Skip(now, cycles) informs the component that cycles consecutive Ticks
+//     starting at now were skipped because every component in the engine was
+//     quiescent. The component must apply the batch effect of those idle
+//     Ticks (typically per-cycle occupancy histogram observations) so that
+//     counters match per-cycle stepping exactly.
+//
+// The engine only jumps when every registered Ticker implements
+// FastForwarder and none reports an event at the current cycle, so a
+// component may rely on the rest of the machine being frozen during Skip.
+type FastForwarder interface {
+	NextEvent(now uint64) uint64
+	Skip(now, cycles uint64)
+}
+
 // Engine owns the simulated clock and the set of components it drives.
 // Components are ticked in registration order, which callers should arrange
 // from consumer to producer so that a value pushed in cycle t is visible to
@@ -31,17 +58,38 @@ type Engine struct {
 	now     uint64
 	tickers []Ticker
 
+	// Fast-forward bookkeeping: ffs mirrors tickers for components that
+	// implement FastForwarder; allFF records whether every registered
+	// ticker does (jumping is sound only then), and ffOn is the runtime
+	// toggle (on by default, cleared for legacy per-cycle stepping).
+	ffs   []FastForwarder
+	allFF bool
+	ffOn  bool
+
 	sampleEvery uint64
 	sample      func(now uint64)
 }
 
 // NewEngine returns an Engine at cycle 0 with no components.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine { return &Engine{allFF: true, ffOn: true} }
 
 // Add registers components to be ticked each cycle, in the given order.
 func (e *Engine) Add(ts ...Ticker) {
 	e.tickers = append(e.tickers, ts...)
+	for _, t := range ts {
+		if ff, ok := t.(FastForwarder); ok {
+			e.ffs = append(e.ffs, ff)
+		} else {
+			e.allFF = false
+		}
+	}
 }
+
+// SetFastForward enables or disables quiescence jumps in RunUntil. Jumps are
+// on by default; disabling forces per-cycle stepping (the legacy behaviour,
+// kept for differential testing). Jumps additionally require every
+// registered Ticker to implement FastForwarder.
+func (e *Engine) SetFastForward(on bool) { e.ffOn = on }
 
 // Now reports the number of cycles executed so far.
 func (e *Engine) Now() uint64 { return e.now }
@@ -72,20 +120,78 @@ func (e *Engine) Step() {
 
 // RunUntil steps until done() reports true or limit cycles have elapsed. It
 // returns the cycle count at exit and whether done() was satisfied.
+//
+// When fast-forwarding is possible (see SetFastForward) and every component
+// reports its next event strictly in the future, RunUntil jumps the clock to
+// the earliest such event instead of ticking through the dead cycles. Jumps
+// never cross a sampler multiple (the sampler fires at exactly the same now
+// values as per-cycle stepping) and never overshoot limit. done() must
+// depend only on component state, which cannot change during skipped
+// cycles; it is re-evaluated at every event cycle.
 func (e *Engine) RunUntil(done func() bool, limit uint64) (uint64, bool) {
+	ff := e.ffOn && e.allFF && len(e.tickers) > 0
 	for e.now < limit {
 		if done() {
 			return e.now, true
+		}
+		if ff {
+			if h := e.horizon(limit); h > e.now {
+				e.jump(h)
+				continue
+			}
 		}
 		e.Step()
 	}
 	return e.now, done()
 }
 
+// horizon returns the earliest cycle at which any component can do work,
+// capped at the next sampler multiple and at limit. A return of e.now means
+// some component has work in the current cycle and no jump is possible.
+func (e *Engine) horizon(limit uint64) uint64 {
+	h := limit
+	for _, f := range e.ffs {
+		ev := f.NextEvent(e.now)
+		if ev <= e.now {
+			return e.now
+		}
+		if ev < h {
+			h = ev
+		}
+	}
+	if e.sample != nil {
+		if next := (e.now/e.sampleEvery + 1) * e.sampleEvery; next < h {
+			h = next
+		}
+	}
+	return h
+}
+
+// jump advances the clock straight to cycle h, fanning the skipped-cycle
+// count out to every component and firing the sampler if h is a multiple of
+// its interval (horizon guarantees no multiple lies strictly inside the
+// skipped range).
+func (e *Engine) jump(h uint64) {
+	n := h - e.now
+	for _, f := range e.ffs {
+		f.Skip(e.now, n)
+	}
+	e.now = h
+	if e.sample != nil && e.now%e.sampleEvery == 0 {
+		e.sample(e.now)
+	}
+}
+
 // Queue is a bounded FIFO with hardware-like flow control. The zero value is
 // not usable; construct with NewQueue.
+//
+// The backing buffer is sized to the next power of two so index wrap uses a
+// mask instead of a modulo; Cap, Full, and Push enforce the requested
+// logical capacity, so flow-control semantics are unchanged.
 type Queue[T any] struct {
-	buf        []T
+	buf        []T // len(buf) is a power of two >= capacity
+	mask       int
+	capacity   int // logical capacity enforced by Push
 	head, size int
 }
 
@@ -94,11 +200,15 @@ func NewQueue[T any](capacity int) *Queue[T] {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("sim: queue capacity must be positive, got %d", capacity))
 	}
-	return &Queue[T]{buf: make([]T, capacity)}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Queue[T]{buf: make([]T, n), mask: n - 1, capacity: capacity}
 }
 
 // Cap reports the queue capacity.
-func (q *Queue[T]) Cap() int { return len(q.buf) }
+func (q *Queue[T]) Cap() int { return q.capacity }
 
 // Len reports the number of buffered items.
 func (q *Queue[T]) Len() int { return q.size }
@@ -107,14 +217,14 @@ func (q *Queue[T]) Len() int { return q.size }
 func (q *Queue[T]) Empty() bool { return q.size == 0 }
 
 // Full reports whether a Push would fail.
-func (q *Queue[T]) Full() bool { return q.size == len(q.buf) }
+func (q *Queue[T]) Full() bool { return q.size == q.capacity }
 
 // Push appends v and reports whether there was room.
 func (q *Queue[T]) Push(v T) bool {
 	if q.Full() {
 		return false
 	}
-	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.buf[(q.head+q.size)&q.mask] = v
 	q.size++
 	return true
 }
@@ -143,7 +253,7 @@ func (q *Queue[T]) Pop() (v T, ok bool) {
 	v = q.buf[q.head]
 	var zero T
 	q.buf[q.head] = zero
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & q.mask
 	q.size--
 	return v, true
 }
@@ -154,7 +264,7 @@ func (q *Queue[T]) At(i int) T {
 	if i < 0 || i >= q.size {
 		panic(fmt.Sprintf("sim: Queue.At(%d) with size %d", i, q.size))
 	}
-	return q.buf[(q.head+i)%len(q.buf)]
+	return q.buf[(q.head+i)&q.mask]
 }
 
 // delayItem is an in-flight item in a Delay pipe.
@@ -196,6 +306,17 @@ func (d *Delay[T]) Push(now uint64, v T) bool {
 func (d *Delay[T]) Ready(now uint64) bool {
 	it, ok := d.q.Peek()
 	return ok && it.ready <= now
+}
+
+// NextReady returns the cycle at which the head in-flight item becomes
+// poppable, or Never when the pipe is empty. The head is the earliest:
+// latency is fixed, so ready times are FIFO-ordered.
+func (d *Delay[T]) NextReady() uint64 {
+	it, ok := d.q.Peek()
+	if !ok {
+		return Never
+	}
+	return it.ready
 }
 
 // Pop removes the head item if it is ready at cycle now.

@@ -98,6 +98,22 @@ func (h *Histogram) Observe(v int) {
 	h.sum += uint64(v)
 }
 
+// ObserveN records n identical samples of v in one call. It is equivalent
+// to calling Observe(v) n times; the simulation engine uses it to apply the
+// per-cycle occupancy observations of a skipped idle stretch in bulk.
+func (h *Histogram) ObserveN(v int, n uint64) {
+	i := v
+	if i < 0 {
+		i = 0
+		v = 0
+	} else if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i] += n
+	h.count += n
+	h.sum += uint64(v) * n
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
