@@ -1,0 +1,44 @@
+package scatteradd
+
+// This file re-exports the stream-programming surface: the stream-operation
+// constructors the machine executes and the software-pipelining helpers that
+// overlap them across the two address generators.
+
+import (
+	"scatteradd/internal/machine"
+	"scatteradd/internal/stream"
+)
+
+// Stream-operation constructors.
+var (
+	// LoadStream reads n consecutive words.
+	LoadStream = machine.LoadStream
+	// StoreStream writes consecutive words.
+	StoreStream = machine.StoreStream
+	// Gather reads an address vector (indexed load).
+	Gather = machine.Gather
+	// Scatter writes an address vector (indexed store).
+	Scatter = machine.Scatter
+	// ScatterAdd atomically combines values into memory (the paper's
+	// primitive; pass a 1-element value slice to broadcast a scalar).
+	ScatterAdd = machine.ScatterAdd
+	// Kernel models a compute kernel by FP operations and SRF traffic.
+	Kernel = machine.Kernel
+	// IntKernel models a non-FP compute kernel.
+	IntKernel = machine.IntKernel
+	// Fence waits for all outstanding (including Async) memory streams.
+	Fence = machine.Fence
+)
+
+// Stream pipelining (software pipelining over the two address generators).
+var (
+	// StreamPipeline processes n elements in chunks, overlapping each
+	// chunk's asynchronous memory operations with later chunks' work.
+	StreamPipeline = stream.Pipeline
+	// GatherComputeScatterAdd builds the canonical three-phase chunk
+	// (synchronous gather, kernel, asynchronous scatter-add).
+	GatherComputeScatterAdd = stream.GatherComputeScatterAdd
+)
+
+// StreamChunkFunc produces the operations of one pipeline chunk.
+type StreamChunkFunc = stream.ChunkFunc

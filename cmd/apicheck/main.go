@@ -1,0 +1,88 @@
+// Command apicheck guards the public API of the root scatteradd package.
+//
+// Usage:
+//
+//	apicheck [-pkg DIR] -golden API.txt [-write]
+//	apicheck [-pkg DIR] -against OTHER.txt
+//
+// With -golden, the current exported surface is compared to the golden
+// file: any mismatch (removal, change, or an addition not yet recorded)
+// fails, keeping the checked-in API.txt an exact inventory. -write
+// regenerates the golden instead.
+//
+// With -against, the comparison is API-compatibility: removals and
+// signature changes of symbols present in OTHER.txt fail; additions are
+// allowed. CI uses this to diff a branch against the main branch's API.txt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scatteradd/internal/apisurface"
+)
+
+func main() {
+	pkg := flag.String("pkg", ".", "package directory to extract the surface from")
+	golden := flag.String("golden", "", "golden surface file to compare against exactly")
+	write := flag.Bool("write", false, "regenerate the -golden file instead of comparing")
+	against := flag.String("against", "", "older surface file to check compatibility against (additions allowed)")
+	flag.Parse()
+
+	decls, err := apisurface.Surface(*pkg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *golden != "" && *write:
+		if err := os.WriteFile(*golden, []byte(apisurface.Format(decls)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "apicheck: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("apicheck: wrote %d symbols to %s\n", len(decls), *golden)
+	case *golden != "":
+		data, err := os.ReadFile(*golden)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apicheck: %v (run with -write to create it)\n", err)
+			os.Exit(1)
+		}
+		old := apisurface.Parse(string(data))
+		breaking, additions := apisurface.Compare(old, decls)
+		for _, m := range breaking {
+			fmt.Fprintln(os.Stderr, m)
+		}
+		for _, m := range additions {
+			fmt.Fprintln(os.Stderr, m)
+		}
+		if len(breaking)+len(additions) > 0 {
+			fmt.Fprintf(os.Stderr, "apicheck: surface differs from %s in %d places (regenerate with -write if intended)\n",
+				*golden, len(breaking)+len(additions))
+			os.Exit(1)
+		}
+		fmt.Printf("apicheck: %d symbols match %s\n", len(decls), *golden)
+	case *against != "":
+		data, err := os.ReadFile(*against)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apicheck: %v\n", err)
+			os.Exit(1)
+		}
+		old := apisurface.Parse(string(data))
+		breaking, additions := apisurface.Compare(old, decls)
+		for _, m := range additions {
+			fmt.Println(m) // informational
+		}
+		if len(breaking) > 0 {
+			for _, m := range breaking {
+				fmt.Fprintln(os.Stderr, m)
+			}
+			fmt.Fprintf(os.Stderr, "apicheck: %d breaking API change(s) vs %s\n", len(breaking), *against)
+			os.Exit(1)
+		}
+		fmt.Printf("apicheck: compatible with %s (%d additions)\n", *against, len(additions))
+	default:
+		fmt.Print(apisurface.Format(decls))
+	}
+}

@@ -19,6 +19,12 @@
 //	-spans        append a sampled request-lifecycle latency-attribution
 //	              appendix to each table (see -span-rate)
 //	-span-rate N  sample 1 in N issued memory operations for -spans (default 16)
+//	-faults X     inject the default chaos fault mix scaled by X in [0,1]
+//	              (0 = off; 1 = full chaos; results stay bit-exact — faults
+//	              cost cycles, never correctness)
+//	-fault-seed N override the fault injector's seed (with -faults)
+//	-checkpoint D snapshot each completed figure under directory D and
+//	              resume an interrupted sweep from the snapshots
 //
 // Profiling the simulator itself: -pprof-http ADDR serves net/http/pprof,
 // -cpuprofile/-memprofile FILE write pprof profiles, -trace-out FILE writes
@@ -46,6 +52,9 @@ func main() {
 	withSpans := flag.Bool("spans", false, "append a sampled request-lifecycle latency appendix to each table")
 	spanRate := flag.Int("span-rate", 16, "sample 1 in N issued memory operations for -spans")
 	legacy := flag.Bool("legacy", false, "per-cycle engine stepping instead of quiescence fast-forward (identical output, slower)")
+	faults := flag.Float64("faults", 0, "inject the default chaos fault mix scaled by X in [0,1] (0 = off)")
+	faultSeed := flag.Uint64("fault-seed", 0, "override the fault injector seed (0 = default; needs -faults)")
+	checkpoint := flag.String("checkpoint", "", "directory for figure checkpoints (resume interrupted sweeps)")
 	profCfg := prof.Flags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
@@ -61,6 +70,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "scatteradd: -span-rate %d invalid (want >= 1)\n", *spanRate)
 		os.Exit(2)
 	}
+	if *faults < 0 || *faults > 1 {
+		fmt.Fprintf(os.Stderr, "scatteradd: -faults %g invalid (want 0..1)\n", *faults)
+		os.Exit(2)
+	}
+	var fc scatteradd.FaultConfig
+	if *faults > 0 {
+		fc = scatteradd.DefaultChaosFaults().Scale(*faults)
+		if *faultSeed != 0 {
+			fc.Seed = *faultSeed
+		}
+	}
 	sess, err := prof.Start(*profCfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scatteradd: %v\n", err)
@@ -73,6 +93,7 @@ func main() {
 		Scale: *scale, Jobs: *jobs, Seed: *seed,
 		CollectStats: *withStats, CollectSpans: *withSpans, SpanRate: *spanRate,
 		Legacy: *legacy,
+		Faults: fc, CheckpointDir: *checkpoint,
 	}
 	for _, name := range flag.Args() {
 		if err := run(name, o, *csv, *doPlot); err != nil {
@@ -88,7 +109,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: scatteradd [-scale N] [-jobs N] [-seed N] [-csv] [-stats] [-spans] <experiment>...
+	fmt.Fprintf(os.Stderr, `usage: scatteradd [-scale N] [-jobs N] [-seed N] [-csv] [-stats] [-spans] [-faults X] [-checkpoint DIR] <experiment>...
 
 experiments:
   table1           machine parameters (paper Table 1)

@@ -27,7 +27,7 @@ func main() {
 		md.W.NumMol, len(md.Pairs), md.NumSARefs())
 
 	run := func(name string, f func(*scatteradd.Machine) scatteradd.Result) scatteradd.Result {
-		m := scatteradd.NewMachine(scatteradd.DefaultConfig())
+		m := scatteradd.New()
 		r := f(m)
 		if err := md.Verify(m); err != nil {
 			panic(err)

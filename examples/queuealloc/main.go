@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	m := scatteradd.NewMachine(scatteradd.DefaultConfig())
+	m := scatteradd.New()
 
 	const queues = 4
 	const producers = 1000

@@ -20,7 +20,7 @@ import (
 func main() {
 	// A Table 1 machine: 16 clusters, 8 cache banks with one scatter-add
 	// unit each, 16 DRAM channels at 1 GHz.
-	m := scatteradd.NewMachine(scatteradd.DefaultConfig())
+	m := scatteradd.New()
 
 	// A synthetic dataset: 100,000 samples in [0, 256).
 	const bins = 256
@@ -47,7 +47,7 @@ func main() {
 	fmt.Printf("  throughput = %.2f updates/cycle\n", float64(len(data))/float64(res.Cycles))
 
 	// The same machine can run the software alternative for comparison.
-	m2 := scatteradd.NewMachine(scatteradd.DefaultConfig())
+	m2 := scatteradd.New()
 	addrs := make([]scatteradd.Addr, len(data))
 	for i, x := range data {
 		addrs[i] = scatteradd.Addr(x)
@@ -55,4 +55,18 @@ func main() {
 	sw := scatteradd.SortScan(m2, scatteradd.AddI64, addrs, []scatteradd.Word{scatteradd.I64(1)}, 0)
 	fmt.Printf("\nsoftware sort+segmented-scan: %d cycles (%.1fx slower)\n",
 		sw.Cycles, float64(sw.Cycles)/float64(res.Cycles))
+
+	// Fault injection is an option, not a different machine: under the
+	// default chaos mix (DRAM stalls and outages, combining-store scrubs,
+	// transient FU errors) the run costs extra cycles but the result is
+	// bit-exact — faults cost time, never correctness.
+	m3 := scatteradd.New(scatteradd.WithFaults(scatteradd.DefaultChaosFaults()))
+	chaosCounts, chaosRes := scatteradd.HistogramI64(m3, data, bins)
+	for i := range counts {
+		if chaosCounts[i] != counts[i] {
+			panic(fmt.Sprintf("bin %d diverged under faults: %d != %d", i, chaosCounts[i], counts[i]))
+		}
+	}
+	fmt.Printf("\nunder chaos fault injection: %d cycles (%+.1f%%), histogram bit-identical\n",
+		chaosRes.Cycles, 100*(float64(chaosRes.Cycles)/float64(res.Cycles)-1))
 }

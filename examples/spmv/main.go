@@ -28,19 +28,19 @@ func main() {
 	}
 	variants := []variant{
 		{"CSR (gather, no scatter-add)", func() scatteradd.Result {
-			m := scatteradd.NewMachine(scatteradd.DefaultConfig())
+			m := scatteradd.New()
 			r := s.RunCSR(m)
 			check(s.Verify(m))
 			return r
 		}},
 		{"EBE + software scatter-add", func() scatteradd.Result {
-			m := scatteradd.NewMachine(scatteradd.DefaultConfig())
+			m := scatteradd.New()
 			r := s.RunEBESW(m, 0)
 			check(s.Verify(m))
 			return r
 		}},
 		{"EBE + hardware scatter-add", func() scatteradd.Result {
-			m := scatteradd.NewMachine(scatteradd.DefaultConfig())
+			m := scatteradd.New()
 			r := s.RunEBEHW(m)
 			check(s.Verify(m))
 			return r

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"scatteradd/internal/dram"
+	"scatteradd/internal/fault"
 	"scatteradd/internal/mem"
 	"scatteradd/internal/sim"
 	"scatteradd/internal/span"
@@ -86,6 +87,8 @@ type Stats struct {
 	WCBMerges    uint64 // writes absorbed by the write-combining buffer
 	WCBFullLines uint64 // fully written lines sent to DRAM without a fill
 	WCBSpills    uint64 // partial lines spilled via fetch-and-merge
+
+	PartialScrubs uint64 // evicted partial lines that needed a parity scrub
 }
 
 type line struct {
@@ -130,6 +133,11 @@ const fullMask = uint8(1<<mem.LineWords - 1)
 // write-combining entry, so they can never alias a traced upstream ID.
 const wcbReplayID = uint64(1) << 63
 
+// partialScrubCycles is the fixed cost of a parity scrub on an evicted
+// partial-sum line: the line is re-read from the data array and re-checked
+// before it may leave the bank as a sum-back.
+const partialScrubCycles = 16
+
 // metrics are the bank's performance counters: the contention and occupancy
 // events behind the paper's hot-bank effect (§4.3, Figure 7).
 type metrics struct {
@@ -142,6 +150,9 @@ type metrics struct {
 	evictions     *stats.Counter
 	writeBacks    *stats.Counter
 	stallCycles   *stats.Counter // cycles the head request could not proceed
+
+	// Fault counters (zero unless injection is configured).
+	faultScrubs *stats.Counter // evicted partial lines held for a parity scrub
 }
 
 func newMetrics(mshrs, wcbEntries int) metrics {
@@ -159,6 +170,8 @@ func newMetrics(mshrs, wcbEntries int) metrics {
 		evictions:     g.Counter("evictions"),
 		writeBacks:    g.Counter("write_backs"),
 		stallCycles:   g.Counter("stall_cycles"),
+
+		faultScrubs: g.Counter("fault_partial_scrubs"),
 	}
 }
 
@@ -188,6 +201,12 @@ type Bank struct {
 
 	tr    *span.Tracer
 	track string
+
+	// Fault injection (nil when disabled): evicted partial-sum lines whose
+	// parity check fires pass through scrubQ (a fixed re-check delay) before
+	// surfacing in evictQ.
+	partialInj *fault.Injector
+	scrubQ     *sim.Delay[EvictedLine]
 }
 
 // NewBank constructs bank index of a cache described by cfg, backed by d.
@@ -246,6 +265,24 @@ func (b *Bank) SetSpanTracer(tr *span.Tracer, track string) {
 	b.track = track
 }
 
+// SetFaults installs fault injection. inst salts the injector stream so
+// every bank draws its own schedule. The one cache fault class is a parity
+// fault on an evicted partial-sum line (CombineLocal mode): the line is held
+// in a scrub pipe for partialScrubCycles and re-checked before it may leave
+// as a sum-back — detected and recovered, never silently corrupting. One
+// draw per evicted partial line keeps legacy and fast-forward stepping on
+// identical schedules.
+func (b *Bank) SetFaults(fc fault.Config, inst string) {
+	b.partialInj = fault.NewInjector(fc.Seed, inst+".cache.partial", fc.CSCorruptRate)
+	if b.partialInj != nil {
+		b.scrubQ = sim.NewDelay[EvictedLine](partialScrubCycles, b.cfg.WBQDepth)
+	}
+}
+
+// FaultCount returns the number of parity scrubs this bank has performed —
+// the signal the node watches against its degradation threshold.
+func (b *Bank) FaultCount() uint64 { return b.stats.PartialScrubs }
+
 // BankOf maps a line-aligned address to its bank number. Successive lines
 // map to successive banks; a narrow index range therefore concentrates on
 // few banks — the paper's "hot bank effect" (§4.3, Figure 7).
@@ -297,7 +334,7 @@ func (b *Bank) lineAddrOf(set int, tag uint64) mem.Addr {
 
 // evict removes the line at (set, way), queueing any write-back or sum-back.
 // It reports whether eviction was possible (queues had room).
-func (b *Bank) evict(set, way int) bool {
+func (b *Bank) evict(now uint64, set, way int) bool {
 	ln := &b.lines[set*b.cfg.Ways+way]
 	if !ln.valid {
 		return true
@@ -305,10 +342,20 @@ func (b *Bank) evict(set, way int) bool {
 	addr := b.lineAddrOf(set, ln.tag)
 	if ln.dirty {
 		if ln.partial {
-			if b.evictQ.Full() {
+			if b.evictQ.Full() || (b.scrubQ != nil && b.scrubQ.Full()) {
 				return false
 			}
-			b.evictQ.MustPush(EvictedLine{Line: addr, Kind: ln.kind, Data: ln.data})
+			ev := EvictedLine{Line: addr, Kind: ln.kind, Data: ln.data}
+			if b.partialInj.Fire() {
+				// Injected parity fault: the line re-checks through the
+				// scrub pipe before it may leave as a sum-back. One draw
+				// per evicted partial line.
+				b.scrubQ.Push(now, ev)
+				b.stats.PartialScrubs++
+				b.met.faultScrubs.Inc()
+			} else {
+				b.evictQ.MustPush(ev)
+			}
 			b.stats.SumBacks++
 		} else {
 			if b.wbQ.Full() {
@@ -330,7 +377,7 @@ func (b *Bank) evict(set, way int) bool {
 func (b *Bank) install(now uint64, a mem.Addr, data [mem.LineWords]mem.Word, partial bool) bool {
 	set, tag := b.setTag(a)
 	way := b.victim(set)
-	if way < 0 || !b.evict(set, way) {
+	if way < 0 || !b.evict(now, set, way) {
 		return false
 	}
 	ln := &b.lines[set*b.cfg.Ways+way]
@@ -527,7 +574,16 @@ func (b *Bank) Tick(now uint64) {
 
 	// Flush walk: evict up to one line per cycle.
 	if b.flushing {
-		b.stepFlush()
+		b.stepFlush(now)
+	}
+
+	// Surface scrubbed partial lines whose re-check has completed.
+	for b.scrubQ != nil && !b.evictQ.Full() {
+		ev, ok := b.scrubQ.Pop(now)
+		if !ok {
+			break
+		}
+		b.evictQ.MustPush(ev)
 	}
 
 	// Drain write-backs to DRAM.
@@ -562,7 +618,13 @@ func (b *Bank) NextEvent(now uint64) uint64 {
 			return now
 		}
 	}
-	return b.respQ.NextReady()
+	ev := b.respQ.NextReady()
+	if b.scrubQ != nil {
+		if t := b.scrubQ.NextReady(); t < ev {
+			ev = t
+		}
+	}
+	return ev
 }
 
 // Skip applies the per-cycle occupancy samples of cycles skipped idle Ticks.
@@ -772,12 +834,12 @@ func (b *Bank) StartFlush() {
 }
 
 // stepFlush evicts the next valid line, one per cycle.
-func (b *Bank) stepFlush() {
+func (b *Bank) stepFlush(now uint64) {
 	for b.flushPos < len(b.lines) {
 		i := b.flushPos
 		if b.lines[i].valid {
 			set, way := i/b.cfg.Ways, i%b.cfg.Ways
-			if !b.evict(set, way) {
+			if !b.evict(now, set, way) {
 				return // queue full; retry next cycle
 			}
 			b.flushPos++
@@ -795,6 +857,9 @@ func (b *Bank) Flushing() bool { return b.flushing }
 // clean/dirty resident lines, which persist across phases).
 func (b *Bank) Busy() bool {
 	if !b.inQ.Empty() || b.respQ.Len() > 0 || !b.wbQ.Empty() || !b.evictQ.Empty() || b.flushing {
+		return true
+	}
+	if b.scrubQ != nil && b.scrubQ.Len() > 0 {
 		return true
 	}
 	for i := range b.mshrs {

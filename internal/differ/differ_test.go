@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"scatteradd/internal/exp"
+	"scatteradd/internal/fault"
 )
 
 // figsUnderTest returns the figure set to diff: FFDIFF_FIGS narrows it for
@@ -88,6 +89,32 @@ func TestFastForwardJobsInvariance(t *testing.T) {
 	}
 	if err := Compare(ff, legacy); err != nil {
 		t.Fatalf("fig 6 at jobs=4 (fast-forward) vs jobs=1 (per-cycle): %v", err)
+	}
+}
+
+// TestFastForwardEquivalenceWithFaults extends the differential gate to
+// fault-injected runs: with every injector firing at the default chaos rate,
+// fast-forward and per-cycle stepping must still be indistinguishable. This
+// is the strongest form of the injectors' event-grain determinism contract —
+// fault draws happen only at granted/issued/retired events, which both
+// stepping modes execute identically. Fig. 6 covers the single-node memory
+// system (DRAM stalls and windows, partial scrubs, FU retries); Fig. 13
+// covers the multi-node link layer (drops, duplications, retries, dedup)
+// and combining-store degradation.
+func TestFastForwardEquivalenceWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential gate runs full figure suites")
+	}
+	scale := scaleUnderTest(t) * 2 // chaos runs are slower; shrink the data
+	for _, fig := range []int{6, 13} {
+		fig := fig
+		t.Run(fmt.Sprintf("fig%d", fig), func(t *testing.T) {
+			t.Parallel()
+			o := exp.Options{Scale: scale, Jobs: 1, Faults: fault.DefaultChaos()}
+			if err := Diff(fig, o); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

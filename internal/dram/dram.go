@@ -20,6 +20,7 @@ package dram
 import (
 	"fmt"
 
+	"scatteradd/internal/fault"
 	"scatteradd/internal/mem"
 	"scatteradd/internal/sim"
 	"scatteradd/internal/span"
@@ -127,6 +128,12 @@ type channel struct {
 	busFree uint64 // first cycle the data bus is free
 	pending []pendingResp
 	resps   []LineResp
+
+	// Fault injection: the channel's outage-window schedule, and a cursor
+	// (last issue cycle) so entered windows are counted at transaction grain
+	// — both stepping modes issue at identical cycles, so the counts match.
+	windows   *fault.Windows
+	winCursor uint64
 }
 
 // metrics are the DRAM performance counters: row-buffer locality and channel
@@ -140,6 +147,11 @@ type metrics struct {
 	reads      *stats.Counter
 	writes     *stats.Counter
 	queueDepth *stats.Gauge // total queued requests across channels (high-water)
+
+	// Fault counters (zero unless injection is configured).
+	faultStalls      *stats.Counter // transactions that suffered an injected timeout
+	faultStallCycles *stats.Counter // extra latency charged by injected timeouts
+	faultWindows     *stats.Counter // channel outage windows entered before an issue
 }
 
 func newMetrics() metrics {
@@ -153,6 +165,10 @@ func newMetrics() metrics {
 		reads:      g.Counter("reads"),
 		writes:     g.Counter("writes"),
 		queueDepth: g.Gauge("queue_depth"),
+
+		faultStalls:      g.Counter("fault_stalls"),
+		faultStallCycles: g.Counter("fault_stall_cycles"),
+		faultWindows:     g.Counter("fault_windows"),
 	}
 }
 
@@ -167,6 +183,10 @@ type DRAM struct {
 	rrChan   int // round-robin pointer for response draining
 	tr       *span.Tracer
 	track    string
+
+	// Fault injection (nil/zero when disabled).
+	stallInj    *fault.Injector
+	stallCycles uint64
 }
 
 // New returns a DRAM with the given configuration, owning a fresh store.
@@ -205,6 +225,31 @@ func (d *DRAM) Config() Config { return d.cfg }
 func (d *DRAM) SetSpanTracer(tr *span.Tracer, track string) {
 	d.tr = tr
 	d.track = track
+}
+
+// SetFaults installs fault injection. inst salts the injector streams so
+// every DRAM instance (one per node in multi-node systems) gets its own
+// deterministic schedule. Two fault classes apply:
+//
+//   - Per-transaction stalls: with probability DRAMStallRate a scheduled
+//     transaction times out and retries internally, charging DRAMStallCycles
+//     of extra latency. The Bernoulli draw happens once per issued
+//     transaction, so legacy and fast-forward stepping consume the stream
+//     identically.
+//
+//   - Channel outage windows: each channel owns a stateless fault.Windows
+//     schedule during which it issues nothing. The schedule is a pure
+//     function of the cycle number, so NextEvent can defer past windows
+//     exactly and the fast-forward engine never lands inside one blind.
+func (d *DRAM) SetFaults(fc fault.Config, inst string) {
+	fc = fc.WithDefaults()
+	d.stallInj = fault.NewInjector(fc.Seed, inst+".dram.stall", fc.DRAMStallRate)
+	d.stallCycles = uint64(fc.DRAMStallCycles)
+	for ci := range d.channels {
+		d.channels[ci].windows = fault.NewWindows(fc.Seed,
+			fmt.Sprintf("%s.dram.window[%d]", inst, ci),
+			fc.DRAMWindowEvery, fc.DRAMWindowSpan, fc.DRAMWindowRate)
+	}
 }
 
 // lineIndex returns the global line number of a line-aligned address.
@@ -259,6 +304,9 @@ func (d *DRAM) schedule(now uint64, ch *channel) int {
 	if ch.busFree > now {
 		return -1
 	}
+	if _, blocked := ch.windows.Blocked(now); blocked {
+		return -1 // injected channel outage: nothing issues
+	}
 	pick := -1
 	if d.cfg.Policy == FRFCFS {
 		// First pass: oldest row hit on a ready bank.
@@ -306,6 +354,19 @@ func (d *DRAM) Tick(now uint64) {
 		b, row := d.bankRowOf(cr.req.Line)
 		bk := &ch.banks[b]
 		lat := uint64(d.cfg.TCas)
+		if ch.windows != nil {
+			// Charge outage windows entered since the previous issue; both
+			// stepping modes issue at identical cycles, so counts match.
+			d.met.faultWindows.Add(ch.windows.CountIn(ch.winCursor, now))
+			ch.winCursor = now
+		}
+		if d.stallInj.Fire() {
+			// Injected timeout: the transaction retries internally and
+			// completes late. One draw per issued transaction.
+			lat += d.stallCycles
+			d.met.faultStalls.Inc()
+			d.met.faultStallCycles.Add(d.stallCycles)
+		}
 		rowHit := bk.openRow == row
 		if rowHit {
 			d.stats.RowHits++
@@ -369,7 +430,7 @@ func (d *DRAM) NextEvent(now uint64) uint64 {
 			ev = ch.pending[0].ready
 		}
 		if len(ch.queue) > 0 {
-			if t := d.nextIssue(ch); t < ev {
+			if t := d.nextIssue(now, ch); t < ev {
 				ev = t
 			}
 		}
@@ -380,9 +441,10 @@ func (d *DRAM) NextEvent(now uint64) uint64 {
 	return ev
 }
 
-// nextIssue returns the earliest cycle at which ch can start a queued
-// transaction under the configured policy.
-func (d *DRAM) nextIssue(ch *channel) uint64 {
+// nextIssue returns the earliest cycle >= now at which ch can start a
+// queued transaction under the configured policy, deferred past any injected
+// outage window.
+func (d *DRAM) nextIssue(now uint64, ch *channel) uint64 {
 	var bankReady uint64
 	if d.cfg.Policy == FIFO {
 		// Strict order: only the head request can issue.
@@ -397,10 +459,15 @@ func (d *DRAM) nextIssue(ch *channel) uint64 {
 			}
 		}
 	}
-	if ch.busFree > bankReady {
-		return ch.busFree
+	t := bankReady
+	if ch.busFree > t {
+		t = ch.busFree
 	}
-	return bankReady
+	if t < now {
+		t = now
+	}
+	// An injected channel outage defers the issue to the window's end.
+	return ch.windows.Defer(t)
 }
 
 // Skip is a no-op: the DRAM keeps no per-cycle counters while idle (bus

@@ -17,6 +17,10 @@ import (
 // AblationDRAMSched compares FR-FCFS memory access scheduling (the paper's
 // cited mechanism) against strict FIFO on a cache-hostile histogram.
 func AblationDRAMSched(o Options) Table {
+	return o.checkpointed("ablation-dram-sched", ablationDRAMSched)
+}
+
+func ablationDRAMSched(o Options) Table {
 	t := Table{
 		Title:  "Ablation: DRAM scheduling policy (histogram n=16384, range 1M)",
 		Header: []string{"policy", "us", "row_hit_rate"},
@@ -28,6 +32,7 @@ func AblationDRAMSched(o Options) Table {
 		cfg := machine.DefaultConfig()
 		cfg.DRAM.Policy = pol
 		cfg.LegacyStepping = o.Legacy
+		cfg.Faults = o.Faults
 		m := machine.New(cfg)
 		h := apps.NewHistogram(n, 1<<20, o.seed(0xAB1))
 		res := h.RunHW(m)
@@ -43,6 +48,10 @@ func AblationDRAMSched(o Options) Table {
 // paper's Figure 4a placement) against a single unit at a single memory
 // interface port.
 func AblationSAPlacement(o Options) Table {
+	return o.checkpointed("ablation-sa-placement", ablationSAPlacement)
+}
+
+func ablationSAPlacement(o Options) Table {
 	t := Table{
 		Title:  "Ablation: scatter-add unit placement (histogram n=16384, range 2048)",
 		Header: []string{"placement", "us"},
@@ -56,6 +65,7 @@ func AblationSAPlacement(o Options) Table {
 		cfg.Cache.PortWidth = 8 / banks // keep total cache bandwidth fixed
 		cfg.SA.PortWidth = 8 / banks
 		cfg.LegacyStepping = o.Legacy
+		cfg.Faults = o.Faults
 		m := machine.New(cfg)
 		h := apps.NewHistogram(n, 2048, o.seed(0xAB2))
 		res := h.RunHW(m)
@@ -72,6 +82,10 @@ func AblationSAPlacement(o Options) Table {
 // AblationBatchSize sweeps the software sort&scan batch size (the paper
 // reports 256 as its optimum on Merrimac).
 func AblationBatchSize(o Options) Table {
+	return o.checkpointed("ablation-batch-size", ablationBatchSize)
+}
+
+func ablationBatchSize(o Options) Table {
 	t := Table{
 		Title:  "Ablation: sort&scan batch size (histogram n=8192, range 2048)",
 		Header: []string{"batch", "us"},
@@ -94,6 +108,10 @@ func AblationBatchSize(o Options) Table {
 // EagerCombine extension (pre-combining buffered operands while the memory
 // value is outstanding) on a high-collision histogram.
 func AblationEagerCombine(o Options) Table {
+	return o.checkpointed("ablation-eager-combine", ablationEagerCombine)
+}
+
+func ablationEagerCombine(o Options) Table {
 	t := Table{
 		Title:  "Ablation: eager operand pre-combining (histogram n=16384, range 64)",
 		Header: []string{"mode", "us", "fu_ops"},
@@ -105,6 +123,7 @@ func AblationEagerCombine(o Options) Table {
 		cfg := machine.DefaultConfig()
 		cfg.SA.EagerCombine = eager
 		cfg.LegacyStepping = o.Legacy
+		cfg.Faults = o.Faults
 		m := machine.New(cfg)
 		h := apps.NewHistogram(n, 64, o.seed(0xAB4))
 		res := h.RunHW(m)
@@ -126,7 +145,9 @@ func AblationEagerCombine(o Options) Table {
 // equalization kernel waits for the scatter-add to drain; with an
 // asynchronous scatter-add it runs concurrently on the clusters (the
 // equalization of the *previous* frame, in a streaming pipeline).
-func AblationOverlap(o Options) Table {
+func AblationOverlap(o Options) Table { return o.checkpointed("ablation-overlap", ablationOverlap) }
+
+func ablationOverlap(o Options) Table {
 	t := Table{
 		Title:  "Ablation: overlapping scatter-add with compute (histogram + equalization kernel)",
 		Header: []string{"schedule", "us"},
@@ -174,6 +195,10 @@ func AblationOverlap(o Options) Table {
 // write (the scatter phase of §3.1): full-line combining eliminates the
 // fill traffic that write-allocate pays.
 func AblationWritePolicy(o Options) Table {
+	return o.checkpointed("ablation-write-policy", ablationWritePolicy)
+}
+
+func ablationWritePolicy(o Options) Table {
 	t := Table{
 		Title:  "Ablation: cache write policy on a 32K-word result stream",
 		Header: []string{"policy", "us", "dram_reads", "dram_writes"},
@@ -189,6 +214,7 @@ func AblationWritePolicy(o Options) Table {
 		cfg := machine.DefaultConfig()
 		cfg.Cache.WriteNoAllocate = noAlloc
 		cfg.LegacyStepping = o.Legacy
+		cfg.Faults = o.Faults
 		m := machine.New(cfg)
 		res := m.RunOp(machine.StoreStream("result", 0, vals))
 		m.FlushCaches()
@@ -213,6 +239,10 @@ func AblationWritePolicy(o Options) Table {
 // trace (one node owns every target bin), where linear sum-back funnels all
 // other nodes' partial lines into the owner's single network port.
 func AblationHierarchical(o Options) Table {
+	return o.checkpointed("ablation-hierarchical", ablationHierarchical)
+}
+
+func ablationHierarchical(o Options) Table {
 	t := Table{
 		Title:  "Ablation: linear vs hierarchical (logarithmic) multi-node combining (hot-owner histogram)",
 		Header: []string{"sum-back", "nodes", "GB/s"},
@@ -243,6 +273,7 @@ func AblationHierarchical(o Options) Table {
 		cfg.Combining = true
 		cfg.Hierarchical = p.hier
 		cfg.LegacyStepping = o.Legacy
+		cfg.Faults = o.Faults
 		s := multinode.New(cfg, mem.AddI64)
 		res := s.RunTrace(refs)
 		label := "linear"
@@ -257,6 +288,10 @@ func AblationHierarchical(o Options) Table {
 // AblationCombiningStore sweeps the combining-store size on the full
 // machine (the paper sweeps it only on the simplified memory of §4.4).
 func AblationCombiningStore(o Options) Table {
+	return o.checkpointed("ablation-combining-store", ablationCombiningStore)
+}
+
+func ablationCombiningStore(o Options) Table {
 	t := Table{
 		Title:  "Ablation: combining-store entries on the full machine (histogram n=16384, range 64K)",
 		Header: []string{"entries", "us"},
@@ -268,6 +303,7 @@ func AblationCombiningStore(o Options) Table {
 		cfg := machine.DefaultConfig()
 		cfg.SA.Entries = entries
 		cfg.LegacyStepping = o.Legacy
+		cfg.Faults = o.Faults
 		m := machine.New(cfg)
 		h := apps.NewHistogram(n, 65536, o.seed(0xAB5))
 		res := h.RunHW(m)

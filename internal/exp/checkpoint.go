@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// This file implements figure-level checkpoint/resume for experiment sweeps
+// (Options.CheckpointDir). Each figure's rendered Table is snapshotted to
+// <dir>/<name>.json the moment it completes; a later run with matching
+// options is served from the snapshot instead of re-simulating. The unit of
+// work is one whole figure — every table is assembled deterministically from
+// its runs, so "completed" is the only state worth persisting, and a sweep
+// killed between figures resumes byte-identically from the survivors.
+//
+// Writes are atomic (temp file + rename in the same directory), so a kill
+// mid-write leaves either the old snapshot or none, never a torn file. A
+// snapshot that fails to parse, or whose recorded options fingerprint does
+// not match, is treated as absent and recomputed.
+
+// checkpointFile is the on-disk snapshot of one completed figure.
+type checkpointFile struct {
+	Fingerprint string // options that produced the table (see fingerprint)
+	Table       Table
+}
+
+// fingerprint encodes every option that can change a figure's output. Jobs
+// is deliberately absent: the worker count never changes rendered bytes
+// (TestReportDeterministicAcrossJobs), so a 1-job resume of an 8-job sweep
+// still hits its snapshots.
+func (o Options) fingerprint() string {
+	return fmt.Sprintf("scale=%d seed=%d stats=%v spans=%v rate=%d legacy=%v faults=%+v",
+		o.Scale, o.Seed, o.CollectStats, o.CollectSpans, o.spanRate(), o.Legacy, o.Faults)
+}
+
+// checkpointed returns the figure's snapshotted table when a valid one
+// exists, otherwise generates it with gen and snapshots the result. With no
+// CheckpointDir it is exactly gen(o).
+func (o Options) checkpointed(name string, gen func(Options) Table) Table {
+	if o.CheckpointDir == "" {
+		return gen(o)
+	}
+	path := filepath.Join(o.CheckpointDir, name+".json")
+	if t, ok := o.loadCheckpoint(path); ok {
+		return t
+	}
+	t := gen(o)
+	o.saveCheckpoint(path, t)
+	return t
+}
+
+// loadCheckpoint reads and validates one snapshot. Any failure — missing
+// file, torn or corrupt JSON, an options mismatch — reports !ok, which means
+// "recompute", never an error: checkpoints are an accelerator, not a source
+// of truth.
+func (o Options) loadCheckpoint(path string) (Table, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Table{}, false
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return Table{}, false
+	}
+	if cf.Fingerprint != o.fingerprint() {
+		return Table{}, false
+	}
+	return cf.Table, true
+}
+
+// saveCheckpoint atomically persists one completed figure. Failures are
+// deliberately silent beyond a stderr note: a read-only or full disk should
+// degrade a sweep to uncheckpointed, not kill it after the work is done.
+func (o Options) saveCheckpoint(path string, t Table) {
+	data, err := json.MarshalIndent(checkpointFile{Fingerprint: o.fingerprint(), Table: t}, "", " ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "exp: checkpoint %s: %v\n", path, err)
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "exp: checkpoint %s: %v\n", path, err)
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "exp: checkpoint %s: %v\n", path, err)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		fmt.Fprintf(os.Stderr, "exp: checkpoint %s: write failed\n", path)
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		fmt.Fprintf(os.Stderr, "exp: checkpoint %s: %v\n", path, err)
+	}
+}

@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scatteradd/internal/fault"
+)
+
+// quickOpts returns tiny-scale options writing checkpoints into dir
+// (Scale 32 keeps exactly one Fig6 input size, so runs still happen).
+func quickOpts(dir string) Options {
+	return Options{Scale: 32, Jobs: 2, CheckpointDir: dir}
+}
+
+// TestCheckpointRoundTrip: a figure computed once is served from its
+// snapshot afterward, byte-for-byte.
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	o := quickOpts(dir)
+	t1 := Fig6(o)
+	path := filepath.Join(dir, "fig6.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	// Prove the second call is served from disk: plant a sentinel title in
+	// the snapshot and watch it come back.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		t.Fatal(err)
+	}
+	if cf.Table.String() != t1.String() {
+		t.Fatal("snapshot does not round-trip the rendered table")
+	}
+	cf.Table.Title = "SENTINEL"
+	planted, _ := json.Marshal(cf)
+	if err := os.WriteFile(path, planted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if t2 := Fig6(o); t2.Title != "SENTINEL" {
+		t.Fatalf("second call recomputed instead of loading the snapshot (title %q)", t2.Title)
+	}
+}
+
+// TestCheckpointCorruptAndMismatch: torn snapshots and option changes both
+// force a recompute; the recomputed table matches the original.
+func TestCheckpointCorruptAndMismatch(t *testing.T) {
+	dir := t.TempDir()
+	o := quickOpts(dir)
+	t1 := Fig6(o)
+	path := filepath.Join(dir, "fig6.json")
+
+	// Corrupt JSON (a kill mid-write can at worst leave the old file, but a
+	// corrupt one must still be survivable).
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if t2 := Fig6(o); t2.String() != t1.String() {
+		t.Fatal("recompute after corruption diverged from the original")
+	}
+	if _, ok := o.loadCheckpoint(path); !ok {
+		t.Fatal("recompute did not rewrite a valid snapshot")
+	}
+
+	// A different option fingerprint must not be served the old table.
+	o2 := o
+	o2.Seed = 99
+	if t3 := Fig6(o2); t3.String() == t1.String() {
+		t.Fatal("seed change produced an identical table — likely served stale checkpoint")
+	}
+	if t4 := Fig6(o2); t4.String() == t1.String() {
+		t.Fatal("stale checkpoint served after fingerprint change")
+	}
+}
+
+// TestCheckpointWithAppendices: counter and span appendices survive the JSON
+// round trip byte-for-byte (they are part of the rendered output).
+func TestCheckpointWithAppendices(t *testing.T) {
+	dir := t.TempDir()
+	o := quickOpts(dir)
+	o.CollectStats = true
+	o.CollectSpans = true
+	t1 := Fig6(o)
+	if !strings.Contains(t1.String(), "counter appendix") {
+		t.Fatal("expected a counter appendix in the rendered table")
+	}
+	t2 := Fig6(o) // served from snapshot
+	if t1.String() != t2.String() {
+		t.Fatal("appendices did not survive the checkpoint round trip")
+	}
+}
+
+// TestFaultedFigureDeterministicAcrossJobs: with chaos-rate injection, a
+// figure's rendered output is identical for every worker count — the fault
+// schedule is a function of (seed, component, event index), not scheduling.
+func TestFaultedFigureDeterministicAcrossJobs(t *testing.T) {
+	run := func(jobs int) string {
+		o := Options{Scale: 256, Jobs: jobs, Faults: fault.DefaultChaos()}
+		return Fig13(o).String()
+	}
+	seq := run(1)
+	if par := run(4); par != seq {
+		t.Fatal("faulted Fig13 output depends on worker count")
+	}
+	if unfaulted := Fig13(Options{Scale: 256, Jobs: 1}).String(); unfaulted == seq {
+		t.Fatal("chaos-rate faults left Fig13 timings untouched — injection not wired")
+	}
+}
+
+// TestFaultedCheckpointKeyedOnFaults: a snapshot taken with injection must
+// not be served to a fault-free request, and vice versa.
+func TestFaultedCheckpointKeyedOnFaults(t *testing.T) {
+	dir := t.TempDir()
+	base := quickOpts(dir)
+	faulted := base
+	faulted.Faults = fault.DefaultChaos()
+	tb := Fig13(base)
+	tf := Fig13(faulted)
+	if tb.String() == tf.String() {
+		t.Fatal("faulted and fault-free Fig13 identical — injection not wired")
+	}
+	if again := Fig13(base); again.String() != tb.String() {
+		t.Fatal("fault-free request served the faulted snapshot")
+	}
+	if again := Fig13(faulted); again.String() != tf.String() {
+		t.Fatal("faulted request served the fault-free snapshot")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"scatteradd/internal/fault"
 	"scatteradd/internal/machine"
 	"scatteradd/internal/stats"
 )
@@ -137,6 +138,18 @@ type Options struct {
 	// way (enforced by internal/differ); the option exists for that
 	// comparison and for performance attribution.
 	Legacy bool
+	// Faults injects deterministic hardware faults (network drops and
+	// duplications, DRAM stalls, combining-store parity scrubs, FU retries)
+	// into every simulation behind every figure. Recovery keeps reductions
+	// bit-exact; only the timing columns move. The zero value injects
+	// nothing and leaves all output byte-identical to an unfaulted run.
+	Faults fault.Config
+	// CheckpointDir, when non-empty, persists each completed figure's table
+	// to <dir>/<figure>.json and serves later requests with matching
+	// options from that snapshot, so a killed sweep resumes where it left
+	// off. Jobs does not participate in the match (output is identical for
+	// every worker count); every other option does.
+	CheckpointDir string
 }
 
 // DefaultOptions runs at the paper's full dataset sizes with one worker per

@@ -93,6 +93,7 @@ func runTracePoint(o Options, tr trace, tc traceConfig, nodes int) tracePointOut
 	cfg := multinode.DefaultConfig(nodes, tc.bandwidth, ownerSpan)
 	cfg.Combining = tc.combining
 	cfg.LegacyStepping = o.Legacy
+	cfg.Faults = o.Faults
 	s := multinode.New(cfg, tr.kind)
 	sp := o.newTracer()
 	s.SetSpanTracer(sp)
@@ -110,7 +111,9 @@ func runTracePoint(o Options, tr trace, tc traceConfig, nodes int) tracePointOut
 // Fig13 reproduces Figure 13: multi-node scatter-add throughput (GB/s) for
 // 1-8 nodes across the four traces and their network/combining
 // configurations.
-func Fig13(o Options) Table {
+func Fig13(o Options) Table { return o.checkpointed("fig13", fig13) }
+
+func fig13(o Options) Table {
 	t := Table{
 		Title:  "Figure 13: multi-node scatter-add bandwidth (GB/s) vs node count",
 		Header: []string{"config", "1", "2", "4", "8"},

@@ -72,7 +72,9 @@ func Fig9Input(o Options) *apps.SpMV {
 // Fig9 reproduces Figure 9: sparse matrix-vector multiplication as CSR,
 // EBE with software scatter-add, and EBE with hardware scatter-add —
 // execution cycles, FP operations, and memory references.
-func Fig9(o Options) Table {
+func Fig9(o Options) Table { return o.checkpointed("fig9", fig9) }
+
+func fig9(o Options) Table {
 	t := Table{
 		Title:  "Figure 9: SpMV — CSR vs EBE-SW vs EBE-HW (millions)",
 		Header: []string{"variant", "cycles_M", "fp_ops_M", "mem_refs_M"},
@@ -120,7 +122,9 @@ func Fig10Input(o Options) *apps.MolDyn {
 // Fig10 reproduces Figure 10: the GROMACS-like water force kernel without
 // scatter-add (duplicated computation), with software scatter-add, and with
 // hardware scatter-add.
-func Fig10(o Options) Table {
+func Fig10(o Options) Table { return o.checkpointed("fig10", fig10) }
+
+func fig10(o Options) Table {
 	t := Table{
 		Title:  "Figure 10: molecular dynamics — no-SA vs SW-SA vs HW-SA (millions)",
 		Header: []string{"variant", "cycles_M", "fp_ops_M", "mem_refs_M"},

@@ -13,6 +13,7 @@ import (
 func paperMachine(o Options) *machine.Machine {
 	cfg := machine.DefaultConfig()
 	cfg.LegacyStepping = o.Legacy
+	cfg.Faults = o.Faults
 	return machine.New(cfg)
 }
 
@@ -91,7 +92,9 @@ func runHistograms(o Options, runs []histRun) ([]uint64, stats.Snapshot, []SpanR
 // 256-8192 over a 2,048-bin range, hardware scatter-add versus software
 // sort + segmented scan. The paper reports both scaling O(n) with hardware
 // 3x-11x faster.
-func Fig6(o Options) Table {
+func Fig6(o Options) Table { return o.checkpointed("fig6", fig6) }
+
+func fig6(o Options) Table {
 	t := Table{
 		Title:  "Figure 6: histogram vs input length (range 2048), HW scatter-add vs sort&segmented-scan",
 		Header: []string{"n", "hw_us", "sortscan_us", "speedup"},
@@ -133,7 +136,9 @@ func Fig6(o Options) Table {
 // index ranges 1 to 4M. The paper shows the hardware's hot-bank penalty at
 // tiny ranges, a fast middle region, and a cache-overflow knee at large
 // ranges; sort&scan is flat until large ranges.
-func Fig7(o Options) Table {
+func Fig7(o Options) Table { return o.checkpointed("fig7", fig7) }
+
+func fig7(o Options) Table {
 	t := Table{
 		Title:  "Figure 7: histogram vs index range (n=32768), HW scatter-add vs sort&segmented-scan",
 		Header: []string{"range", "hw_us", "sortscan_us"},
@@ -164,7 +169,9 @@ func Fig7(o Options) Table {
 // scatter-add for input lengths 1,024 and 32,768 over ranges 128-8,192.
 // The paper shows privatization's O(m*n) cost growing with the range,
 // with hardware more than an order of magnitude faster at large ranges.
-func Fig8(o Options) Table {
+func Fig8(o Options) Table { return o.checkpointed("fig8", fig8) }
+
+func fig8(o Options) Table {
 	t := Table{
 		Title:  "Figure 8: histogram, HW scatter-add vs privatization (n in {1024, 32768})",
 		Header: []string{"range", "n", "hw_us", "privatization_us", "speedup"},

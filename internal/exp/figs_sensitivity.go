@@ -20,6 +20,7 @@ func sensitivityMachine(o Options, entries, fuLat, memLat, interval int) *machin
 	cfg.SA.InQDepth = 16
 	cfg.UniformMem = &machine.UniformMemConfig{Latency: memLat, Interval: interval}
 	cfg.LegacyStepping = o.Legacy
+	cfg.Faults = o.Faults
 	return machine.New(cfg)
 }
 
@@ -100,7 +101,9 @@ func sensitivityTable(o Options, t Table, cols []sensPoint, n, rng int) Table {
 // for memory latencies 8-256 (FU latency 4) and FU latencies 2-16 (memory
 // latency 16); memory throughput one word per 2 cycles; 512 inputs over
 // 65,536 bins.
-func Fig11(o Options) Table {
+func Fig11(o Options) Table { return o.checkpointed("fig11", fig11) }
+
+func fig11(o Options) Table {
 	t := Table{
 		Title:  "Figure 11: sensitivity to combining-store size, memory latency, and FU latency (us)",
 		Header: []string{"cs_entries", "mem8_fu4", "mem16_fu4", "mem64_fu4", "mem256_fu4", "mem16_fu2", "mem16_fu8", "mem16_fu16"},
@@ -122,7 +125,9 @@ func Fig11(o Options) Table {
 // Fig12 reproduces Figure 12: histogram runtime versus combining-store size
 // and memory throughput (1 word per 1/2/4/16 cycles) for 16 bins (high
 // combining locality) and 65,536 bins (no locality).
-func Fig12(o Options) Table {
+func Fig12(o Options) Table { return o.checkpointed("fig12", fig12) }
+
+func fig12(o Options) Table {
 	t := Table{
 		Title:  "Figure 12: sensitivity to combining-store size and memory throughput (us)",
 		Header: []string{"cs_entries", "int1_bins16", "int1_bins64K", "int2_bins16", "int2_bins64K", "int4_bins16", "int4_bins64K", "int16_bins16", "int16_bins64K"},

@@ -1,0 +1,112 @@
+package machine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"scatteradd/internal/fault"
+	"scatteradd/internal/mem"
+)
+
+// chaosMachine returns a Table 1 machine with every single-node injector
+// cranked high enough that a short run exercises stalls, windows, scrubs,
+// and FU retries.
+func chaosMachine(legacy bool) *Machine {
+	cfg := DefaultConfig()
+	fc := fault.DefaultChaos()
+	fc.DRAMStallRate = 0.05
+	fc.DRAMWindowEvery = 2_000
+	fc.DRAMWindowSpan = 100
+	fc.CSCorruptRate = 0.01
+	fc.FUErrorRate = 0.01
+	cfg.Faults = fc
+	cfg.LegacyStepping = legacy
+	return New(cfg)
+}
+
+// chaosOp builds a scatter-add over a hot address range (collisions force
+// combining-store residency, so corruption scrubs have something to hit).
+func chaosOp(n, rng int) Op {
+	addrs := make([]mem.Addr, n)
+	vals := make([]mem.Word, n)
+	state := uint64(0xC0FFEE)
+	for i := range addrs {
+		state = state*6364136223846793005 + 1442695040888963407
+		addrs[i] = mem.Addr(state % uint64(rng))
+		vals[i] = mem.I64(int64(i%7 + 1))
+	}
+	return ScatterAdd("chaos", mem.AddI64, addrs, vals)
+}
+
+// TestChaosMachineExact: with every injector firing, the machine's reduction
+// is still bit-exact — detected faults cost cycles, never sums.
+func TestChaosMachineExact(t *testing.T) {
+	const n, rng = 4096, 512
+	op := chaosOp(n, rng)
+	want := make(map[mem.Addr]int64)
+	for i := 0; i < n; i++ {
+		want[op.Addrs[i]] += mem.AsI64(op.Vals[i])
+	}
+
+	m := chaosMachine(false)
+	m.RunOp(op)
+	m.FlushCaches()
+	for a, w := range want {
+		if got := m.Store().LoadI64(a); got != w {
+			t.Fatalf("addr %d: got %d, want %d", a, got, w)
+		}
+	}
+
+	// The run must actually have been perturbed: at these rates a 4096-op
+	// trace fires every injector class.
+	fired := map[string]bool{}
+	for _, e := range m.StatsSnapshot().Entries {
+		if strings.Contains(e.Key, "fault_") && e.Val > 0 {
+			fired[e.Key[strings.LastIndex(e.Key, "/")+1:]] = true
+		}
+	}
+	for _, key := range []string{"fault_stalls", "fault_fu_retries"} {
+		if !fired[key] {
+			t.Errorf("injector %s never fired (fired: %v)", key, fired)
+		}
+	}
+}
+
+// TestChaosMachineFFMatchesLegacy: fault draws happen only at event grain,
+// so fast-forward and per-cycle stepping consume identical streams and land
+// on identical counters.
+func TestChaosMachineFFMatchesLegacy(t *testing.T) {
+	run := func(legacy bool) (uint64, interface{}) {
+		m := chaosMachine(legacy)
+		m.RunOp(chaosOp(2048, 256))
+		return m.Now(), m.StatsSnapshot()
+	}
+	ffCyc, ffSnap := run(false)
+	lgCyc, lgSnap := run(true)
+	if ffCyc != lgCyc {
+		t.Fatalf("fast-forward ran %d cycles, per-cycle %d", ffCyc, lgCyc)
+	}
+	if !reflect.DeepEqual(ffSnap, lgSnap) {
+		t.Fatal("counter snapshots diverge between stepping modes under faults")
+	}
+}
+
+// TestZeroFaultConfigIdentical: an explicit zero fault.Config is
+// indistinguishable from no fault configuration at all.
+func TestZeroFaultConfigIdentical(t *testing.T) {
+	run := func(withZero bool) (uint64, interface{}) {
+		cfg := DefaultConfig()
+		if withZero {
+			cfg.Faults = fault.Config{}
+		}
+		m := New(cfg)
+		m.RunOp(chaosOp(1024, 128))
+		return m.Now(), m.StatsSnapshot()
+	}
+	bc, bs := run(false)
+	zc, zs := run(true)
+	if bc != zc || !reflect.DeepEqual(bs, zs) {
+		t.Fatal("zero fault config perturbed the machine")
+	}
+}

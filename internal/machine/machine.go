@@ -21,6 +21,7 @@ import (
 
 	"scatteradd/internal/cache"
 	"scatteradd/internal/dram"
+	"scatteradd/internal/fault"
 	"scatteradd/internal/mem"
 	"scatteradd/internal/saunit"
 	"scatteradd/internal/sim"
@@ -54,6 +55,13 @@ type Config struct {
 	// UniformMem, when non-nil, replaces the cache and DRAM with a single
 	// scatter-add unit in front of a uniform word memory (§4.4).
 	UniformMem *UniformMemConfig
+
+	// Faults configures deterministic fault injection across the memory
+	// system (DRAM stalls and outage windows, combining-store parity scrubs,
+	// scatter-add FU retries). The zero value injects nothing and leaves the
+	// machine byte-identical to an unconfigured one. The uniform memory of
+	// the sensitivity study has no fault hooks; its runs are unaffected.
+	Faults fault.Config
 
 	// LegacyStepping forces per-cycle engine stepping, disabling the
 	// quiescence fast-forward path. Results are cycle-exact either way (the
@@ -329,15 +337,30 @@ func New(cfg Config) *Machine {
 	}
 	m := &Machine{cfg: cfg, eng: sim.NewEngine(), reg: stats.NewRegistry()}
 	m.met = newMetrics(m.reg.Group("machine"), cfg.AGs)
+	injecting := cfg.Faults.Enabled()
+	flt := cfg.Faults
+	if injecting {
+		flt = flt.WithDefaults()
+	}
 	if cfg.UniformMem != nil {
 		m.uniform = dram.NewUniform(cfg.UniformMem.Latency, cfg.UniformMem.Interval, 64)
 		m.sas = []*saunit.Unit{saunit.New(cfg.SA, m.uniform)}
+		if injecting {
+			m.sas[0].SetFaults(flt, "m.b0")
+		}
 	} else {
 		m.dram = dram.New(cfg.DRAM)
+		if injecting {
+			m.dram.SetFaults(flt, "m")
+		}
 		for i := 0; i < cfg.Cache.Banks; i++ {
 			b := cache.NewBank(cfg.Cache, i, m.dram, cache.Normal)
 			m.banks = append(m.banks, b)
 			m.sas = append(m.sas, saunit.New(cfg.SA, b))
+			if injecting {
+				b.SetFaults(flt, fmt.Sprintf("m.b%d", i))
+				m.sas[i].SetFaults(flt, fmt.Sprintf("m.b%d", i))
+			}
 		}
 	}
 	for i, sa := range m.sas {
@@ -420,6 +443,14 @@ func (m *Machine) StartTimeline(interval uint64) *stats.Timeline {
 
 // StopTimeline detaches the sampler installed by StartTimeline.
 func (m *Machine) StopTimeline() { m.eng.SetSampler(0, nil) }
+
+// SetSampler installs a raw periodic callback on the machine's engine,
+// invoked every interval cycles (including across fast-forwarded stretches).
+// It shares the engine's single sampler slot with StartTimeline; interval 0
+// or a nil fn detaches it.
+func (m *Machine) SetSampler(interval uint64, fn func(now uint64)) {
+	m.eng.SetSampler(interval, fn)
+}
 
 // unitFor routes an address to its scatter-add unit (one per cache bank; a
 // single unit in uniform-memory mode).

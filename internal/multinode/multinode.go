@@ -25,6 +25,7 @@ import (
 
 	"scatteradd/internal/cache"
 	"scatteradd/internal/dram"
+	"scatteradd/internal/fault"
 	"scatteradd/internal/mem"
 	"scatteradd/internal/network"
 	"scatteradd/internal/saunit"
@@ -39,6 +40,33 @@ import (
 // is used because bit 63 is reserved by the scatter-add unit for its own
 // internal memory traffic.
 const sumBackTag = uint64(1) << 62
+
+// frame is the link-layer envelope every network crossing uses. In the
+// default (fault-free) configuration a frame is just its request — seq stays
+// zero, no acks exist, and packet counts and timing are bit-identical to a
+// bare mem.Request network. With network faults injected, the link layer
+// activates: data frames carry a sequence number, receivers acknowledge and
+// deduplicate by seq (idempotent replay), and senders retransmit unacked
+// frames after a timeout with bounded exponential backoff.
+type frame struct {
+	req mem.Request
+	seq uint64 // link sequence (reliable mode only; 0 = unsequenced)
+	ack bool   // acknowledgment for seq; req is unused
+}
+
+// pendingFrame is a sent-but-unacked data frame held for retransmission.
+type pendingFrame struct {
+	f        frame
+	dst      int
+	deadline uint64 // cycle at which the frame retransmits
+	attempt  int    // transmissions so far beyond the first
+}
+
+// ackOut is a queued acknowledgment awaiting network injection.
+type ackOut struct {
+	seq uint64
+	dst int
+}
 
 // Ref is one scatter-add reference of a trace.
 type Ref struct {
@@ -63,6 +91,14 @@ type Config struct {
 	// LegacyStepping forces per-cycle stepping, disabling the quiescence
 	// fast-forward over dead cycles (kept for differential testing).
 	LegacyStepping bool
+
+	// Faults enables deterministic fault injection across the system (wire
+	// drops/duplications, DRAM stalls and outage windows, combining-store
+	// and partial-line parity faults, FU transients) plus the recovery
+	// machinery that keeps reductions bit-exact: the reliable link layer and
+	// combining-to-direct degradation. The zero value disables everything
+	// and leaves timing bit-identical to a build without injection.
+	Faults fault.Config
 
 	Net   network.Config
 	Cache cache.Config
@@ -99,6 +135,16 @@ type node struct {
 	issued int
 	inbox  *sim.Queue[mem.Request] // staged network arrivals
 	outbox *sim.Queue[mem.Request] // sum-backs and remote requests awaiting the network
+
+	// Reliable link layer (active only with network faults injected). The
+	// ackbox is deliberately unbounded: acks free sender resources rather
+	// than consume receiver ones, so bounding them would let data-plane
+	// back-pressure starve the very traffic that relieves it (an ack-credit
+	// deadlock, observed in practice under retransmission storms).
+	pending  []pendingFrame      // sent data frames awaiting acks, in seq order
+	seen     map[uint64]struct{} // delivered seqs, for duplicate-safe replay
+	ackbox   []ackOut            // acks awaiting network injection
+	degraded bool                // combining store tripped: fall back to direct
 }
 
 // Result reports a trace replay.
@@ -110,6 +156,11 @@ type Result struct {
 	NetStats network.Stats
 	SAReads  uint64 // memory reads issued by all scatter-add units
 	SumBacks uint64 // partial lines sent back in combining mode
+
+	// Resilience outcomes (zero without fault injection).
+	Retransmits uint64 // data frames re-sent after an ack timeout
+	DupsDropped uint64 // received duplicates discarded by seq dedup
+	Degraded    int    // nodes that fell back from combining to direct
 }
 
 // AddsPerCycle returns achieved scatter-add throughput.
@@ -119,12 +170,36 @@ func (r Result) AddsPerCycle() float64 { return float64(r.Adds) / float64(r.Cycl
 // cycle expressed in GB/s.
 func (r Result) GBps() float64 { return r.AddsPerCycle() * 8 }
 
+// linkMetrics are the reliable link layer's performance counters, adopted
+// into the registry only when network faults are injected (so fault-free
+// stats output is unchanged).
+type linkMetrics struct {
+	group    *stats.Group
+	retrans  *stats.Counter   // retransmissions after ack timeout
+	acks     *stats.Counter   // acknowledgments sent
+	dupRecv  *stats.Counter   // received duplicates dropped by dedup
+	degraded *stats.Counter   // nodes degraded from combining to direct
+	retries  *stats.Histogram // transmissions needed per acked frame (0 = first try)
+}
+
+func newLinkMetrics(maxRetries int) linkMetrics {
+	g := stats.NewGroup("link")
+	return linkMetrics{
+		group:    g,
+		retrans:  g.Counter("retransmits"),
+		acks:     g.Counter("acks_sent"),
+		dupRecv:  g.Counter("dups_dropped"),
+		degraded: g.Counter("nodes_degraded"),
+		retries:  g.Histogram("retries", maxRetries+1),
+	}
+}
+
 // System is the multi-node machine.
 type System struct {
 	cfg   Config
 	kind  mem.Kind
 	nodes []*node
-	xbar  *network.Crossbar[mem.Request]
+	xbar  *network.Crossbar[frame]
 	reg   *stats.Registry
 	now   uint64
 
@@ -132,6 +207,13 @@ type System struct {
 
 	tr         *span.Tracer
 	sumBackSeq uint64
+
+	// Fault injection and recovery (inactive on the zero config).
+	flt       fault.Config
+	reliable  bool // link-layer acks/retries/dedup engaged
+	degradeAt uint64
+	linkSeq   uint64
+	lmet      linkMetrics
 }
 
 // New constructs the system for traces of the given combine kind.
@@ -150,7 +232,16 @@ func New(cfg Config, kind mem.Kind) *System {
 			panic(fmt.Sprintf("multinode: Hierarchical requires a power-of-two node count, got %d", cfg.Nodes))
 		}
 	}
-	s := &System{cfg: cfg, kind: kind, xbar: network.New[mem.Request](cfg.Net), reg: stats.NewRegistry(), ff: !cfg.LegacyStepping}
+	s := &System{cfg: cfg, kind: kind, xbar: network.New[frame](cfg.Net), reg: stats.NewRegistry(), ff: !cfg.LegacyStepping}
+	injecting := cfg.Faults.Enabled()
+	if injecting {
+		s.flt = cfg.Faults.WithDefaults()
+		s.reliable = s.flt.NetFaults()
+		s.degradeAt = s.flt.DegradeThreshold
+		s.xbar.SetFaults(s.flt, "mn")
+		s.lmet = newLinkMetrics(s.flt.MaxRetries)
+		s.reg.Adopt("link", s.lmet.group)
+	}
 	s.reg.Adopt("net", s.xbar.StatsGroup())
 	for id := 0; id < cfg.Nodes; id++ {
 		n := &node{
@@ -159,16 +250,29 @@ func New(cfg Config, kind mem.Kind) *System {
 			inbox:  sim.NewQueue[mem.Request](64),
 			outbox: sim.NewQueue[mem.Request](64),
 		}
+		if injecting {
+			n.dram.SetFaults(s.flt, fmt.Sprintf("n%d", id))
+		}
+		if s.reliable {
+			n.seen = make(map[uint64]struct{})
+		}
 		s.reg.Adopt(fmt.Sprintf("dram[%d]", id), n.dram.StatsGroup())
 		for b := 0; b < cfg.Cache.Banks; b++ {
 			bank := cache.NewBank(cfg.Cache, b, n.dram, cache.Normal)
 			n.banks = append(n.banks, bank)
 			n.sas = append(n.sas, saunit.New(cfg.SA, bank))
+			if injecting {
+				bank.SetFaults(s.flt, fmt.Sprintf("n%d.b%d", id, b))
+				n.sas[b].SetFaults(s.flt, fmt.Sprintf("n%d.b%d", id, b))
+			}
 			s.reg.Adopt(fmt.Sprintf("cache[%d.%d]", id, b), bank.StatsGroup())
 			s.reg.Adopt(fmt.Sprintf("saunit[%d.%d]", id, b), n.sas[b].StatsGroup())
 			if cfg.Combining {
 				cb := cache.NewBank(cfg.Cache, b, nil, cache.CombineLocal)
 				cb.SetZeroKind(kind)
+				if injecting {
+					cb.SetFaults(s.flt, fmt.Sprintf("n%d.c%d", id, b))
+				}
 				n.comb = append(n.comb, cb)
 				s.reg.Adopt(fmt.Sprintf("comb[%d.%d]", id, b), cb.StatsGroup())
 			}
@@ -302,6 +406,13 @@ func (s *System) RunTrace(refs []Ref) Result {
 		for _, cb := range n.comb {
 			res.SumBacks += cb.Stats().SumBacks
 		}
+		if n.degraded {
+			res.Degraded++
+		}
+	}
+	if s.reliable {
+		res.Retransmits = s.lmet.retrans.Value()
+		res.DupsDropped = s.lmet.dupRecv.Value()
 	}
 	return res
 }
@@ -319,6 +430,17 @@ func (s *System) nextEvent() uint64 {
 		}
 		if n.issued < len(n.trace) || !n.inbox.Empty() || !n.outbox.Empty() {
 			return s.now
+		}
+		if s.reliable {
+			if len(n.ackbox) > 0 {
+				return s.now
+			}
+			// Unacked frames wake the system at their retransmit deadlines.
+			for i := range n.pending {
+				if d := n.pending[i].deadline; d < ev {
+					ev = d
+				}
+			}
 		}
 		for _, u := range n.sas {
 			if t := u.NextEvent(s.now); t < ev {
@@ -377,13 +499,39 @@ func (s *System) step() {
 // stepNode advances one node: network arrivals, trace issue, sum-back
 // draining, and component ticks.
 func (s *System) stepNode(n *node) {
-	// Stage network arrivals (bounded inbox exerts back-pressure).
-	for !n.inbox.Full() {
-		p, ok := s.xbar.Recv(n.id)
+	// Stage network arrivals. Ack frames are consumed unconditionally —
+	// they only shrink the sender's retransmission buffer, and holding them
+	// behind data-plane back-pressure would deadlock the link (the sender
+	// retransmits into the congestion the unread acks would clear). Data
+	// frames wait for inbox room, which drains through the scatter-add
+	// pipeline independently of the network.
+	for {
+		p, ok := s.xbar.Peek(n.id)
 		if !ok {
 			break
 		}
-		n.inbox.MustPush(p.Payload)
+		f := p.Payload
+		if f.ack {
+			s.xbar.Recv(n.id)
+			s.handleAck(n, f.seq)
+			continue
+		}
+		if n.inbox.Full() {
+			break
+		}
+		s.xbar.Recv(n.id)
+		if s.reliable {
+			// Always ack — the sender may be retrying a frame whose first
+			// ack was lost — but deliver each sequence number exactly once,
+			// which is what makes replayed scatter-adds idempotent.
+			n.ackbox = append(n.ackbox, ackOut{seq: f.seq, dst: p.Src})
+			if _, dup := n.seen[f.seq]; dup {
+				s.lmet.dupRecv.Inc()
+				continue
+			}
+			n.seen[f.seq] = struct{}{}
+		}
+		n.inbox.MustPush(f.req)
 	}
 	// Inject staged arrivals: owned addresses go to the local scatter-add
 	// path; in hierarchical combining, in-transit partials for other owners
@@ -441,6 +589,24 @@ func (s *System) stepNode(n *node) {
 			s.queueSumBack(n, ev)
 		}
 	}
+	// Reliable link maintenance: acks leave first (a starved ack path would
+	// turn every in-flight frame into a spurious retransmission), then
+	// overdue frames retransmit.
+	if s.reliable {
+		k := 0
+		for k < len(n.ackbox) {
+			a := n.ackbox[k]
+			if !s.xbar.Send(network.Packet[frame]{Src: n.id, Dst: a.dst, Payload: frame{seq: a.seq, ack: true}}) {
+				break
+			}
+			s.lmet.acks.Inc()
+			k++
+		}
+		if k > 0 {
+			n.ackbox = n.ackbox[:copy(n.ackbox, n.ackbox[k:])]
+		}
+		s.retransmit(n)
+	}
 	// Drain the outbox into the network (or locally, for own addresses).
 	for {
 		r, ok := n.outbox.Peek()
@@ -454,7 +620,7 @@ func (s *System) stepNode(n *node) {
 				break
 			}
 		} else {
-			if !s.xbar.Send(network.Packet[mem.Request]{Src: n.id, Dst: dst, Payload: r}) {
+			if !s.sendRemote(n, dst, r) {
 				break
 			}
 		}
@@ -470,6 +636,10 @@ func (s *System) stepNode(n *node) {
 	for _, cb := range n.comb {
 		cb.Tick(s.now)
 	}
+	// The degradation check runs right after the combining banks tick — the
+	// cycle a scrub crosses the threshold is a worked cycle in both stepping
+	// modes, so the combining-to-direct transition lands identically.
+	s.checkDegrade(n)
 	n.dram.Tick(s.now)
 	for {
 		r, ok := n.dram.PopResponse(s.now)
@@ -495,12 +665,98 @@ func (s *System) routeRequest(n *node, req mem.Request) bool {
 		u := n.localUnit(req.Addr)
 		return u.CanAccept(s.now) && u.Accept(s.now, req)
 	}
-	if s.cfg.Combining {
+	if s.cfg.Combining && !n.degraded {
 		// Local phase: combine into the node's own cache.
 		cb := n.combBank(req.Addr)
 		return cb.CanAccept(s.now) && cb.Accept(s.now, req)
 	}
-	return s.xbar.Send(network.Packet[mem.Request]{Src: n.id, Dst: dst, Payload: req})
+	return s.sendRemote(n, dst, req)
+}
+
+// sendRemote injects a data frame for req toward dst. In reliable mode the
+// frame gets the next link sequence number and is held for retransmission
+// until acked; the number is only consumed when the network accepts the
+// frame, so back-pressure never perforates the sequence space.
+func (s *System) sendRemote(n *node, dst int, req mem.Request) bool {
+	f := frame{req: req}
+	if s.reliable {
+		f.seq = s.linkSeq + 1
+	}
+	if !s.xbar.Send(network.Packet[frame]{Src: n.id, Dst: dst, Payload: f}) {
+		return false
+	}
+	if s.reliable {
+		s.linkSeq++
+		n.pending = append(n.pending, pendingFrame{
+			f: f, dst: dst, deadline: s.now + s.flt.RetryTimeout,
+		})
+	}
+	return true
+}
+
+// handleAck clears the acked frame from the node's retransmission buffer
+// and records how many transmissions it took. Acks for already-cleared
+// frames (duplicated acks, or acks racing a retransmission) are ignored.
+func (s *System) handleAck(n *node, seq uint64) {
+	for i := range n.pending {
+		if n.pending[i].f.seq != seq {
+			continue
+		}
+		s.lmet.retries.Observe(n.pending[i].attempt)
+		n.pending = append(n.pending[:i], n.pending[i+1:]...)
+		return
+	}
+}
+
+// retransmit re-sends every pending frame whose ack deadline has passed,
+// backing off exponentially (RetryTimeout << attempt, capped) and giving up
+// the run past MaxRetries — at that point the loss is not transient and no
+// bounded protocol recovers it.
+func (s *System) retransmit(n *node) {
+	for i := range n.pending {
+		pf := &n.pending[i]
+		if s.now < pf.deadline {
+			continue
+		}
+		if pf.attempt >= s.flt.MaxRetries {
+			panic(fmt.Sprintf("multinode: frame seq=%d to node %d unacked after %d attempts",
+				pf.f.seq, pf.dst, pf.attempt+1))
+		}
+		if !s.xbar.Send(network.Packet[frame]{Src: n.id, Dst: pf.dst, Payload: pf.f}) {
+			return // network back-pressure: retry next cycle, oldest first
+		}
+		pf.attempt++
+		s.lmet.retrans.Inc()
+		shift := pf.attempt
+		if shift > s.flt.RetryBackoffCap {
+			shift = s.flt.RetryBackoffCap
+		}
+		pf.deadline = s.now + s.flt.RetryTimeout<<uint(shift)
+	}
+}
+
+// checkDegrade trips a node from cache-combining to direct remote
+// scatter-add once its combining banks have scrubbed DegradeThreshold
+// parity faults: the store is deemed unreliable, resident partials flush
+// out to their owners, and every subsequent remote reference crosses the
+// network directly. Called immediately after the combining banks tick, so
+// both stepping modes observe the crossing at the same cycle.
+func (s *System) checkDegrade(n *node) {
+	if n.degraded || s.degradeAt == 0 || len(n.comb) == 0 {
+		return
+	}
+	var faults uint64
+	for _, cb := range n.comb {
+		faults += cb.FaultCount()
+	}
+	if faults < s.degradeAt {
+		return
+	}
+	n.degraded = true
+	s.lmet.degraded.Inc()
+	for _, cb := range n.comb {
+		cb.StartFlush()
+	}
 }
 
 // queueSumBack turns an evicted partial line into per-word scatter-add
@@ -545,6 +801,9 @@ func (s *System) done() bool {
 	}
 	for _, n := range s.nodes {
 		if n.issued < len(n.trace) || !n.inbox.Empty() || !n.outbox.Empty() {
+			return false
+		}
+		if s.reliable && (len(n.pending) > 0 || len(n.ackbox) > 0) {
 			return false
 		}
 		for _, u := range n.sas {

@@ -11,6 +11,7 @@ package network
 import (
 	"fmt"
 
+	"scatteradd/internal/fault"
 	"scatteradd/internal/sim"
 	"scatteradd/internal/span"
 	"scatteradd/internal/stats"
@@ -41,6 +42,8 @@ type Stats struct {
 	Sent      uint64 // packets accepted at input ports
 	Delivered uint64 // packets popped from output ports
 	Stalled   uint64 // cycles an input head packet could not traverse
+	Dropped   uint64 // packets lost to injected wire faults
+	Duped     uint64 // packets duplicated by injected wire faults
 }
 
 // metrics are the crossbar performance counters.
@@ -50,6 +53,10 @@ type metrics struct {
 	stalls    *stats.Counter // back-pressure: cycles an input with traffic sent nothing
 	sent      *stats.Counter
 	delivered *stats.Counter
+
+	// Fault counters (zero unless injection is configured).
+	faultDrops *stats.Counter // packets lost on the wire
+	faultDups  *stats.Counter // packets delivered twice
 }
 
 func newMetrics() metrics {
@@ -60,6 +67,9 @@ func newMetrics() metrics {
 		stalls:    g.Counter("backpressure_stall_cycles"),
 		sent:      g.Counter("sent"),
 		delivered: g.Counter("delivered"),
+
+		faultDrops: g.Counter("fault_drops"),
+		faultDups:  g.Counter("fault_dups"),
 	}
 }
 
@@ -73,6 +83,12 @@ type Crossbar[T any] struct {
 	stats   Stats
 	met     metrics
 	tr      *span.Tracer
+
+	// Fault injection (nil when disabled). Drops and duplications strike at
+	// the grant point — one draw per granted packet, in arbiter order, so
+	// legacy and fast-forward stepping consume the streams identically.
+	dropInj *fault.Injector
+	dupInj  *fault.Injector
 
 	// Per-Tick arbitration scratch, allocated once (the hot loop must not
 	// allocate): grants per output and sends per input this cycle.
@@ -109,6 +125,15 @@ func (x *Crossbar[T]) StatsGroup() *stats.Group { return x.met.group }
 // disables tracing.
 func (x *Crossbar[T]) SetSpanTracer(tr *span.Tracer) { x.tr = tr }
 
+// SetFaults installs wire fault injection: granted packets are dropped or
+// duplicated with the configured per-packet probabilities. inst salts the
+// injector streams. Loss is recovered end-to-end by the multinode link
+// layer, not by the crossbar itself.
+func (x *Crossbar[T]) SetFaults(fc fault.Config, inst string) {
+	x.dropInj = fault.NewInjector(fc.Seed, inst+".net.drop", fc.NetDropRate)
+	x.dupInj = fault.NewInjector(fc.Seed, inst+".net.dup", fc.NetDupRate)
+}
+
 // CanSend reports whether node src can inject a packet this cycle.
 func (x *Crossbar[T]) CanSend(src int) bool { return !x.inputs[src].Full() }
 
@@ -130,6 +155,12 @@ func (x *Crossbar[T]) Send(p Packet[T]) bool {
 func (x *Crossbar[T]) Recv(dst int) (Packet[T], bool) {
 	p, ok := x.outputs[dst].Pop()
 	return p, ok
+}
+
+// Peek returns the next deliverable packet at node dst without consuming it,
+// letting receivers inspect control traffic before committing buffer space.
+func (x *Crossbar[T]) Peek(dst int) (Packet[T], bool) {
+	return x.outputs[dst].Peek()
 }
 
 // Tick moves packets: each input may forward up to WordsPerCyc head packets
@@ -167,15 +198,29 @@ func (x *Crossbar[T]) Tick(now uint64) {
 				break
 			}
 			p, _ := x.inputs[in].Pop()
+			x.met.grants.Inc()
+			granted[o]++
+			sentFrom[in]++
+			if x.dropInj.Fire() {
+				// Injected wire fault: the packet vanishes (its bandwidth
+				// slot is still consumed). One draw per granted packet.
+				x.stats.Dropped++
+				x.met.faultDrops.Inc()
+				continue
+			}
 			x.wires[o].Push(now, p)
+			if x.dupInj.Fire() && !x.wires[o].Full() {
+				// Injected duplication: the packet crosses twice. The
+				// receiver's sequence-number dedup makes replay idempotent.
+				x.wires[o].Push(now, p)
+				x.stats.Duped++
+				x.met.faultDups.Inc()
+			}
 			if x.tr != nil {
 				x.tr.SpanAsync(fmt.Sprintf("net.out[%d]", o),
 					fmt.Sprintf("pkt %d->%d", p.Src, p.Dst),
 					now, now+uint64(x.cfg.Latency))
 			}
-			x.met.grants.Inc()
-			granted[o]++
-			sentFrom[in]++
 		}
 	}
 	for i := 0; i < x.cfg.Nodes; i++ {

@@ -22,6 +22,7 @@ package saunit
 import (
 	"fmt"
 
+	"scatteradd/internal/fault"
 	"scatteradd/internal/mem"
 	"scatteradd/internal/port"
 	"scatteradd/internal/sim"
@@ -33,6 +34,11 @@ import (
 // of current memory values and write-backs of computed sums) rather than to
 // bypassed upstream traffic.
 const saIDTag = uint64(1) << 63
+
+// scrubCycles is the fixed cost of a parity scrub: a combining-store entry
+// whose parity check fails on allocation is re-latched from the input
+// register and unavailable to chains (or to read issue) for this long.
+const scrubCycles = 8
 
 // Config holds the unit's microarchitectural parameters.
 type Config struct {
@@ -87,6 +93,11 @@ type entry struct {
 	seq     uint64   // arrival order, for OrderedChains
 	sid     uint64   // upstream ID+1 of a sampled span op (0 = untraced)
 	alloc   uint64   // allocation cycle, for combining-store residency spans
+
+	// scrubUntil makes the entry invisible to chains and to read issue
+	// until the given cycle: an injected parity fault detected when the
+	// operand was latched, repaired by re-latching from the input register.
+	scrubUntil uint64
 }
 
 // chain is the running value for one address: a returned memory value or a
@@ -119,6 +130,10 @@ type metrics struct {
 	memWrites   *stats.Counter   // sum write-backs issued downstream
 	bypassed    *stats.Counter   // ordinary requests passed through
 	wbQDepth    *stats.Gauge     // write-back queue high-water mark
+
+	// Fault counters (zero unless injection is configured).
+	faultFURetry *stats.Counter // FU ops rejected by the residue check and reissued
+	faultCSScrub *stats.Counter // combining-store entries that needed a parity scrub
 }
 
 func newMetrics(entries int) metrics {
@@ -135,6 +150,9 @@ func newMetrics(entries int) metrics {
 		memWrites:   g.Counter("mem_writes"),
 		bypassed:    g.Counter("bypassed"),
 		wbQDepth:    g.Gauge("wbq_depth"),
+
+		faultFURetry: g.Counter("fault_fu_retries"),
+		faultCSScrub: g.Counter("fault_cs_scrubs"),
 	}
 }
 
@@ -156,6 +174,10 @@ type Unit struct {
 	tr        *span.Tracer
 	track     string
 	downStage span.Stage
+
+	// Fault injection (nil when disabled).
+	fuInj *fault.Injector // FU transient errors: residue check fails, op reissues
+	csInj *fault.Injector // combining-store parity faults: entry scrubbed on alloc
 }
 
 // New returns a unit in front of downstream memory down.
@@ -206,6 +228,20 @@ func (u *Unit) SetSpanTracer(tr *span.Tracer, track string) {
 // SetSpanDownstream overrides the stage charged when a request leaves the
 // unit for the downstream port.
 func (u *Unit) SetSpanDownstream(st span.Stage) { u.downStage = st }
+
+// SetFaults installs fault injection. inst salts the injector streams so
+// every unit (one per cache bank, per node) draws its own schedule. Both
+// fault classes are detected-and-recovered: an FU transient error fails the
+// residue check and the operation reissues through the pipeline; a
+// combining-store parity fault is scrubbed by re-latching the operand, which
+// hides the entry from chains for scrubCycles. Draws happen at event grain
+// (one per retired FU op, one per allocated entry), so legacy and
+// fast-forward stepping consume the streams identically and sums stay
+// bit-exact.
+func (u *Unit) SetFaults(fc fault.Config, inst string) {
+	u.fuInj = fault.NewInjector(fc.Seed, inst+".saunit.fu", fc.FUErrorRate)
+	u.csInj = fault.NewInjector(fc.Seed, inst+".saunit.cs", fc.CSCorruptRate)
+}
 
 // CanAccept reports whether the input queue has room.
 func (u *Unit) CanAccept(now uint64) bool { return !u.inQ.Full() }
@@ -344,6 +380,21 @@ func (u *Unit) completeFU(now uint64) {
 		if !ok {
 			return
 		}
+		if u.fuInj.Fire() {
+			// Injected transient error: the residue check rejects the
+			// result and the addition reissues through the pipeline. The
+			// consumed entry stays latched (inFU), so the replay computes
+			// the identical sum. One draw per retired op.
+			u.met.faultFURetry.Inc()
+			if !u.fu.Push(now, op) {
+				panic("saunit: FU retry push failed after pop")
+			}
+			u.stats.FUOps++
+			if op.ch.kind.IsFP() {
+				u.stats.FUOpsFP++
+			}
+			continue
+		}
 		e := &u.cs[op.entryIdx]
 		if e.fetchID != 0 {
 			// Fetch&Op extension (§3.3): return the pre-update value.
@@ -380,8 +431,14 @@ func (u *Unit) issueFU(now uint64) {
 			still = append(still, u.ready[k:]...)
 			break
 		}
-		i := u.nextOperand(ch.addr)
+		i := u.nextOperand(now, ch.addr)
 		if i < 0 {
+			if u.scrubPending(now, ch.addr) {
+				// A matching operand is mid-parity-scrub: the chain must
+				// wait for it rather than write back and strand its value.
+				still = append(still, ch)
+				continue
+			}
 			// Chain drained: write the sum back to memory.
 			if u.wbQ.Push(mem.Request{ID: saIDTag, Kind: mem.Write, Addr: ch.addr, Val: ch.val}) {
 				u.stats.MemWrites++
@@ -415,8 +472,8 @@ func (u *Unit) issueFU(now uint64) {
 // nextOperand selects the combining-store entry a chain consumes next: the
 // first match in scan order, or — with OrderedChains — the oldest arrival,
 // which preserves program order for scan (parallel prefix) semantics.
-func (u *Unit) nextOperand(addr mem.Addr) int {
-	consumable := func(e *entry) bool { return !e.inFU && !e.reader }
+func (u *Unit) nextOperand(now uint64, addr mem.Addr) int {
+	consumable := func(e *entry) bool { return !e.inFU && !e.reader && e.scrubUntil <= now }
 	if !u.cfg.OrderedChains {
 		return u.csFind(addr, consumable)
 	}
@@ -428,6 +485,14 @@ func (u *Unit) nextOperand(addr mem.Addr) int {
 		}
 	}
 	return best
+}
+
+// scrubPending reports whether a buffered operand for addr is still inside
+// its parity scrub (invisible to nextOperand but owed to the chain).
+func (u *Unit) scrubPending(now uint64, addr mem.Addr) bool {
+	return u.csFind(addr, func(e *entry) bool {
+		return !e.inFU && !e.reader && e.scrubUntil > now
+	}) >= 0
 }
 
 // wbQHolds reports whether a write-back for addr is still queued (not yet
@@ -448,6 +513,9 @@ func (u *Unit) issueReads(now uint64) {
 	for i := range u.cs {
 		e := &u.cs[i]
 		if e.valid && e.reader && !e.sent {
+			if e.scrubUntil > now {
+				continue // parity scrub in progress: the read waits
+			}
 			if u.wbQHolds(e.addr) {
 				continue
 			}
@@ -500,6 +568,12 @@ func (u *Unit) acceptInput(now uint64) {
 		u.nextSeq++
 		*e = entry{valid: true, addr: r.Addr, kind: r.Kind, val: r.Val, node: r.Node, seq: u.nextSeq}
 		u.csUsed++
+		if u.csInj.Fire() {
+			// Injected parity fault on the latch: scrub by re-latching from
+			// the input register. One draw per allocated entry.
+			e.scrubUntil = now + scrubCycles
+			u.met.faultCSScrub.Inc()
+		}
 		if u.tr != nil {
 			e.alloc = now
 			if u.tr.Sampled(r.Node, r.ID) {
@@ -543,12 +617,12 @@ func (u *Unit) drainWriteBacks(now uint64) {
 func (u *Unit) eagerCombine(now uint64) {
 	for i := range u.cs {
 		a := &u.cs[i]
-		if !a.valid || a.inFU || a.reader || a.fetchID != 0 {
+		if !a.valid || a.inFU || a.reader || a.fetchID != 0 || a.scrubUntil > now {
 			continue
 		}
 		for j := i + 1; j < len(u.cs); j++ {
 			b := &u.cs[j]
-			if !b.valid || b.inFU || b.reader || b.fetchID != 0 || b.addr != a.addr || b.kind != a.kind {
+			if !b.valid || b.inFU || b.reader || b.fetchID != 0 || b.addr != a.addr || b.kind != a.kind || b.scrubUntil > now {
 				continue
 			}
 			a.val = mem.Combine(a.kind, a.val, b.val)

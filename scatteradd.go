@@ -5,15 +5,20 @@
 // together with the paper's software alternatives (sort + segmented scan,
 // privatization, coloring), its three evaluation applications (histogram,
 // sparse matrix-vector multiply, molecular dynamics), a multi-node model
-// with cache combining, and runners that regenerate every table and figure
-// of the paper's evaluation.
+// with cache combining and a fault-injected resilience mode, and runners
+// that regenerate every table and figure of the paper's evaluation.
 //
 // # Quick start
 //
-//	m := scatteradd.NewMachine(scatteradd.DefaultConfig())
+//	m := scatteradd.New()
 //	data := []int{3, 1, 3, 7, 3, 1}
 //	bins, res := scatteradd.HistogramI64(m, data, 8)
 //	fmt.Println(bins, res.Cycles)
+//
+// New accepts functional options: WithConfig for a non-default machine,
+// WithFaults for deterministic fault injection, WithTracer to observe every
+// issued memory request, WithSampler for periodic callbacks on the machine
+// clock, and WithLegacyStepping to force per-cycle simulation.
 //
 // The simulator is functional as well as timed: scatter-add results are
 // computed by the simulated hardware and can be read back from the
@@ -22,23 +27,23 @@
 //
 // Lower-level building blocks live in the internal packages and are
 // re-exported here: machine configuration and stream operations
-// (LoadStream, Gather, ScatterAdd, Kernel, ...), the software scatter-add
-// methods (SortScan, Privatize, Colored), the evaluation applications
-// (NewHistogram, NewSpMV, NewMolDyn), the multi-node system (NewMultiNode),
-// and the experiment runners (Figure, Table1).
+// (LoadStream, Gather, ScatterAdd, Kernel, ... — see api_streams.go), the
+// software scatter-add methods (SortScan, Privatize, Colored), the
+// evaluation applications (NewHistogram, NewSpMV, NewMolDyn), the
+// multi-node system (NewMultiNode), and the experiment runners (Figure,
+// Table1 — see api_experiments.go).
 package scatteradd
 
 import (
 	"fmt"
 
 	"scatteradd/internal/apps"
-	"scatteradd/internal/exp"
+	"scatteradd/internal/fault"
 	"scatteradd/internal/machine"
 	"scatteradd/internal/mem"
 	"scatteradd/internal/multinode"
 	"scatteradd/internal/saunit"
 	"scatteradd/internal/softscatter"
-	"scatteradd/internal/stream"
 )
 
 // Core memory-model types.
@@ -49,6 +54,9 @@ type (
 	Word = mem.Word
 	// Kind identifies a memory operation (Read, Write, AddF64, ...).
 	Kind = mem.Kind
+	// Request is one word-granular memory request as issued by the address
+	// generators (observable via WithTracer).
+	Request = mem.Request
 )
 
 // Memory operation kinds. AddF64 and AddI64 are the paper's scatter-add;
@@ -96,45 +104,95 @@ type (
 	Response = mem.Response
 )
 
+// FaultConfig configures deterministic, seed-driven fault injection:
+// network packet drops and duplications, DRAM channel stalls and outage
+// windows, combining-store parity corruption, and scatter-add FU transient
+// errors, plus the recovery knobs (retry timeout/backoff, degradation
+// threshold). The zero value injects nothing and costs nothing.
+type FaultConfig = fault.Config
+
+// DefaultChaosFaults returns a moderate every-injector-active fault
+// configuration, the default chaos rate of the resilience test suite.
+func DefaultChaosFaults() FaultConfig { return fault.DefaultChaos() }
+
 // DefaultConfig returns the paper's Table 1 machine configuration.
 func DefaultConfig() Config { return machine.DefaultConfig() }
 
-// NewMachine constructs a simulated node.
-func NewMachine(cfg Config) *Machine { return machine.New(cfg) }
+// Option customizes a Machine built with New.
+type Option func(*builder)
 
-// Stream-operation constructors.
-var (
-	// LoadStream reads n consecutive words.
-	LoadStream = machine.LoadStream
-	// StoreStream writes consecutive words.
-	StoreStream = machine.StoreStream
-	// Gather reads an address vector (indexed load).
-	Gather = machine.Gather
-	// Scatter writes an address vector (indexed store).
-	Scatter = machine.Scatter
-	// ScatterAdd atomically combines values into memory (the paper's
-	// primitive; pass a 1-element value slice to broadcast a scalar).
-	ScatterAdd = machine.ScatterAdd
-	// Kernel models a compute kernel by FP operations and SRF traffic.
-	Kernel = machine.Kernel
-	// IntKernel models a non-FP compute kernel.
-	IntKernel = machine.IntKernel
-	// Fence waits for all outstanding (including Async) memory streams.
-	Fence = machine.Fence
-)
+// builder accumulates the options of one New call.
+type builder struct {
+	cfg      Config
+	tracer   func(cycle uint64, req Request)
+	interval uint64
+	sampler  func(now uint64)
+}
 
-// Stream pipelining (software pipelining over the two address generators).
-var (
-	// StreamPipeline processes n elements in chunks, overlapping each
-	// chunk's asynchronous memory operations with later chunks' work.
-	StreamPipeline = stream.Pipeline
-	// GatherComputeScatterAdd builds the canonical three-phase chunk
-	// (synchronous gather, kernel, asynchronous scatter-add).
-	GatherComputeScatterAdd = stream.GatherComputeScatterAdd
-)
+// WithConfig replaces the default Table 1 configuration wholesale. Combine
+// with later options freely: WithFaults and WithLegacyStepping overwrite
+// only their own fields of the provided config.
+func WithConfig(cfg Config) Option {
+	return func(b *builder) { b.cfg = cfg }
+}
 
-// StreamChunkFunc produces the operations of one pipeline chunk.
-type StreamChunkFunc = stream.ChunkFunc
+// WithFaults enables deterministic fault injection across the machine's
+// memory system (DRAM stalls and outage windows, combining-store parity
+// scrubs, FU transient-error retries). Faults cost cycles; recovery keeps
+// every reduction bit-exact.
+func WithFaults(fc FaultConfig) Option {
+	return func(b *builder) { b.cfg.Faults = fc }
+}
+
+// WithTracer installs a hook observing every memory request the address
+// generators issue.
+func WithTracer(fn func(cycle uint64, req Request)) Option {
+	return func(b *builder) { b.tracer = fn }
+}
+
+// WithSampler installs a periodic callback invoked every interval cycles of
+// machine time (including across fast-forwarded stretches) — the raw form
+// of Machine.StartTimeline, for custom occupancy or progress sampling.
+func WithSampler(interval uint64, fn func(now uint64)) Option {
+	return func(b *builder) { b.interval, b.sampler = interval, fn }
+}
+
+// WithLegacyStepping forces per-cycle engine stepping, disabling the
+// quiescence fast-forward path. Results are cycle-exact either way; the
+// option exists for differential testing and performance attribution.
+func WithLegacyStepping() Option {
+	return func(b *builder) { b.cfg.LegacyStepping = true }
+}
+
+// New constructs a simulated node. With no options it is the paper's
+// Table 1 machine; options customize configuration, fault injection, and
+// instrumentation:
+//
+//	m := scatteradd.New(
+//		scatteradd.WithFaults(scatteradd.DefaultChaosFaults()),
+//		scatteradd.WithTracer(func(cycle uint64, req scatteradd.Request) { ... }),
+//	)
+func New(opts ...Option) *Machine {
+	b := builder{cfg: DefaultConfig()}
+	for _, opt := range opts {
+		opt(&b)
+	}
+	m := machine.New(b.cfg)
+	if b.tracer != nil {
+		m.SetTracer(b.tracer)
+	}
+	if b.sampler != nil {
+		m.SetSampler(b.interval, b.sampler)
+	}
+	return m
+}
+
+// NewMachine constructs a simulated node from a raw Config.
+//
+// Deprecated: use New with WithConfig (or no options for the Table 1
+// default). NewMachine is kept for source compatibility and is exactly
+// New(WithConfig(cfg)).
+func NewMachine(cfg Config) *Machine { return New(WithConfig(cfg)) }
 
 // Software scatter-add methods (§2.1).
 var (
@@ -175,13 +233,17 @@ type (
 	MultiNode = multinode.System
 	// MultiNodeRef is one scatter-add reference of a trace.
 	MultiNodeRef = multinode.Ref
-	// MultiNodeResult reports a trace replay.
+	// MultiNodeResult reports a trace replay (including resilience
+	// outcomes: retransmissions, deduplicated replays, degraded nodes).
 	MultiNodeResult = multinode.Result
 )
 
 // DefaultMultiNodeConfig returns nodes Table 1 nodes over a crossbar with
 // the given per-port bandwidth in words/cycle (1 = the paper's low
 // configuration, 8 = high), each owning span words of the address space.
+// Set Faults on the returned config to inject network, DRAM, and
+// combining-store faults; the link layer recovers them with acknowledged,
+// sequence-numbered retransmission and bit-exact idempotent replay.
 func DefaultMultiNodeConfig(nodes, wordsPerCyc int, span Addr) MultiNodeConfig {
 	return multinode.DefaultConfig(nodes, wordsPerCyc, span)
 }
@@ -195,90 +257,6 @@ func NewMultiNode(cfg MultiNodeConfig, kind Kind) *MultiNode {
 // AreaEstimate returns the scatter-add hardware area in mm² (90 nm) and the
 // fraction of a 10x10 mm die, per the paper's §3.2 estimate.
 var AreaEstimate = saunit.AreaEstimate
-
-// Experiments.
-type (
-	// ExpTable is a rendered experiment (title, header, rows).
-	ExpTable = exp.Table
-	// ExpOptions controls experiment scale (Scale: 1 = paper sizes).
-	ExpOptions = exp.Options
-)
-
-// Table1 renders the machine parameters as in the paper's Table 1.
-func Table1() ExpTable { return exp.Table1() }
-
-// PlotFigure renders an ASCII chart of a figure's table in the style of the
-// paper's own presentation (log-log curves, grouped bars, scaling curves).
-var PlotFigure = exp.Plot
-
-// ReproCheck is one verified paper claim from Report.
-type ReproCheck = exp.Check
-
-// Report regenerates every experiment, checks the paper's headline claims
-// against the measured shapes, and returns a markdown report plus the
-// individual check results.
-var Report = exp.Report
-
-// Figure regenerates one of the paper's figures (6-13) at the given scale.
-func Figure(n int, o ExpOptions) (ExpTable, error) {
-	switch n {
-	case 6:
-		return exp.Fig6(o), nil
-	case 7:
-		return exp.Fig7(o), nil
-	case 8:
-		return exp.Fig8(o), nil
-	case 9:
-		return exp.Fig9(o), nil
-	case 10:
-		return exp.Fig10(o), nil
-	case 11:
-		return exp.Fig11(o), nil
-	case 12:
-		return exp.Fig12(o), nil
-	case 13:
-		return exp.Fig13(o), nil
-	}
-	return ExpTable{}, fmt.Errorf("scatteradd: no figure %d in the paper's evaluation", n)
-}
-
-// Individual ablation studies beyond the paper's own figures.
-var (
-	// AblationDRAMSched compares FR-FCFS against FIFO DRAM scheduling.
-	AblationDRAMSched = exp.AblationDRAMSched
-	// AblationSAPlacement compares per-bank scatter-add units against a
-	// single unit at the memory interface.
-	AblationSAPlacement = exp.AblationSAPlacement
-	// AblationBatchSize sweeps the software sort&scan batch size.
-	AblationBatchSize = exp.AblationBatchSize
-	// AblationEagerCombine evaluates eager operand pre-combining.
-	AblationEagerCombine = exp.AblationEagerCombine
-	// AblationOverlap compares sequential vs software-pipelined scatter-add.
-	AblationOverlap = exp.AblationOverlap
-	// AblationHierarchical compares linear vs logarithmic multi-node
-	// combining (the paper's §5 future work).
-	AblationHierarchical = exp.AblationHierarchical
-	// AblationWritePolicy compares write-allocate vs write-no-allocate.
-	AblationWritePolicy = exp.AblationWritePolicy
-	// AblationCombiningStore sweeps combining-store entries on the full
-	// machine.
-	AblationCombiningStore = exp.AblationCombiningStore
-)
-
-// Ablations returns all design-choice ablation studies (DRAM scheduling,
-// unit placement, batch size, eager combining, combining-store size).
-func Ablations(o ExpOptions) []ExpTable {
-	return []ExpTable{
-		AblationDRAMSched(o),
-		AblationSAPlacement(o),
-		AblationBatchSize(o),
-		AblationEagerCombine(o),
-		AblationCombiningStore(o),
-		AblationOverlap(o),
-		AblationHierarchical(o),
-		AblationWritePolicy(o),
-	}
-}
 
 // HistogramI64 is the package's quick-start helper: it bins data (values in
 // [0, bins)) with the hardware scatter-add on m and returns the bins along
