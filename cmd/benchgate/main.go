@@ -12,6 +12,17 @@
 // baseline that lacks the gate benchmark, disables the gate (the first run
 // on a branch has nothing to compare against); parse errors in the inputs
 // do not.
+//
+// A second gate compares two benchmarks within ONE summary — the shard
+// scheduler's speedup target, where the sequential twin is measured in the
+// same run rather than on the main branch:
+//
+//	benchgate -in pr.txt -speedup BenchmarkFig13Shard1:BenchmarkFig13Sharded \
+//	          -min-speedup 2.0
+//
+// The run fails unless median(base) / median(test) >= min-speedup. Either
+// side missing from the input is a hard failure: a speedup gate that
+// silently skips when the benchmark is renamed gates nothing.
 package main
 
 import (
@@ -32,6 +43,8 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON summary to gate against (optional)")
 	gate := flag.String("gate", "BenchmarkEngineTick", "benchmark name the regression gate applies to")
 	maxRegress := flag.Float64("max-regress", 0.10, "maximum allowed fractional ns/op regression of the gate benchmark")
+	speedup := flag.String("speedup", "", "BASE:TEST benchmark pair within this summary; fail unless BASE/TEST >= -min-speedup")
+	minSpeedup := flag.Float64("min-speedup", 2.0, "minimum required median speedup for the -speedup pair")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -60,6 +73,18 @@ func main() {
 		os.Stdout.Write(js)
 	} else if err := os.WriteFile(*out, js, 0o644); err != nil {
 		fatal(err)
+	}
+
+	if *speedup != "" {
+		pair := strings.SplitN(*speedup, ":", 2)
+		if len(pair) != 2 || pair[0] == "" || pair[1] == "" {
+			fatal(fmt.Errorf("-speedup %q: want BASE:TEST", *speedup))
+		}
+		msg, ok := SpeedupGate(sum, pair[0], pair[1], *minSpeedup)
+		fmt.Fprintln(os.Stderr, msg)
+		if !ok {
+			os.Exit(1)
+		}
 	}
 
 	if *baseline == "" {
@@ -174,6 +199,30 @@ func loadBaseline(path string) (map[string]*Result, error) {
 		return nil, fmt.Errorf("baseline %s: %v", path, err)
 	}
 	return base, nil
+}
+
+// SpeedupGate compares two benchmarks measured in the same run and reports
+// whether median(base)/median(test) meets the minimum speedup. Unlike the
+// cross-branch regression Gate, both benchmarks must be present — the pair
+// travels together in one bench invocation, so an absent side means the
+// gate is misconfigured, not that there is nothing to compare.
+func SpeedupGate(sum map[string]*Result, baseName, testName string, minSpeedup float64) (string, bool) {
+	b, ok := sum[baseName]
+	if !ok || b.Median <= 0 {
+		return fmt.Sprintf("benchgate: FAIL: speedup base benchmark %s not found in input", baseName), false
+	}
+	tst, ok := sum[testName]
+	if !ok || tst.Median <= 0 {
+		return fmt.Sprintf("benchgate: FAIL: speedup test benchmark %s not found in input", testName), false
+	}
+	ratio := b.Median / tst.Median
+	verdict := "ok"
+	pass := ratio >= minSpeedup
+	if !pass {
+		verdict = fmt.Sprintf("FAIL (need >= %.2fx)", minSpeedup)
+	}
+	return fmt.Sprintf("benchgate: %s/%s: %.1f ns/op / %.1f ns/op = %.2fx %s",
+		baseName, testName, b.Median, tst.Median, ratio, verdict), pass
 }
 
 // Gate compares the gate benchmark's median against the baseline and

@@ -13,6 +13,10 @@
 //	-scale N      divide dataset sizes by N for a quick run (default 1 = paper scale)
 //	-jobs N       run up to N independent simulations concurrently (default NumCPU;
 //	              1 = sequential; output is byte-identical for every N)
+//	-shards N     split each multi-node simulation's per-node compute across N
+//	              worker shards advancing in lockstep (default 1 = sequential;
+//	              output is byte-identical for every N; single-machine figures
+//	              are unaffected)
 //	-seed N       perturb every workload seed (default 0 = the paper's fixed seeds)
 //	-csv          emit CSV instead of aligned text
 //	-stats        append a hardware performance-counter appendix to each table
@@ -45,6 +49,7 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "divide dataset sizes by N (1 = full paper scale)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations (1 = sequential)")
+	shards := flag.Int("shards", 1, "worker shards inside each multi-node simulation (1 = sequential)")
 	seed := flag.Uint64("seed", 0, "perturb workload seeds (0 = the paper's fixed seeds)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	doPlot := flag.Bool("plot", false, "also render ASCII charts of the figures")
@@ -64,6 +69,10 @@ func main() {
 	}
 	if *jobs < 1 {
 		fmt.Fprintf(os.Stderr, "scatteradd: -jobs %d invalid (want >= 1)\n", *jobs)
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "scatteradd: -shards %d invalid (want >= 1)\n", *shards)
 		os.Exit(2)
 	}
 	if *spanRate < 1 {
@@ -90,7 +99,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "scatteradd: pprof at http://%s/debug/pprof/\n", addr)
 	}
 	o := scatteradd.ExpOptions{
-		Scale: *scale, Jobs: *jobs, Seed: *seed,
+		Scale: *scale, Jobs: *jobs, Shards: *shards, Seed: *seed,
 		CollectStats: *withStats, CollectSpans: *withSpans, SpanRate: *spanRate,
 		Legacy: *legacy,
 		Faults: fc, CheckpointDir: *checkpoint,
@@ -109,7 +118,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: scatteradd [-scale N] [-jobs N] [-seed N] [-csv] [-stats] [-spans] [-faults X] [-checkpoint DIR] <experiment>...
+	fmt.Fprintf(os.Stderr, `usage: scatteradd [-scale N] [-jobs N] [-shards N] [-seed N] [-csv] [-stats] [-spans] [-faults X] [-checkpoint DIR] <experiment>...
 
 experiments:
   table1           machine parameters (paper Table 1)

@@ -1,0 +1,7 @@
+//go:build !race
+
+package differ
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; see shardedFigsUnderTest.
+const raceEnabled = false

@@ -274,6 +274,7 @@ func ablationHierarchical(o Options) Table {
 		cfg.Hierarchical = p.hier
 		cfg.LegacyStepping = o.Legacy
 		cfg.Faults = o.Faults
+		cfg.Shards = o.Shards
 		s := multinode.New(cfg, mem.AddI64)
 		res := s.RunTrace(refs)
 		label := "linear"

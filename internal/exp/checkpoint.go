@@ -2,6 +2,7 @@ package exp
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -26,13 +27,48 @@ type checkpointFile struct {
 	Table       Table
 }
 
-// fingerprint encodes every option that can change a figure's output. Jobs
-// is deliberately absent: the worker count never changes rendered bytes
-// (TestReportDeterministicAcrossJobs), so a 1-job resume of an 8-job sweep
-// still hits its snapshots.
+// fingerprint encodes every option that can change a figure's output, as
+// canonical JSON: an explicit map with fixed key strings, which encoding/json
+// marshals with sorted keys. The keys are part of the on-disk format — they
+// deliberately do not follow Go field names, so renaming or reordering an
+// Options or fault.Config field can neither spuriously invalidate a snapshot
+// nor (worse) silently keep serving one produced under different semantics.
+//
+// Jobs and Shards are deliberately absent: neither the worker count nor the
+// intra-run shard count ever changes rendered bytes (enforced by
+// TestReportDeterministicAcrossJobs, TestReportDeterministicAcrossShards,
+// and internal/differ), so a sequential resume of a parallel sweep still
+// hits its snapshots.
 func (o Options) fingerprint() string {
-	return fmt.Sprintf("scale=%d seed=%d stats=%v spans=%v rate=%d legacy=%v faults=%+v",
-		o.Scale, o.Seed, o.CollectStats, o.CollectSpans, o.spanRate(), o.Legacy, o.Faults)
+	flt := o.Faults
+	data, err := json.Marshal(map[string]any{
+		"scale":  o.Scale,
+		"seed":   o.Seed,
+		"stats":  o.CollectStats,
+		"spans":  o.CollectSpans,
+		"rate":   o.spanRate(),
+		"legacy": o.Legacy,
+		"faults": map[string]any{
+			"seed":              flt.Seed,
+			"net-drop":          flt.NetDropRate,
+			"net-dup":           flt.NetDupRate,
+			"dram-stall-rate":   flt.DRAMStallRate,
+			"dram-stall-cycles": flt.DRAMStallCycles,
+			"dram-window-every": flt.DRAMWindowEvery,
+			"dram-window-span":  flt.DRAMWindowSpan,
+			"dram-window-rate":  flt.DRAMWindowRate,
+			"cs-corrupt":        flt.CSCorruptRate,
+			"fu-error":          flt.FUErrorRate,
+			"retry-timeout":     flt.RetryTimeout,
+			"retry-backoff-cap": flt.RetryBackoffCap,
+			"max-retries":       flt.MaxRetries,
+			"degrade-threshold": flt.DegradeThreshold,
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("exp: fingerprint marshal: %v", err)) // unreachable: fixed shape
+	}
+	return string(data)
 }
 
 // checkpointed returns the figure's snapshotted table when a valid one
@@ -88,11 +124,17 @@ func (o Options) saveCheckpoint(path string, t Table) {
 		fmt.Fprintf(os.Stderr, "exp: checkpoint %s: %v\n", path, err)
 		return
 	}
+	// Sync before rename: the rename is the commit point, and without the
+	// fsync a crash after it could publish a snapshot whose data never hit
+	// the disk (an empty-but-renamed file). All three failures surface with
+	// their underlying errors — a full disk and a permission problem need
+	// different operator responses.
 	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if err := errors.Join(werr, serr, cerr); err != nil {
 		os.Remove(tmp.Name())
-		fmt.Fprintf(os.Stderr, "exp: checkpoint %s: write failed\n", path)
+		fmt.Fprintf(os.Stderr, "exp: checkpoint %s: write temp %s: %v\n", path, tmp.Name(), err)
 		return
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {

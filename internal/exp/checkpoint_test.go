@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -112,6 +113,133 @@ func TestFaultedFigureDeterministicAcrossJobs(t *testing.T) {
 	}
 	if unfaulted := Fig13(Options{Scale: 256, Jobs: 1}).String(); unfaulted == seq {
 		t.Fatal("chaos-rate faults left Fig13 timings untouched — injection not wired")
+	}
+}
+
+// TestFingerprintSemantics pins which options participate in the snapshot
+// match: anything that changes rendered bytes (scale, seed, fault knobs,
+// stepping mode, appendix collection) must invalidate, while pure
+// parallelism knobs (Jobs, Shards) must not — output is byte-identical for
+// every value of either, so a sequential resume of a parallel sweep still
+// hits its snapshots.
+func TestFingerprintSemantics(t *testing.T) {
+	base := Options{Scale: 8, Seed: 1, Faults: fault.DefaultChaos()}
+	fp := base.fingerprint()
+
+	invalidate := map[string]Options{}
+	o := base
+	o.Scale = 16
+	invalidate["scale"] = o
+	o = base
+	o.Seed = 2
+	invalidate["seed"] = o
+	o = base
+	o.Legacy = true
+	invalidate["legacy"] = o
+	o = base
+	o.CollectStats = true
+	invalidate["stats"] = o
+	o = base
+	o.Faults.Seed = 0xBAD
+	invalidate["fault seed"] = o
+	o = base
+	o.Faults = base.Faults.Scale(0.5)
+	invalidate["fault scale"] = o
+	o = base
+	o.Faults.DegradeThreshold = 99
+	invalidate["degrade threshold"] = o
+	for name, opt := range invalidate {
+		if opt.fingerprint() == fp {
+			t.Errorf("changed %s did not change the fingerprint", name)
+		}
+	}
+
+	hit := map[string]Options{}
+	o = base
+	o.Jobs = 8
+	hit["jobs"] = o
+	o = base
+	o.Shards = 4
+	hit["shards"] = o
+	o = base
+	o.CheckpointDir = "/elsewhere"
+	hit["checkpoint dir"] = o
+	for name, opt := range hit {
+		if opt.fingerprint() != fp {
+			t.Errorf("changed %s must not change the fingerprint", name)
+		}
+	}
+}
+
+// TestCheckpointResumeAcrossShards drives the fingerprint contract end to
+// end: a snapshot taken by a sharded sweep is served to a sequential resume
+// (and vice versa), while a changed fault seed forces a recompute.
+func TestCheckpointResumeAcrossShards(t *testing.T) {
+	dir := t.TempDir()
+	// Scale 512 (Fig13 is heavy; the fingerprint contract is size-blind).
+	quick := func() Options { return Options{Scale: 512, Jobs: 2, CheckpointDir: dir} }
+	sharded := quick()
+	sharded.Shards = 4
+	t1 := Fig13(sharded)
+
+	// Plant a sentinel so a snapshot hit is distinguishable from an
+	// identical recompute.
+	path := filepath.Join(dir, "fig13.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		t.Fatal(err)
+	}
+	cf.Table.Title = "SENTINEL"
+	planted, _ := json.Marshal(cf)
+	if err := os.WriteFile(path, planted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sequential := quick() // Shards zero value
+	if t2 := Fig13(sequential); t2.Title != "SENTINEL" {
+		t.Fatal("sequential resume recomputed instead of hitting the sharded snapshot")
+	}
+
+	reseeded := quick()
+	reseeded.Faults = fault.DefaultChaos()
+	reseeded.Faults.Seed = 0xFACE
+	if t3 := Fig13(reseeded); t3.Title == "SENTINEL" {
+		t.Fatal("changed fault seed was served the stale snapshot")
+	}
+	_ = t1
+}
+
+// TestFingerprintCoversFaultConfig is a tripwire for options-struct drift:
+// fingerprint enumerates fault.Config's output-affecting fields with stable
+// keys, so a new field must be added there (and here) deliberately.
+func TestFingerprintCoversFaultConfig(t *testing.T) {
+	const knownFields = 14
+	if n := reflect.TypeOf(fault.Config{}).NumField(); n != knownFields {
+		t.Fatalf("fault.Config has %d fields (expected %d): add the new field to Options.fingerprint with a stable key, then update this count", n, knownFields)
+	}
+	if n := reflect.TypeOf(Options{}).NumField(); n != 10 {
+		t.Fatalf("Options has %d fields: decide whether the new option affects output, wire it into fingerprint if so, then update this count", n)
+	}
+}
+
+// TestSaveCheckpointSurvivesBadDir: an unwritable checkpoint location must
+// degrade the sweep to uncheckpointed, never panic — and the next load must
+// miss cleanly.
+func TestSaveCheckpointSurvivesBadDir(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(blocker, []byte("file, not dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Scale: 32, CheckpointDir: filepath.Join(blocker, "nested")}
+	path := filepath.Join(o.CheckpointDir, "fig6.json")
+	o.saveCheckpoint(path, Table{Title: "x"}) // must not panic
+	if _, ok := o.loadCheckpoint(path); ok {
+		t.Fatal("load reported a hit under an unwritable dir")
 	}
 }
 

@@ -117,6 +117,14 @@ type Options struct {
 	// CPU (GOMAXPROCS); 1 runs everything sequentially on the caller's
 	// goroutine. Output is byte-identical for every value.
 	Jobs int
+	// Shards partitions each multi-node simulation's nodes across a worker
+	// pool, parallelizing *within* one run the way Jobs parallelizes across
+	// runs: per-cycle node compute fans out between deterministic exchange
+	// points. 0 or 1 keeps runs sequential; output is byte-identical for
+	// every value (enforced by internal/differ). Single-machine figures
+	// ignore it — only the multi-node figures (Fig 13 and the hierarchical
+	// ablation) have nodes to shard.
+	Shards int
 	// Seed perturbs every workload seed (0 = the paper's fixed seeds),
 	// regenerating all figures on statistically fresh datasets.
 	Seed uint64

@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -32,10 +34,20 @@ func (o Options) jobs() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// taskPanic is one captured task panic, tagged with its index and worker
+// stack so forEach can re-raise deterministically.
+type taskPanic struct {
+	index int
+	val   any
+	stack []byte
+}
+
 // forEach runs fn(i) for every i in [0, n) on up to o.jobs() workers and
 // returns once all calls completed. fn must confine its writes to per-index
-// state. If any call panics, the first captured panic value is re-raised
-// here after the pool drains.
+// state. If any calls panic, the panic of the lowest index is re-raised
+// here after the pool drains (with that task's captured stack) — not
+// whichever worker reached the recover first — so a mustVerify failure
+// reports the same task at any worker count.
 func (o Options) forEach(n int, fn func(int)) {
 	workers := o.jobs()
 	if workers > n {
@@ -48,18 +60,16 @@ func (o Options) forEach(n int, fn func(int)) {
 		return
 	}
 	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		panicMu  sync.Mutex
-		panicVal any
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panics  []taskPanic
 	)
 	runOne := func(i int) {
 		defer func() {
 			if r := recover(); r != nil {
 				panicMu.Lock()
-				if panicVal == nil {
-					panicVal = r
-				}
+				panics = append(panics, taskPanic{index: i, val: r, stack: debug.Stack()})
 				panicMu.Unlock()
 			}
 		}()
@@ -79,8 +89,14 @@ func (o Options) forEach(n int, fn func(int)) {
 		}()
 	}
 	wg.Wait()
-	if panicVal != nil {
-		panic(panicVal)
+	if len(panics) > 0 {
+		first := panics[0]
+		for _, p := range panics[1:] {
+			if p.index < first.index {
+				first = p
+			}
+		}
+		panic(fmt.Sprintf("exp: task %d: %v\n\ntask stack:\n%s", first.index, first.val, first.stack))
 	}
 }
 

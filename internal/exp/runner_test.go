@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -49,6 +50,42 @@ func TestForEachPropagatesWorkerPanic(t *testing.T) {
 				}
 			})
 		}()
+	}
+}
+
+// TestForEachLowestIndexPanicWins: when several tasks panic, the re-raised
+// failure must always be the lowest-index one (with its stack), not
+// whichever worker happened to grab the capture mutex first — so a
+// mustVerify failure reproduces identically at any worker count.
+func TestForEachLowestIndexPanicWins(t *testing.T) {
+	for _, jobs := range []int{2, 4, 16} {
+		for trial := 0; trial < 10; trial++ {
+			o := Options{Jobs: jobs}
+			var recovered any
+			func() {
+				defer func() { recovered = recover() }()
+				o.forEach(32, func(i int) {
+					// Indices 5, 6, and 20 all fail; higher workers often
+					// reach the recover first under contention.
+					if i == 5 || i == 6 || i == 20 {
+						panic(fmt.Sprintf("boom at %d", i))
+					}
+				})
+			}()
+			msg, ok := recovered.(string)
+			if !ok {
+				t.Fatalf("jobs=%d: recovered %T, want string", jobs, recovered)
+			}
+			if !strings.Contains(msg, "task 5: boom at 5") {
+				t.Fatalf("jobs=%d: reported panic is not the lowest index: %q", jobs, msg)
+			}
+			if strings.Contains(msg, "boom at 6") || strings.Contains(msg, "boom at 20") {
+				t.Fatalf("jobs=%d: higher-index panic leaked into the report: %q", jobs, msg)
+			}
+			if !strings.Contains(msg, "task stack:") {
+				t.Fatalf("jobs=%d: panic carries no captured stack: %q", jobs, msg)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"testing"
+
+	"scatteradd/internal/fault"
+)
+
+// TestReportDeterministicAcrossShards mirrors TestReportDeterministicAcrossJobs
+// for intra-run sharding: the multi-node figures must render byte-identically
+// whether each simulation runs its nodes sequentially or across 2 or 4
+// shards, with the counter and span appendices attached so the whole
+// observable surface is compared — and that must hold with fast-forward on
+// (the default stepping mode) as well as under chaos-rate fault injection.
+// Scale 256 keeps this affordable under -race; the multinode package pins
+// byte-identity exhaustively at the system level, so this test only needs
+// enough data to prove the exp-layer plumbing (options, appendices,
+// checkpointing) is shard-clean. Fig13 runs the full {1,2,4} matrix; the
+// hierarchical ablation — whose only shard-relevant surface is its
+// cfg.Shards wiring — is checked at 4 shards alone.
+func TestReportDeterministicAcrossShards(t *testing.T) {
+	for _, tc := range []struct {
+		fig    func(Options) Table
+		shards []int
+	}{
+		{Fig13, []int{2, 4}},
+		{AblationHierarchical, []int{4}},
+	} {
+		base := Options{Scale: 256, Jobs: 2, CollectStats: true, CollectSpans: true, Shards: 1}
+		want := tc.fig(base)
+		for _, shards := range tc.shards {
+			o := base
+			o.Shards = shards
+			if got := tc.fig(o); got.String() != want.String() {
+				t.Fatalf("%s: rendering differs between Shards=1 and Shards=%d:\n%s\nvs\n%s",
+					want.Title, shards, got.String(), want.String())
+			}
+		}
+	}
+}
+
+// TestFaultedFigureDeterministicAcrossShards: the fault schedule is a pure
+// function of (seed, component, event index), so even a chaos-faulted run —
+// retransmissions, dedup, degradations and all — must not move a byte when
+// the node compute fans out across shards.
+func TestFaultedFigureDeterministicAcrossShards(t *testing.T) {
+	run := func(shards int) string {
+		o := Options{Scale: 256, Jobs: 2, Shards: shards, Faults: fault.DefaultChaos()}
+		return Fig13(o).String()
+	}
+	want := run(1)
+	if got := run(4); got != want {
+		t.Fatal("faulted Fig13 output depends on shard count")
+	}
+}
+
+// TestLegacySteppingDeterministicAcrossShards covers the remaining stepping
+// mode: per-cycle stepping (no fast-forward) through the sharded two-phase
+// step.
+func TestLegacySteppingDeterministicAcrossShards(t *testing.T) {
+	run := func(shards int) string {
+		return Fig13(Options{Scale: 256, Jobs: 2, Shards: shards, Legacy: true}).String()
+	}
+	if run(1) != run(4) {
+		t.Fatal("legacy-stepping Fig13 output depends on shard count")
+	}
+}
+
+// TestFig13ShardedRace is the exp-level -race exercise of the sharded path:
+// a small Fig 13 with shards, jobs, spans, and faults all active at once,
+// so the race detector sees the worker pool inside the worker pool.
+func TestFig13ShardedRace(t *testing.T) {
+	o := Options{Scale: 512, Jobs: 4, Shards: 4, CollectSpans: true, Faults: fault.DefaultChaos()}
+	if tab := Fig13(o); len(tab.Rows) == 0 {
+		t.Fatal("empty sharded Fig13")
+	}
+}

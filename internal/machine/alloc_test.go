@@ -1,0 +1,42 @@
+package machine
+
+import (
+	"testing"
+
+	"scatteradd/internal/mem"
+)
+
+// TestTickSteadyStateAllocationFree pins the data-layout contract of the
+// simulation hot path: with a scatter-add stream in flight, a machine tick
+// allocates nothing once scratch buffers are warm. The scatter-add unit's
+// chain scratch and slice-backed active set exist for this property —
+// before that pass, every tick with a pending chain allocated a fresh
+// slice. Benchmarks report the same number, but only under -bench; this
+// keeps the guard in every `go test` run.
+func TestTickSteadyStateAllocationFree(t *testing.T) {
+	m := New(DefaultConfig())
+	const n = 1 << 14
+	addrs := make([]mem.Addr, n)
+	for i := range addrs {
+		addrs[i] = mem.Addr((i * 61) % 8192)
+	}
+	op := ScatterAdd("alloc", mem.AddI64, addrs, []mem.Word{mem.I64(1)})
+	op.Async = true
+	m.RunOp(op)
+	// Warm every queue, chain buffer, and scratch slice to capacity.
+	for i := 0; i < 4096; i++ {
+		m.tick()
+	}
+	avg := testing.AllocsPerRun(2048, func() {
+		if len(m.active) == 0 {
+			m.RunOp(op)
+		}
+		m.tick()
+	})
+	// RunOp refills allocate; ticks must not. Refills are rare (one per
+	// ~n issued requests), so anything above a sliver of an alloc per
+	// tick means the hot path regressed.
+	if avg > 0.01 {
+		t.Fatalf("steady-state tick allocates %.3f allocs/op, want ~0", avg)
+	}
+}

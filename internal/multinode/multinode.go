@@ -92,6 +92,14 @@ type Config struct {
 	// fast-forward over dead cycles (kept for differential testing).
 	LegacyStepping bool
 
+	// Shards partitions the nodes across a worker pool so one simulation
+	// uses several cores: each cycle's node-local compute (scatter-add
+	// units, cache banks, DRAM) runs with per-shard parallelism between
+	// two sequential exchange points, so scheduling can never reorder
+	// observable events and output stays byte-identical to Shards == 1
+	// (the default). Values < 1 mean 1; values above Nodes are clamped.
+	Shards int
+
 	// Faults enables deterministic fault injection across the system (wire
 	// drops/duplications, DRAM stalls and outage windows, combining-store
 	// and partial-line parity faults, FU transients) plus the recovery
@@ -145,6 +153,18 @@ type node struct {
 	seen     map[uint64]struct{} // delivered seqs, for duplicate-safe replay
 	ackbox   []ackOut            // acks awaiting network injection
 	degraded bool                // combining store tripped: fall back to direct
+
+	// wantDegrade stages a degradation detected during the parallel compute
+	// phase; the transition (shared counter, flush start) applies in the
+	// sequential phase that follows, in node order, so the sharded schedule
+	// cannot reorder it.
+	wantDegrade bool
+
+	// str is the tracer this node's components record into. Sequential runs
+	// alias the system tracer; sharded runs give every node its own so the
+	// compute phase stays race free (ops migrate between node tracers at the
+	// sequential inbox-injection point and all are absorbed at end of run).
+	str *span.Tracer
 }
 
 // Result reports a trace replay.
@@ -205,6 +225,14 @@ type System struct {
 
 	ff bool // fast-forward over quiescent cycles
 
+	// Sharding: nodes are split into len(ranges) contiguous groups; the pool
+	// (live only inside RunTrace) runs the per-cycle compute phase of each
+	// group on its own worker. shardEv is per-shard scratch for the sharded
+	// next-event scan.
+	ranges  [][2]int
+	pool    *sim.ShardPool
+	shardEv []uint64
+
 	tr         *span.Tracer
 	sumBackSeq uint64
 
@@ -233,6 +261,8 @@ func New(cfg Config, kind mem.Kind) *System {
 		}
 	}
 	s := &System{cfg: cfg, kind: kind, xbar: network.New[frame](cfg.Net), reg: stats.NewRegistry(), ff: !cfg.LegacyStepping}
+	s.ranges = sim.ShardRanges(cfg.Nodes, cfg.Shards)
+	s.shardEv = make([]uint64, len(s.ranges))
 	injecting := cfg.Faults.Enabled()
 	if injecting {
 		s.flt = cfg.Faults.WithDefaults()
@@ -291,17 +321,30 @@ func (s *System) StatsSnapshot() stats.Snapshot { return s.reg.Snapshot() }
 // the crossbar plus every node's DRAM, cache banks, scatter-add units, and
 // (in combining mode) combining banks, each on a node-qualified track. A nil
 // tracer disables tracing.
+//
+// With Shards > 1 every node's components record into a node-private tracer
+// so the parallel compute phase never shares tracer state; sampling
+// decisions stay on tr (consumed in the sequential issue phase), sampled ops
+// migrate between node tracers when they cross the network (a sequential
+// phase), and everything is absorbed back into tr at end of run. Because
+// span.Aggregate is order-insensitive, the resulting reports are
+// byte-identical to a sequential run.
 func (s *System) SetSpanTracer(tr *span.Tracer) {
 	s.tr = tr
 	s.xbar.SetSpanTracer(tr)
 	for _, n := range s.nodes {
-		n.dram.SetSpanTracer(tr, fmt.Sprintf("dram[%d]", n.id))
+		nt := tr
+		if tr != nil && len(s.ranges) > 1 {
+			nt = span.New(tr.Rate())
+		}
+		n.str = nt
+		n.dram.SetSpanTracer(nt, fmt.Sprintf("dram[%d]", n.id))
 		for b := range n.banks {
-			n.banks[b].SetSpanTracer(tr, fmt.Sprintf("cache[%d.%d]", n.id, b))
-			n.sas[b].SetSpanTracer(tr, fmt.Sprintf("saunit[%d.%d]", n.id, b))
+			n.banks[b].SetSpanTracer(nt, fmt.Sprintf("cache[%d.%d]", n.id, b))
+			n.sas[b].SetSpanTracer(nt, fmt.Sprintf("saunit[%d.%d]", n.id, b))
 		}
 		for b := range n.comb {
-			n.comb[b].SetSpanTracer(tr, fmt.Sprintf("comb[%d.%d]", n.id, b))
+			n.comb[b].SetSpanTracer(nt, fmt.Sprintf("comb[%d.%d]", n.id, b))
 		}
 	}
 }
@@ -339,6 +382,14 @@ func (s *System) RunTrace(refs []Ref) Result {
 	for i, r := range refs {
 		n := s.nodes[i%len(s.nodes)]
 		n.trace = append(n.trace, r)
+	}
+	if len(s.ranges) > 1 {
+		pool := sim.NewShardPool(len(s.ranges))
+		s.pool = pool
+		defer func() {
+			s.pool = nil
+			pool.Close()
+		}()
 	}
 	start := s.now
 	limit := s.now + 2_000_000_000
@@ -393,6 +444,13 @@ func (s *System) RunTrace(refs []Ref) Result {
 			}
 		}
 	}
+	// Fold the node-private shard tracers back into the system tracer (a
+	// no-op when they alias it) so callers see one coherent trace.
+	if s.tr != nil {
+		for _, n := range s.nodes {
+			s.tr.Absorb(n.str)
+		}
+	}
 	res := Result{
 		Nodes:    s.cfg.Nodes,
 		Adds:     uint64(len(refs)),
@@ -417,48 +475,45 @@ func (s *System) RunTrace(refs []Ref) Result {
 	return res
 }
 
+// runShards executes fn(shard) for every shard, on the pool when one is
+// live (inside a sharded RunTrace) and inline otherwise. fn must confine
+// its writes to the shard's node range (plus per-shard scratch).
+func (s *System) runShards(fn func(shard int)) {
+	if s.pool != nil {
+		s.pool.Run(fn)
+		return
+	}
+	for sh := range s.ranges {
+		fn(sh)
+	}
+}
+
 // nextEvent returns the earliest cycle at which any part of the system can
 // do work (the multi-node analogue of sim.Engine's horizon; the System owns
 // its own clock rather than a sim.Engine). Pending trace issue or staged
 // inbox/outbox traffic is work now; otherwise the minimum over every
-// component's NextEvent.
+// component's NextEvent. The per-node scans fan out over the shard pool —
+// NextEvent is a pure read, and min is order-insensitive, so the sharded
+// scan returns exactly the sequential answer; a shard group fast-forwards
+// only to the min over all its members.
 func (s *System) nextEvent() uint64 {
 	ev := s.xbar.NextEvent(s.now)
-	for _, n := range s.nodes {
-		if ev <= s.now {
-			return s.now
-		}
-		if n.issued < len(n.trace) || !n.inbox.Empty() || !n.outbox.Empty() {
-			return s.now
-		}
-		if s.reliable {
-			if len(n.ackbox) > 0 {
-				return s.now
-			}
-			// Unacked frames wake the system at their retransmit deadlines.
-			for i := range n.pending {
-				if d := n.pending[i].deadline; d < ev {
-					ev = d
-				}
+	if ev <= s.now {
+		return s.now
+	}
+	s.runShards(func(sh int) {
+		r := s.ranges[sh]
+		e := sim.Never
+		for i := r[0]; i < r[1] && e > s.now; i++ {
+			if t := s.nodeNextEvent(s.nodes[i]); t < e {
+				e = t
 			}
 		}
-		for _, u := range n.sas {
-			if t := u.NextEvent(s.now); t < ev {
-				ev = t
-			}
-		}
-		for _, b := range n.banks {
-			if t := b.NextEvent(s.now); t < ev {
-				ev = t
-			}
-		}
-		for _, cb := range n.comb {
-			if t := cb.NextEvent(s.now); t < ev {
-				ev = t
-			}
-		}
-		if t := n.dram.NextEvent(s.now); t < ev {
-			ev = t
+		s.shardEv[sh] = e
+	})
+	for _, e := range s.shardEv {
+		if e < ev {
+			ev = e
 		}
 	}
 	if ev < s.now {
@@ -467,38 +522,109 @@ func (s *System) nextEvent() uint64 {
 	return ev
 }
 
+// nodeNextEvent returns the earliest cycle at which one node can do work.
+func (s *System) nodeNextEvent(n *node) uint64 {
+	if n.issued < len(n.trace) || !n.inbox.Empty() || !n.outbox.Empty() {
+		return s.now
+	}
+	ev := sim.Never
+	if s.reliable {
+		if len(n.ackbox) > 0 {
+			return s.now
+		}
+		// Unacked frames wake the system at their retransmit deadlines.
+		for i := range n.pending {
+			if d := n.pending[i].deadline; d < ev {
+				ev = d
+			}
+		}
+	}
+	for _, u := range n.sas {
+		if t := u.NextEvent(s.now); t < ev {
+			ev = t
+		}
+	}
+	for _, b := range n.banks {
+		if t := b.NextEvent(s.now); t < ev {
+			ev = t
+		}
+	}
+	for _, cb := range n.comb {
+		if t := cb.NextEvent(s.now); t < ev {
+			ev = t
+		}
+	}
+	if t := n.dram.NextEvent(s.now); t < ev {
+		ev = t
+	}
+	return ev
+}
+
 // skipTo jumps the clock to cycle h, applying every component's batch
-// skipped-cycle effects (per-cycle occupancy samples).
+// skipped-cycle effects (per-cycle occupancy samples). The per-node Skip
+// fan-out shards: Skip touches only node-local occupancy counters.
 func (s *System) skipTo(h uint64) {
 	cycles := h - s.now
 	s.xbar.Skip(s.now, cycles)
-	for _, n := range s.nodes {
-		for _, u := range n.sas {
-			u.Skip(s.now, cycles)
+	s.runShards(func(sh int) {
+		r := s.ranges[sh]
+		for i := r[0]; i < r[1]; i++ {
+			n := s.nodes[i]
+			for _, u := range n.sas {
+				u.Skip(s.now, cycles)
+			}
+			for _, b := range n.banks {
+				b.Skip(s.now, cycles)
+			}
+			for _, cb := range n.comb {
+				cb.Skip(s.now, cycles)
+			}
+			n.dram.Skip(s.now, cycles)
 		}
-		for _, b := range n.banks {
-			b.Skip(s.now, cycles)
-		}
-		for _, cb := range n.comb {
-			cb.Skip(s.now, cycles)
-		}
-		n.dram.Skip(s.now, cycles)
-	}
+	})
 	s.now = h
 }
 
-// step advances the whole system one cycle.
+// step advances the whole system one cycle with a two-phase schedule:
+//
+//  1. Exchange (sequential, node order): everything that touches shared
+//     state — crossbar sends and receives, link sequence numbers, sum-back
+//     sequence numbers, sampling decisions, live-op migration between node
+//     tracers.
+//  2. Compute (parallel over shard node ranges): the node-local hardware —
+//     scatter-add units, cache and combining banks, DRAM — which within a
+//     cycle interacts only through the per-port crossbar queues exchanged
+//     in phase 1 and ticked in phase 3.
+//  3. Commit (sequential, node order): staged combining-to-direct
+//     degradations, then the crossbar tick that moves frames between ports.
+//
+// Node-internal part order matches the pre-sharding stepNode exactly, and
+// no compute-phase write is read by another node's exchange in the same
+// cycle, so this schedule is observably identical to the sequential one at
+// any shard count.
 func (s *System) step() {
 	for _, n := range s.nodes {
-		s.stepNode(n)
+		s.stepNodeExchange(n)
+	}
+	s.runShards(func(sh int) {
+		r := s.ranges[sh]
+		for i := r[0]; i < r[1]; i++ {
+			s.stepNodeCompute(s.nodes[i])
+		}
+	})
+	for _, n := range s.nodes {
+		s.applyDegrade(n)
 	}
 	s.xbar.Tick(s.now)
 	s.now++
 }
 
-// stepNode advances one node: network arrivals, trace issue, sum-back
-// draining, and component ticks.
-func (s *System) stepNode(n *node) {
+// stepNodeExchange is the sequential half of a node's cycle: network
+// arrivals, inbox injection, trace issue, sum-back draining, link
+// maintenance, and outbox draining — every part that reads or writes state
+// shared across nodes (the crossbar, link and sum-back sequence numbers,
+// link metrics, the sampling counter, other nodes' tracers).
+func (s *System) stepNodeExchange(n *node) {
 	// Stage network arrivals. Ack frames are consumed unconditionally —
 	// they only shrink the sender's retransmission buffer, and holding them
 	// behind data-plane back-pressure would deadlock the link (the sender
@@ -543,13 +669,18 @@ func (s *System) stepNode(n *node) {
 		}
 		if s.owner(r.Addr) == n.id {
 			u := n.localUnit(r.Addr)
+			if s.tr != nil {
+				// The op crossed the network: move its live lifecycle from
+				// the sender's tracer to this node's before the unit can
+				// check Sampled. A no-op for unsampled ids and when the
+				// tracers alias (sequential runs).
+				s.nodes[r.Node].str.Transfer(n.str, r.Node, r.ID)
+			}
 			if !u.CanAccept(s.now) || !u.Accept(s.now, r) {
 				break
 			}
-			if s.tr != nil {
-				// Remote request reached its owner: back in a bank queue.
-				s.tr.OpStage(r.Node, r.ID, span.StageBankQ, s.now)
-			}
+			// Remote request reached its owner: back in a bank queue.
+			n.str.OpStage(r.Node, r.ID, span.StageBankQ, s.now)
 		} else {
 			if !s.cfg.Hierarchical {
 				panic(fmt.Sprintf("multinode: node %d received request for node %d without hierarchy",
@@ -570,10 +701,12 @@ func (s *System) stepNode(n *node) {
 			break
 		}
 		if s.tr != nil && s.tr.SampleNext() {
-			s.tr.OpBegin(n.id, req.ID, req.Kind, req.Addr, s.now)
+			// The sampling decision is the system tracer's (one global
+			// cadence); the lifecycle lives on the issuing node's tracer.
+			n.str.OpBegin(n.id, req.ID, req.Kind, req.Addr, s.now)
 			if !s.cfg.Combining && s.owner(req.Addr) != n.id {
 				// Direct mode: the request is already on the wire.
-				s.tr.OpStage(n.id, req.ID, span.StageNet, s.now)
+				n.str.OpStage(n.id, req.ID, span.StageNet, s.now)
 			}
 		}
 		n.issued++
@@ -626,7 +759,13 @@ func (s *System) stepNode(n *node) {
 		}
 		n.outbox.Pop()
 	}
-	// Tick the hardware.
+}
+
+// stepNodeCompute is the parallel half of a node's cycle: ticking the
+// node-local hardware and moving its internal responses. It touches only
+// the node's own components, stats groups, fault injectors, and tracer, so
+// different nodes' compute halves commute and may run on different shards.
+func (s *System) stepNodeCompute(n *node) {
 	for _, u := range n.sas {
 		u.Tick(s.now)
 	}
@@ -638,8 +777,12 @@ func (s *System) stepNode(n *node) {
 	}
 	// The degradation check runs right after the combining banks tick — the
 	// cycle a scrub crosses the threshold is a worked cycle in both stepping
-	// modes, so the combining-to-direct transition lands identically.
-	s.checkDegrade(n)
+	// modes, so the combining-to-direct transition lands identically. Only
+	// the detection happens here; the transition itself (a shared counter
+	// and the flush start) is staged for the sequential commit phase, which
+	// is equivalent because nothing later in this node's cycle reads
+	// combining-bank or degradation state.
+	s.detectDegrade(n)
 	n.dram.Tick(s.now)
 	for {
 		r, ok := n.dram.PopResponse(s.now)
@@ -735,23 +878,34 @@ func (s *System) retransmit(n *node) {
 	}
 }
 
-// checkDegrade trips a node from cache-combining to direct remote
-// scatter-add once its combining banks have scrubbed DegradeThreshold
-// parity faults: the store is deemed unreliable, resident partials flush
-// out to their owners, and every subsequent remote reference crosses the
-// network directly. Called immediately after the combining banks tick, so
-// both stepping modes observe the crossing at the same cycle.
-func (s *System) checkDegrade(n *node) {
-	if n.degraded || s.degradeAt == 0 || len(n.comb) == 0 {
+// detectDegrade notices that a node's combining banks have scrubbed
+// DegradeThreshold parity faults — the store is deemed unreliable — and
+// stages the combining-to-direct fallback for the commit phase. Pure
+// node-local reads, so it is safe inside the parallel compute phase.
+func (s *System) detectDegrade(n *node) {
+	if n.degraded || n.wantDegrade || s.degradeAt == 0 || len(n.comb) == 0 {
 		return
 	}
 	var faults uint64
 	for _, cb := range n.comb {
 		faults += cb.FaultCount()
 	}
-	if faults < s.degradeAt {
+	if faults >= s.degradeAt {
+		n.wantDegrade = true
+	}
+}
+
+// applyDegrade commits a staged degradation: resident partials flush out to
+// their owners and every subsequent remote reference crosses the network
+// directly. Runs in the sequential commit phase, in node order, because it
+// bumps a shared counter; the cycle a scrub crosses the threshold is a
+// worked cycle in both stepping modes, so the transition lands identically
+// with and without fast-forward and at any shard count.
+func (s *System) applyDegrade(n *node) {
+	if !n.wantDegrade {
 		return
 	}
+	n.wantDegrade = false
 	n.degraded = true
 	s.lmet.degraded.Inc()
 	for _, cb := range n.comb {

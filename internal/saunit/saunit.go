@@ -158,16 +158,23 @@ func newMetrics(entries int) metrics {
 
 // Unit is one scatter-add unit.
 type Unit struct {
-	cfg       Config
-	down      port.Word
-	inQ       *sim.Queue[mem.Request]
-	upQ       *sim.Queue[mem.Response] // responses to deliver upstream
-	wbQ       *sim.Queue[mem.Request]  // sum write-backs awaiting downstream
-	cs        []entry
-	csUsed    int     // valid combining-store entries (occupancy)
-	ready     []chain // values ready to combine or write back
-	fu        *sim.Delay[fuOp]
-	active    map[mem.Addr]bool // addresses with a live chain (ready, FU, or wbQ)
+	cfg    Config
+	down   port.Word
+	inQ    *sim.Queue[mem.Request]
+	upQ    *sim.Queue[mem.Response] // responses to deliver upstream
+	wbQ    *sim.Queue[mem.Request]  // sum write-backs awaiting downstream
+	cs     []entry
+	csUsed int     // valid combining-store entries (occupancy)
+	ready  []chain // values ready to combine or write back
+	still  []chain // issueFU scratch, swapped with ready each call
+	fu     *sim.Delay[fuOp]
+	// active holds the addresses with a live chain (ready, FU, or wbQ). At
+	// most one chain exists per address and chains are bounded by the
+	// combining-store size, so a linearly scanned slice stays resident in
+	// the same cache lines the CAM walk already touches — the map this
+	// replaces cost a hash plus a pointer chase per CAM lookup on the
+	// unit's hottest path (one membership test per accepted scatter-add).
+	active    []mem.Addr
 	nextSeq   uint64
 	stats     Stats
 	met       metrics
@@ -199,7 +206,7 @@ func New(cfg Config, down port.Word) *Unit {
 		wbQ:    sim.NewQueue[mem.Request](cfg.WBQDepth),
 		cs:     make([]entry, cfg.Entries),
 		fu:     sim.NewDelay[fuOp](cfg.FULatency, cfg.FULatency*cfg.FUIssueWidth+1),
-		active: make(map[mem.Addr]bool),
+		active: make([]mem.Addr, 0, cfg.Entries),
 		met:    newMetrics(cfg.Entries),
 	}
 }
@@ -314,6 +321,36 @@ func (u *Unit) csFind(addr mem.Addr, pred func(*entry) bool) int {
 	return -1
 }
 
+// activeHas reports whether a live chain exists for addr.
+func (u *Unit) activeHas(addr mem.Addr) bool {
+	for _, a := range u.active {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// activeAdd records a live chain for addr (no-op if already recorded).
+func (u *Unit) activeAdd(addr mem.Addr) {
+	if !u.activeHas(addr) {
+		u.active = append(u.active, addr)
+	}
+}
+
+// activeDel forgets addr's chain. Swap-delete is fine: the set answers only
+// membership queries, so element order is unobservable.
+func (u *Unit) activeDel(addr mem.Addr) {
+	for i, a := range u.active {
+		if a == addr {
+			last := len(u.active) - 1
+			u.active[i] = u.active[last]
+			u.active = u.active[:last]
+			return
+		}
+	}
+}
+
 // csFree returns a free entry index or -1.
 func (u *Unit) csFree() int {
 	for i := range u.cs {
@@ -367,7 +404,7 @@ func (u *Unit) drainDownstream(now uint64) {
 			// to waiting in the combining store for the FU chain.
 			u.tr.OpStage(u.cs[i].node, u.cs[i].sid-1, span.StageCS, now)
 		}
-		u.active[resp.Addr] = true
+		u.activeAdd(resp.Addr)
 		u.ready = append(u.ready, chain{addr: resp.Addr, kind: u.cs[i].kind, val: resp.Val})
 	}
 }
@@ -424,7 +461,7 @@ func (u *Unit) completeFU(now uint64) {
 // a write-back (step 7).
 func (u *Unit) issueFU(now uint64) {
 	issued := 0
-	var still []chain
+	still := u.still[:0] // reuse last call's buffer; swapped below
 	for k := range u.ready {
 		ch := u.ready[k]
 		if issued >= u.cfg.FUIssueWidth || u.fu.Full() {
@@ -444,7 +481,7 @@ func (u *Unit) issueFU(now uint64) {
 				u.stats.MemWrites++
 				u.met.memWrites.Inc()
 				u.met.wbQDepth.Set(int64(u.wbQ.Len()))
-				delete(u.active, ch.addr)
+				u.activeDel(ch.addr)
 			} else {
 				still = append(still, ch)
 			}
@@ -466,7 +503,9 @@ func (u *Unit) issueFU(now uint64) {
 		}
 		issued++
 	}
-	u.ready = still
+	// Swap buffers: the surviving chains become ready, the drained ready
+	// slice becomes next call's scratch. The two never alias.
+	u.ready, u.still = still, u.ready[:0]
 }
 
 // nextOperand selects the combining-store entry a chain consumes next: the
@@ -563,7 +602,7 @@ func (u *Unit) acceptInput(now uint64) {
 		}
 		// CAM: is this address already covered by a buffered entry or a
 		// live chain? If so this request only buffers its operand.
-		exists := u.active[r.Addr] || u.csFind(r.Addr, func(*entry) bool { return true }) >= 0
+		exists := u.activeHas(r.Addr) || u.csFind(r.Addr, func(*entry) bool { return true }) >= 0
 		e := &u.cs[i]
 		u.nextSeq++
 		*e = entry{valid: true, addr: r.Addr, kind: r.Kind, val: r.Val, node: r.Node, seq: u.nextSeq}
