@@ -23,6 +23,16 @@
 // The run fails unless median(base) / median(test) >= min-speedup. Either
 // side missing from the input is a hard failure: a speedup gate that
 // silently skips when the benchmark is renamed gates nothing.
+//
+// A third mode gates a saload report instead of bench output — the
+// server-load CI job's latency/availability bar:
+//
+//	benchgate -latency LOAD_PR.json -max-p99 2s -min-rps 10 -max-5xx 0
+//
+// It fails on p99 above -max-p99, achieved RPS below -min-rps, more than
+// -max-5xx genuine 5xx responses, or any transport error. 429s and drain
+// 503s are expected pushback and never gate. -latency skips the benchmark
+// parsing entirely.
 package main
 
 import (
@@ -35,6 +45,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"scatteradd/internal/server"
 )
 
 func main() {
@@ -45,7 +58,24 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 0.10, "maximum allowed fractional ns/op regression of the gate benchmark")
 	speedup := flag.String("speedup", "", "BASE:TEST benchmark pair within this summary; fail unless BASE/TEST >= -min-speedup")
 	minSpeedup := flag.Float64("min-speedup", 2.0, "minimum required median speedup for the -speedup pair")
+	latency := flag.String("latency", "", "saload report to gate instead of bench output")
+	maxP99 := flag.Duration("max-p99", 0, "with -latency: maximum allowed p99 (0 = don't gate p99)")
+	minRPS := flag.Float64("min-rps", 0, "with -latency: minimum achieved 2xx rate (0 = don't gate)")
+	max5xx := flag.Int("max-5xx", 0, "with -latency: maximum allowed genuine 5xx responses")
 	flag.Parse()
+
+	if *latency != "" {
+		rep, err := server.ReadLoadReport(*latency)
+		if err != nil {
+			fatal(err)
+		}
+		msg, ok := LatencyGate(rep, *maxP99, *minRPS, *max5xx)
+		fmt.Fprintln(os.Stderr, msg)
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 
 	r := io.Reader(os.Stdin)
 	if *in != "" {
@@ -223,6 +253,35 @@ func SpeedupGate(sum map[string]*Result, baseName, testName string, minSpeedup f
 	}
 	return fmt.Sprintf("benchgate: %s/%s: %.1f ns/op / %.1f ns/op = %.2fx %s",
 		baseName, testName, b.Median, tst.Median, ratio, verdict), pass
+}
+
+// LatencyGate holds a saload report against the server-load job's bars:
+// p99 latency, achieved throughput, genuine 5xx count, and transport
+// errors. An empty report (no 2xx latencies at all) is a hard failure — a
+// load test that measured nothing gates nothing.
+func LatencyGate(rep server.LoadReport, maxP99 time.Duration, minRPS float64, max5xx int) (string, bool) {
+	var fails []string
+	if rep.Latency.Count == 0 {
+		fails = append(fails, "no successful requests measured")
+	}
+	if maxP99 > 0 && rep.Latency.P99 > float64(maxP99) {
+		fails = append(fails, fmt.Sprintf("p99 %s > limit %s", time.Duration(rep.Latency.P99), maxP99))
+	}
+	if minRPS > 0 && rep.AchievedRPS < minRPS {
+		fails = append(fails, fmt.Sprintf("achieved %.1f rps < floor %.1f", rep.AchievedRPS, minRPS))
+	}
+	if rep.Errors5xx > max5xx {
+		fails = append(fails, fmt.Sprintf("%d genuine 5xx > limit %d", rep.Errors5xx, max5xx))
+	}
+	if rep.TransportErrors > 0 {
+		fails = append(fails, fmt.Sprintf("%d transport errors", rep.TransportErrors))
+	}
+	line := fmt.Sprintf("benchgate: load: %d ok / %d sent (%.1f rps), p99 %s, %d x 429, %d drained, %d x 5xx",
+		rep.OK, rep.Sent, rep.AchievedRPS, time.Duration(rep.Latency.P99), rep.Rejected429, rep.Drained503, rep.Errors5xx)
+	if len(fails) > 0 {
+		return fmt.Sprintf("%s FAIL: %s", line, strings.Join(fails, "; ")), false
+	}
+	return line + " ok", true
 }
 
 // Gate compares the gate benchmark's median against the baseline and

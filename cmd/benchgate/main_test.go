@@ -3,6 +3,9 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
+
+	"scatteradd/internal/server"
 )
 
 const sample = `goos: linux
@@ -133,5 +136,44 @@ func TestGateMissingInInput(t *testing.T) {
 	delete(sum, "BenchmarkEngineTick")
 	if msg, ok := Gate(sum, base, "BenchmarkEngineTick", 0.10); ok {
 		t.Errorf("Gate with missing input benchmark passed (%s), want fail", msg)
+	}
+}
+
+func loadFixture() server.LoadReport {
+	return server.LoadReport{
+		Sent: 300, OK: 290, AchievedRPS: 29.0,
+		Rejected429: 8, Drained503: 2,
+		Latency: server.LatencySummary{Count: 290, P99: float64(800 * time.Millisecond)},
+	}
+}
+
+func TestLatencyGate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*server.LoadReport)
+		maxP99 time.Duration
+		minRPS float64
+		max5xx int
+		want   bool
+	}{
+		{name: "healthy run", maxP99: 2 * time.Second, minRPS: 10, want: true},
+		{name: "p99 over limit", maxP99: 500 * time.Millisecond, want: false},
+		{name: "p99 ungated when zero", maxP99: 0, want: true},
+		{name: "rps under floor", minRPS: 50, want: false},
+		{name: "genuine 5xx over limit", mutate: func(r *server.LoadReport) { r.Errors5xx = 1 }, want: false},
+		{name: "5xx within allowance", mutate: func(r *server.LoadReport) { r.Errors5xx = 1 }, max5xx: 1, want: true},
+		{name: "pushback never gates", mutate: func(r *server.LoadReport) { r.Rejected429 = 200; r.Drained503 = 50 }, want: true},
+		{name: "transport errors are hard fail", mutate: func(r *server.LoadReport) { r.TransportErrors = 1 }, want: false},
+		{name: "empty run gates nothing", mutate: func(r *server.LoadReport) { r.Latency = server.LatencySummary{}; r.OK = 0 }, want: false},
+	}
+	for _, tc := range tests {
+		rep := loadFixture()
+		if tc.mutate != nil {
+			tc.mutate(&rep)
+		}
+		msg, ok := LatencyGate(rep, tc.maxP99, tc.minRPS, tc.max5xx)
+		if ok != tc.want {
+			t.Errorf("%s: LatencyGate = %v (%s), want %v", tc.name, ok, msg, tc.want)
+		}
 	}
 }

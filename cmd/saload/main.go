@@ -1,0 +1,241 @@
+// Command saload load-tests a scatteraddd daemon: it replays a mixed
+// schedule of simulation specs at a fixed target request rate (open loop)
+// and writes a latency/status report that cmd/benchgate's -latency mode can
+// gate CI on.
+//
+//	saload -addr http://127.0.0.1:8080 -rps 40 -duration 30s \
+//	       -mix mix.json -out LOAD_PR.json
+//
+// The mix file is a JSON array of weighted specs:
+//
+//	[
+//	  {"weight": 8, "spec": {"figure": "fig6",  "scale": 8, "format": "csv"}},
+//	  {"weight": 1, "spec": {"figure": "fig13", "scale": 8}}
+//	]
+//
+// -probe sends a single request instead and writes the raw response body to
+// stdout (exit 1 on any non-200) — CI uses it to hold the daemon's bytes
+// against the scatteradd CLI's.
+//
+// Accounting follows the server's overload semantics: 429s (admission or
+// quota pushback) and drain 503s (the X-Draining header) are expected
+// behavior counted separately; errors_5xx is genuine failure only, so a
+// zero-5xx gate holds across a graceful drain.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"scatteradd/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "scatteraddd base URL")
+	spec := flag.String("spec", "", "single spec JSON to replay (exclusive with -mix)")
+	mix := flag.String("mix", "", "weighted spec mix file (exclusive with -spec)")
+	rps := flag.Float64("rps", 20, "target request rate (open loop)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to issue requests")
+	maxInflight := flag.Int("max-inflight", 64, "client-side in-flight cap; schedule ticks beyond it are shed")
+	token := flag.String("token", "", "X-API-Token header (quota tenant)")
+	out := flag.String("out", "", "report output file (default stdout)")
+	probe := flag.Bool("probe", false, "send one request, write its body to stdout, exit 1 on non-200")
+	flag.Parse()
+
+	specs, err := loadSpecs(*spec, *mix)
+	if err != nil {
+		fatal(err)
+	}
+	if *probe {
+		os.Exit(runProbe(*addr, *token, specs[0]))
+	}
+	if *rps <= 0 {
+		fatal(fmt.Errorf("-rps %g: want > 0", *rps))
+	}
+	rep := runLoad(*addr, *token, specs, *rps, *duration, *maxInflight)
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	js = append(js, '\n')
+	if *out == "" {
+		os.Stdout.Write(js)
+	} else if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "saload: %d sent, %d ok, %d shed; p99 %s\n",
+		rep.Sent, rep.OK, rep.Shed, time.Duration(rep.Latency.P99))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "saload: %v\n", err)
+	os.Exit(2)
+}
+
+// loadSpecs resolves -spec/-mix into the replay schedule: each entry's spec
+// body repeated weight times, validated client-side so a typoed field fails
+// fast instead of burning a 30s CI load run on 400s.
+func loadSpecs(spec, mix string) ([][]byte, error) {
+	switch {
+	case spec != "" && mix != "":
+		return nil, fmt.Errorf("-spec and -mix are exclusive")
+	case spec != "":
+		body, err := checkSpec([]byte(spec))
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{body}, nil
+	case mix != "":
+		data, err := os.ReadFile(mix)
+		if err != nil {
+			return nil, err
+		}
+		var entries []struct {
+			Weight int             `json:"weight"`
+			Spec   json.RawMessage `json:"spec"`
+		}
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return nil, fmt.Errorf("mix %s: %v", mix, err)
+		}
+		var specs [][]byte
+		for i, e := range entries {
+			body, err := checkSpec(e.Spec)
+			if err != nil {
+				return nil, fmt.Errorf("mix entry %d: %v", i, err)
+			}
+			if e.Weight < 1 {
+				e.Weight = 1
+			}
+			for j := 0; j < e.Weight; j++ {
+				specs = append(specs, body)
+			}
+		}
+		if len(specs) == 0 {
+			return nil, fmt.Errorf("mix %s: no specs", mix)
+		}
+		return specs, nil
+	default:
+		return nil, fmt.Errorf("one of -spec or -mix is required")
+	}
+}
+
+// checkSpec validates one spec's JSON against the server's wire type with
+// the same unknown-field strictness the server applies.
+func checkSpec(raw []byte) ([]byte, error) {
+	var sp server.Spec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("spec %s: %v", raw, err)
+	}
+	return raw, nil
+}
+
+// runProbe sends one request and writes the body through verbatim.
+func runProbe(addr, token string, spec []byte) int {
+	resp, body, err := send(addr, token, spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saload: probe: %v\n", err)
+		return 1
+	}
+	os.Stdout.Write(body)
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "saload: probe: status %d\n", resp.StatusCode)
+		return 1
+	}
+	return 0
+}
+
+func send(addr, token string, spec []byte) (*http.Response, []byte, error) {
+	req, err := http.NewRequest("POST", addr+"/v1/run", bytes.NewReader(spec))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("X-API-Token", token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body, err
+}
+
+// runLoad drives the open-loop schedule and aggregates the report.
+func runLoad(addr, token string, specs [][]byte, rps float64, duration time.Duration, maxInflight int) server.LoadReport {
+	rep := server.LoadReport{
+		Addr:        addr,
+		TargetRPS:   rps,
+		DurationSec: duration.Seconds(),
+		Status:      make(map[string]int),
+		Cache:       make(map[string]int),
+	}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		inflight  int
+		wg        sync.WaitGroup
+	)
+	issue := func(spec []byte) {
+		defer wg.Done()
+		start := time.Now()
+		resp, _, err := send(addr, token, spec)
+		elapsed := time.Since(start)
+		mu.Lock()
+		defer mu.Unlock()
+		inflight--
+		if err != nil {
+			rep.TransportErrors++
+			return
+		}
+		rep.Status[strconv.Itoa(resp.StatusCode)]++
+		switch {
+		case resp.StatusCode < 300:
+			rep.OK++
+			latencies = append(latencies, elapsed)
+			if st := resp.Header.Get("X-Cache"); st != "" {
+				rep.Cache[st]++
+			}
+		case resp.StatusCode == http.StatusTooManyRequests:
+			rep.Rejected429++
+		case resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("X-Draining") != "":
+			rep.Drained503++
+		case resp.StatusCode >= 500:
+			rep.Errors5xx++
+		}
+	}
+
+	interval := time.Duration(float64(time.Second) / rps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(duration)
+	for next := 0; time.Now().Before(deadline); next++ {
+		<-ticker.C
+		mu.Lock()
+		if inflight >= maxInflight {
+			rep.Shed++
+			mu.Unlock()
+			continue
+		}
+		inflight++
+		mu.Unlock()
+		rep.Sent++
+		wg.Add(1)
+		go issue(specs[next%len(specs)])
+	}
+	wg.Wait()
+	rep.Latency = server.SummarizeLatencies(latencies)
+	rep.AchievedRPS = float64(rep.OK) / duration.Seconds()
+	return rep
+}

@@ -27,7 +27,7 @@ type checkpointFile struct {
 	Table       Table
 }
 
-// fingerprint encodes every option that can change a figure's output, as
+// Fingerprint encodes every option that can change a figure's output, as
 // canonical JSON: an explicit map with fixed key strings, which encoding/json
 // marshals with sorted keys. The keys are part of the on-disk format — they
 // deliberately do not follow Go field names, so renaming or reordering an
@@ -38,8 +38,12 @@ type checkpointFile struct {
 // intra-run shard count ever changes rendered bytes (enforced by
 // TestReportDeterministicAcrossJobs, TestReportDeterministicAcrossShards,
 // and internal/differ), so a sequential resume of a parallel sweep still
-// hits its snapshots.
-func (o Options) fingerprint() string {
+// hits its snapshots. Progress is a pure observer and is likewise absent.
+//
+// Beyond checkpoints, the fingerprint is the simulation service's result
+// cache and request-coalescing key (internal/server): two requests whose
+// specs fingerprint identically are one simulation.
+func (o Options) Fingerprint() string {
 	flt := o.Faults
 	data, err := json.Marshal(map[string]any{
 		"scale":  o.Scale,
@@ -100,7 +104,7 @@ func (o Options) loadCheckpoint(path string) (Table, bool) {
 	if err := json.Unmarshal(data, &cf); err != nil {
 		return Table{}, false
 	}
-	if cf.Fingerprint != o.fingerprint() {
+	if cf.Fingerprint != o.Fingerprint() {
 		return Table{}, false
 	}
 	return cf.Table, true
@@ -110,7 +114,7 @@ func (o Options) loadCheckpoint(path string) (Table, bool) {
 // deliberately silent beyond a stderr note: a read-only or full disk should
 // degrade a sweep to uncheckpointed, not kill it after the work is done.
 func (o Options) saveCheckpoint(path string, t Table) {
-	data, err := json.MarshalIndent(checkpointFile{Fingerprint: o.fingerprint(), Table: t}, "", " ")
+	data, err := json.MarshalIndent(checkpointFile{Fingerprint: o.Fingerprint(), Table: t}, "", " ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "exp: checkpoint %s: %v\n", path, err)
 		return
@@ -119,26 +123,36 @@ func (o Options) saveCheckpoint(path string, t Table) {
 		fmt.Fprintf(os.Stderr, "exp: checkpoint %s: %v\n", path, err)
 		return
 	}
+	if err := WriteFileAtomic(path, data); err != nil {
+		fmt.Fprintf(os.Stderr, "exp: checkpoint %s: %v\n", path, err)
+	}
+}
+
+// WriteFileAtomic durably replaces path with data: write to a temp file in
+// the same directory, fsync, close, rename. The rename is the commit point —
+// a crash at any step leaves either the old file or none, never a torn one —
+// and the fsync before it guarantees the renamed file's data actually hit the
+// disk (without it, a crash after the rename could publish an empty-but-named
+// file). Both the figure checkpoints above and the simulation server's
+// persisted result-cache index (internal/server) commit through this helper.
+//
+// All write/sync/close failures surface with their underlying errors — a full
+// disk and a permission problem need different operator responses.
+func WriteFileAtomic(path string, data []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "exp: checkpoint %s: %v\n", path, err)
-		return
+		return err
 	}
-	// Sync before rename: the rename is the commit point, and without the
-	// fsync a crash after it could publish a snapshot whose data never hit
-	// the disk (an empty-but-renamed file). All three failures surface with
-	// their underlying errors — a full disk and a permission problem need
-	// different operator responses.
 	_, werr := tmp.Write(data)
 	serr := tmp.Sync()
 	cerr := tmp.Close()
 	if err := errors.Join(werr, serr, cerr); err != nil {
 		os.Remove(tmp.Name())
-		fmt.Fprintf(os.Stderr, "exp: checkpoint %s: write temp %s: %v\n", path, tmp.Name(), err)
-		return
+		return fmt.Errorf("write temp %s: %w", tmp.Name(), err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		fmt.Fprintf(os.Stderr, "exp: checkpoint %s: %v\n", path, err)
+		return err
 	}
+	return nil
 }

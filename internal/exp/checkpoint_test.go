@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"scatteradd/internal/fault"
@@ -124,7 +125,7 @@ func TestFaultedFigureDeterministicAcrossJobs(t *testing.T) {
 // hits its snapshots.
 func TestFingerprintSemantics(t *testing.T) {
 	base := Options{Scale: 8, Seed: 1, Faults: fault.DefaultChaos()}
-	fp := base.fingerprint()
+	fp := base.Fingerprint()
 
 	invalidate := map[string]Options{}
 	o := base
@@ -149,7 +150,7 @@ func TestFingerprintSemantics(t *testing.T) {
 	o.Faults.DegradeThreshold = 99
 	invalidate["degrade threshold"] = o
 	for name, opt := range invalidate {
-		if opt.fingerprint() == fp {
+		if opt.Fingerprint() == fp {
 			t.Errorf("changed %s did not change the fingerprint", name)
 		}
 	}
@@ -164,8 +165,11 @@ func TestFingerprintSemantics(t *testing.T) {
 	o = base
 	o.CheckpointDir = "/elsewhere"
 	hit["checkpoint dir"] = o
+	o = base
+	o.Progress = func(done, total int) {}
+	hit["progress hook"] = o
 	for name, opt := range hit {
-		if opt.fingerprint() != fp {
+		if opt.Fingerprint() != fp {
 			t.Errorf("changed %s must not change the fingerprint", name)
 		}
 	}
@@ -221,8 +225,72 @@ func TestFingerprintCoversFaultConfig(t *testing.T) {
 	if n := reflect.TypeOf(fault.Config{}).NumField(); n != knownFields {
 		t.Fatalf("fault.Config has %d fields (expected %d): add the new field to Options.fingerprint with a stable key, then update this count", n, knownFields)
 	}
-	if n := reflect.TypeOf(Options{}).NumField(); n != 10 {
+	if n := reflect.TypeOf(Options{}).NumField(); n != 11 {
 		t.Fatalf("Options has %d fields: decide whether the new option affects output, wire it into fingerprint if so, then update this count", n)
+	}
+}
+
+// TestProgressHookCountsRuns: the Progress observer reports every completed
+// simulation of a fan-out, ending at done == total, for both the sequential
+// and the parallel runner paths — and its presence changes no rendered byte.
+func TestProgressHookCountsRuns(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		var mu sync.Mutex
+		var calls []int
+		total := -1
+		o := Options{Scale: 32, Jobs: jobs}
+		o.Progress = func(done, n int) {
+			mu.Lock()
+			calls = append(calls, done)
+			total = n
+			mu.Unlock()
+		}
+		withHook := Fig6(o)
+		if len(calls) == 0 {
+			t.Fatalf("jobs=%d: progress hook never called", jobs)
+		}
+		if got := len(calls); got != total {
+			t.Fatalf("jobs=%d: %d progress calls for a fan-out of %d", jobs, got, total)
+		}
+		seen := make(map[int]bool, len(calls))
+		for _, d := range calls {
+			if d < 1 || d > total || seen[d] {
+				t.Fatalf("jobs=%d: bad done sequence %v (total %d)", jobs, calls, total)
+			}
+			seen[d] = true
+		}
+		plain := Fig6(Options{Scale: 32, Jobs: jobs})
+		if withHook.String() != plain.String() {
+			t.Fatalf("jobs=%d: progress hook changed rendered output", jobs)
+		}
+	}
+}
+
+// TestWriteFileAtomic: the commit helper replaces the target in one step,
+// leaves no temp litter, and refuses an unwritable directory with an error
+// instead of a panic.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.json")
+	if err := WriteFileAtomic(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "v2" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp litter left behind: %v", ents)
+	}
+	if err := WriteFileAtomic(filepath.Join(dir, "missing", "x"), []byte("y")); err == nil {
+		t.Fatal("write into a missing directory reported success")
 	}
 }
 

@@ -158,6 +158,16 @@ type Options struct {
 	// off. Jobs does not participate in the match (output is identical for
 	// every worker count); every other option does.
 	CheckpointDir string
+	// Progress, when non-nil, is invoked as each of a fan-out's independent
+	// simulations completes, with the number done so far and the fan-out's
+	// total. It is a pure observer for live progress reporting (the
+	// simulation server streams these as NDJSON events): it never changes
+	// rendered output and does not participate in the checkpoint
+	// fingerprint. A figure may fan out more than once, restarting the
+	// count; with Jobs > 1 the callback runs on worker goroutines and must
+	// be safe for concurrent use. A figure served from a checkpoint
+	// snapshot reports no progress — nothing is simulated.
+	Progress func(done, total int)
 }
 
 // DefaultOptions runs at the paper's full dataset sizes with one worker per

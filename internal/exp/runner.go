@@ -49,6 +49,12 @@ type taskPanic struct {
 // whichever worker reached the recover first — so a mustVerify failure
 // reports the same task at any worker count.
 func (o Options) forEach(n int, fn func(int)) {
+	var completed atomic.Int64
+	note := func() {
+		if o.Progress != nil {
+			o.Progress(int(completed.Add(1)), n)
+		}
+	}
 	workers := o.jobs()
 	if workers > n {
 		workers = n
@@ -56,6 +62,7 @@ func (o Options) forEach(n int, fn func(int)) {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
+			note()
 		}
 		return
 	}
@@ -85,6 +92,7 @@ func (o Options) forEach(n int, fn func(int)) {
 					return
 				}
 				runOne(i)
+				note()
 			}
 		}()
 	}

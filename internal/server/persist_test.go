@@ -1,0 +1,155 @@
+package server
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scatteradd/internal/exp"
+)
+
+// TestIndexRoundTrip: save then load reproduces every entry AND the LRU
+// order, so a restarted daemon evicts in the same order the old one would
+// have.
+func TestIndexRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), indexFileName)
+	src := testCache(8)
+	for _, k := range []string{"a", "b", "c"} {
+		src.Do(k, func() exp.Table { return tableFor(k) })
+	}
+	src.Do("a", func() exp.Table { return tableFor("wrong") }) // touch: a is now MRU
+	n, err := src.saveIndex(path)
+	if err != nil || n != 3 {
+		t.Fatalf("saveIndex: %d entries, err %v", n, err)
+	}
+
+	dst := testCache(8)
+	loaded, skipped := dst.loadIndex(path)
+	if loaded != 3 || skipped != 0 {
+		t.Fatalf("loadIndex: loaded %d skipped %d (want 3, 0)", loaded, skipped)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		tab, st, _ := dst.Do(k, func() exp.Table { return tableFor("recomputed") })
+		if st != CacheHit || tab.Title != k {
+			t.Fatalf("key %s after reload: status %q title %q", k, st, tab.Title)
+		}
+	}
+	// LRU order survived: with capacity forced down to the warm set, inserting
+	// one more must evict b (oldest after a's touch), not a.
+	small := testCache(3)
+	small.loadIndex(path)
+	small.Do("d", func() exp.Table { return tableFor("d") })
+	if _, st, _ := small.Do("a", func() exp.Table { return tableFor("x") }); st != CacheHit {
+		t.Fatal("most recently used entry lost its position across save/load")
+	}
+	if _, st, _ := small.Do("b", func() exp.Table { return tableFor("x") }); st != CacheMiss {
+		t.Fatal("LRU entry survived an eviction that should have taken it")
+	}
+}
+
+// TestIndexCorruptEntrySkipped: one torn line costs exactly that entry — the
+// rest load, and the lost key silently recomputes.
+func TestIndexCorruptEntrySkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), indexFileName)
+	src := testCache(8)
+	for _, k := range []string{"a", "b", "c"} {
+		src.Do(k, func() exp.Table { return tableFor(k) })
+	}
+	if _, err := src.saveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	// Tear the middle entry (header is line 0, entries are 1..3).
+	lines[2] = lines[2][:len(lines[2])/2]
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := testCache(8)
+	loaded, skipped := dst.loadIndex(path)
+	if loaded != 2 || skipped != 1 {
+		t.Fatalf("loaded %d skipped %d (want 2, 1)", loaded, skipped)
+	}
+	var recomputed bool
+	if _, st, _ := dst.Do("b", func() exp.Table { recomputed = true; return tableFor("b2") }); st != CacheMiss || !recomputed {
+		t.Fatalf("corrupt entry's key: status %q recomputed=%v (want fresh miss)", st, recomputed)
+	}
+	if _, st, _ := dst.Do("a", func() exp.Table { return tableFor("x") }); st != CacheHit {
+		t.Fatal("entry before the corrupt line failed to load")
+	}
+	if _, st, _ := dst.Do("c", func() exp.Table { return tableFor("x") }); st != CacheHit {
+		t.Fatal("entry after the corrupt line failed to load")
+	}
+}
+
+// TestIndexVersionAndHeaderSafety: a future version, a garbage header, or a
+// missing file all mean "start cold", never an error.
+func TestIndexVersionAndHeaderSafety(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"future-version": `{"v":99}` + "\n" + `{"key":"a","table":{"title":"a"}}` + "\n",
+		"garbage-header": "not json at all\n",
+		"empty-file":     "",
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c := testCache(8)
+		if loaded, _ := c.loadIndex(path); loaded != 0 || c.Len() != 0 {
+			t.Errorf("%s: loaded %d entries (want cold start)", name, loaded)
+		}
+	}
+	c := testCache(8)
+	if loaded, skipped := c.loadIndex(filepath.Join(dir, "does-not-exist")); loaded != 0 || skipped != 0 {
+		t.Error("missing index file was not a clean cold start")
+	}
+}
+
+// TestIndexSaveIsAtomic: saving over an existing index leaves either the old
+// or the new content and no temp litter — the WriteFileAtomic contract, here
+// verified end to end through saveIndex.
+func TestIndexSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, indexFileName)
+	c1 := testCache(8)
+	c1.Do("old", func() exp.Table { return tableFor("old") })
+	if _, err := c1.saveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	c2 := testCache(8)
+	c2.Do("new", func() exp.Table { return tableFor("new") })
+	if _, err := c2.saveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	fresh := testCache(8)
+	if loaded, _ := fresh.loadIndex(path); loaded != 1 {
+		t.Fatalf("loaded %d entries after overwrite (want 1: the new index)", loaded)
+	}
+	if _, st, _ := fresh.Do("new", func() exp.Table { return tableFor("x") }); st != CacheHit {
+		t.Fatal("overwritten index did not contain the new entry")
+	}
+
+	// saveIndex creates the directory if needed (first boot with a fresh
+	// -cache-dir).
+	nested := filepath.Join(dir, "deep", "deeper", indexFileName)
+	if _, err := c2.saveIndex(nested); err != nil {
+		t.Fatalf("saveIndex into missing directory: %v", err)
+	}
+}

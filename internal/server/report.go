@@ -1,0 +1,101 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// LoadReport is the contract between cmd/saload (which writes one) and
+// cmd/benchgate's -latency mode (which gates CI on one): the outcome of
+// driving the simulation server at a target request rate for a fixed
+// duration. Latencies are nanoseconds to match benchgate's ns/op convention.
+type LoadReport struct {
+	// Addr is the server the load ran against.
+	Addr string `json:"addr"`
+	// TargetRPS and DurationSec describe the intended open-loop schedule.
+	TargetRPS   float64 `json:"target_rps"`
+	DurationSec float64 `json:"duration_sec"`
+	// Sent counts requests actually issued; Shed counts schedule ticks
+	// dropped because the in-flight cap was reached (client-side
+	// protection — a high Shed means the server could not keep up).
+	Sent int `json:"sent"`
+	Shed int `json:"shed"`
+	// Status counts responses by HTTP status code.
+	Status map[string]int `json:"status"`
+	// OK counts 2xx responses; AchievedRPS is OK over the measured span.
+	OK          int     `json:"ok"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	// Rejected429 counts admission/quota pushback (expected under
+	// overload), Drained503 counts drain refusals (expected during
+	// shutdown), Errors5xx counts everything 5xx EXCEPT drain 503s —
+	// genuine server failures. TransportErrors counts requests that never
+	// produced a status (connection refused, timeout).
+	Rejected429     int `json:"rejected_429"`
+	Drained503      int `json:"drained_503"`
+	Errors5xx       int `json:"errors_5xx"`
+	TransportErrors int `json:"transport_errors"`
+	// Cache tallies the X-Cache header over 2xx responses.
+	Cache map[string]int `json:"cache,omitempty"`
+	// Latency summarizes 2xx response latencies.
+	Latency LatencySummary `json:"latency_ns"`
+}
+
+// LatencySummary holds order statistics over observed latencies, in
+// nanoseconds.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// SummarizeLatencies reduces raw per-request latencies to the summary's
+// order statistics (nearest-rank percentiles).
+func SummarizeLatencies(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	ns := make([]float64, len(samples))
+	var sum float64
+	for i, d := range samples {
+		ns[i] = float64(d)
+		sum += float64(d)
+	}
+	sort.Float64s(ns)
+	rank := func(p float64) float64 {
+		i := int(p*float64(len(ns))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ns) {
+			i = len(ns) - 1
+		}
+		return ns[i]
+	}
+	return LatencySummary{
+		Count: len(ns),
+		Mean:  sum / float64(len(ns)),
+		P50:   rank(0.50),
+		P95:   rank(0.95),
+		P99:   rank(0.99),
+		Max:   ns[len(ns)-1],
+	}
+}
+
+// ReadLoadReport loads a LoadReport written by saload.
+func ReadLoadReport(path string) (LoadReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return LoadReport{}, err
+	}
+	var rep LoadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return LoadReport{}, fmt.Errorf("load report %s: %v", path, err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,485 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"scatteradd/internal/exp"
+	"scatteradd/internal/stats"
+)
+
+// Config sizes one simulation server. The zero value is usable: one worker
+// per CPU, a 64-deep queue, a 256-entry cache, no quotas, no persistence.
+type Config struct {
+	// Workers bounds concurrently running simulations (0 = NumCPU).
+	Workers int
+	// Queue bounds requests waiting for a worker beyond the running ones;
+	// a request arriving past Workers+Queue is answered 429 with
+	// Retry-After (0 = 64, negative = no waiting room).
+	Queue int
+	// RunJobs is exp.Options.Jobs for each simulation — per-request
+	// parallelism, multiplying with Workers (0 = 1: throughput over
+	// per-request latency).
+	RunJobs int
+	// CacheEntries bounds the LRU result cache (0 = 256, negative =
+	// disabled; in-flight coalescing stays on regardless).
+	CacheEntries int
+	// CacheDir, when non-empty, persists the result cache across restarts:
+	// Drain writes <dir>/cache-index.ndjson and New warms the LRU from it.
+	CacheDir string
+	// QuotaRPS and QuotaBurst are the per-tenant token-bucket rate and
+	// capacity (QuotaRPS <= 0 disables quotas).
+	QuotaRPS   float64
+	QuotaBurst int
+	// Limits bounds accepted specs (scale floor, shard cap).
+	Limits Limits
+	// Now overrides the clock for tests (nil = time.Now).
+	Now func() time.Time
+}
+
+// Server is the scatter-add simulation service. Create with New, mount
+// Handler on an http.Server, and call Drain before exit.
+type Server struct {
+	cfg   Config
+	cache *resultCache
+	quota *quotas
+
+	mu       sync.Mutex // guards draining, queued/running, and the "server" stats group
+	draining bool
+	queued   int
+	inflight sync.WaitGroup
+	sem      chan struct{} // one slot per simulation worker
+
+	reg         *stats.Registry
+	requests    *stats.Counter
+	responses2x *stats.Counter
+	responses4x *stats.Counter
+	responses5x *stats.Counter
+	busy429     *stats.Counter
+	drain503    *stats.Counter
+	streams     *stats.Counter
+	queuedG     *stats.Gauge
+	runningG    *stats.Gauge
+	running     int
+}
+
+// New builds a Server and, with CacheDir set, warms its result cache from
+// the persisted index of the previous run.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	switch {
+	case cfg.Queue == 0:
+		cfg.Queue = 64
+	case cfg.Queue < 0:
+		cfg.Queue = 0
+	}
+	switch {
+	case cfg.CacheEntries == 0:
+		cfg.CacheEntries = 256
+	case cfg.CacheEntries < 0:
+		cfg.CacheEntries = 0
+	}
+	if cfg.RunJobs <= 0 {
+		cfg.RunJobs = 1
+	}
+	reg := stats.NewRegistry()
+	s := &Server{
+		cfg:   cfg,
+		cache: newResultCache(cfg.CacheEntries, reg.Group("cache")),
+		quota: newQuotas(cfg.QuotaRPS, cfg.QuotaBurst, cfg.Now, reg.Group("quota")),
+		sem:   make(chan struct{}, cfg.Workers),
+		reg:   reg,
+	}
+	g := reg.Group("server")
+	s.requests = g.Counter("requests")
+	s.responses2x = g.Counter("responses_2xx")
+	s.responses4x = g.Counter("responses_4xx")
+	s.responses5x = g.Counter("responses_5xx")
+	s.busy429 = g.Counter("rejected_busy")
+	s.drain503 = g.Counter("rejected_draining")
+	s.streams = g.Counter("streams")
+	s.queuedG = g.Gauge("queued")
+	s.runningG = g.Gauge("running")
+	if cfg.CacheDir != "" {
+		if loaded, _ := s.cache.loadIndex(s.indexPath()); loaded > 0 {
+			fmt.Fprintf(os.Stderr, "server: warmed result cache with %d persisted entries\n", loaded)
+		}
+	}
+	return s
+}
+
+func (s *Server) indexPath() string { return filepath.Join(s.cfg.CacheDir, indexFileName) }
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /v1/run     JSON spec -> rendered table (json | text | csv)
+//	GET  /v1/run     ?figure=fig6&scale=8&format=csv -> same
+//	POST /v1/stream  JSON spec -> NDJSON: accepted, progress*, table, row*, done
+//	GET  /healthz    "ok" (503 "draining" once Drain begins)
+//	GET  /statsz     server + cache + quota counters (json | ?format=text)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/run", s.counted(s.handleRun))
+	mux.Handle("/v1/stream", s.counted(s.handleStream))
+	mux.Handle("/healthz", s.counted(s.handleHealthz))
+	mux.Handle("/statsz", s.counted(s.handleStatsz))
+	return mux
+}
+
+// Drain gracefully shuts the service down: new work is refused (healthz
+// flips to 503 so load balancers stop routing here), every in-flight request
+// — queued or running — finishes normally, and the result cache is flushed
+// to the persisted index. It returns once quiescent, or with ctx's error if
+// the deadline passes first (in-flight work keeps its workers either way).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("drain: in-flight requests outlived the deadline: %w", ctx.Err())
+	}
+	return s.flushCache()
+}
+
+// flushCache persists the result cache (when configured) and logs the
+// cache's lifetime effectiveness — the drain sequence's final act.
+func (s *Server) flushCache() error {
+	line := func() string {
+		s.cache.mu.Lock()
+		defer s.cache.mu.Unlock()
+		return fmt.Sprintf("hits=%d misses=%d coalesced=%d evictions=%d",
+			s.cache.hits.Value(), s.cache.misses.Value(), s.cache.coalesced.Value(), s.cache.evictions.Value())
+	}
+	if s.cfg.CacheDir == "" {
+		fmt.Fprintf(os.Stderr, "server: drained; cache %s (not persisted: no -cache-dir)\n", line())
+		return nil
+	}
+	n, err := s.cache.saveIndex(s.indexPath())
+	if err != nil {
+		return fmt.Errorf("drain: persist cache index: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "server: drained; cache %s; %d entries persisted to %s\n", line(), n, s.indexPath())
+	return nil
+}
+
+// Snapshot returns the service's counters (server, cache, quota groups),
+// taking every component's lock in a fixed order so the read is race-free.
+func (s *Server) Snapshot() stats.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache.mu.Lock()
+	defer s.cache.mu.Unlock()
+	s.quota.mu.Lock()
+	defer s.quota.mu.Unlock()
+	return s.reg.Snapshot()
+}
+
+// statusRecorder captures the response code for the per-class counters and
+// forwards Flush for the NDJSON stream.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if fl, ok := r.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// counted wraps a handler with request/response-class accounting.
+func (s *Server) counted(h func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.mu.Lock()
+		s.requests.Inc()
+		switch {
+		case rec.code >= 500:
+			s.responses5x.Inc()
+		case rec.code >= 400:
+			s.responses4x.Inc()
+		default:
+			s.responses2x.Inc()
+		}
+		s.mu.Unlock()
+	})
+}
+
+// enter registers a request with the drain accounting, or answers 503 when
+// the server is draining. Every accepted request must exit().
+func (s *Server) enter(w http.ResponseWriter) bool {
+	s.mu.Lock()
+	if s.draining {
+		s.drain503.Inc()
+		s.mu.Unlock()
+		w.Header().Set("X-Draining", "1")
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining: not accepting new requests", http.StatusServiceUnavailable)
+		return false
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	return true
+}
+
+func (s *Server) exit() { s.inflight.Done() }
+
+// tenantOf extracts the quota tenant from the API token header (or the
+// Authorization bearer token); requests without one share "anonymous".
+func tenantOf(r *http.Request) string {
+	if tok := r.Header.Get("X-API-Token"); tok != "" {
+		return tok
+	}
+	if auth := r.Header.Get("Authorization"); len(auth) > 7 && auth[:7] == "Bearer " {
+		return auth[7:]
+	}
+	return "anonymous"
+}
+
+// admit passes the request through quota and admission control, blocking in
+// the bounded queue until a simulation worker frees up. It reports whether
+// the request may run; when it may, release must be called after the
+// simulation. Rejections are answered on w (429 with Retry-After); a client
+// that disconnects while queued is dropped silently.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, tenant string) (release func(), ok bool) {
+	if allowed, wait := s.quota.allow(tenant); !allowed {
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(wait.Seconds()))))
+		http.Error(w, fmt.Sprintf("quota exhausted for tenant; retry in %s", wait.Round(time.Millisecond)), http.StatusTooManyRequests)
+		return nil, false
+	}
+	s.mu.Lock()
+	// Admission bound: Workers requests may run and Queue more may wait;
+	// anything beyond that is load the server would only sit on.
+	if s.queued+s.running >= s.cfg.Workers+s.cfg.Queue {
+		s.busy429.Inc()
+		// Each queued request is roughly one simulation of backlog per worker.
+		retry := 1 + s.queued/s.cfg.Workers
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		http.Error(w, "overloaded: admission queue full", http.StatusTooManyRequests)
+		return nil, false
+	}
+	s.queued++
+	s.queuedG.Set(int64(s.queued))
+	s.mu.Unlock()
+
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.queued--
+		s.queuedG.Set(int64(s.queued))
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	s.queued--
+	s.running++
+	s.queuedG.Set(int64(s.queued))
+	s.runningG.Set(int64(s.running))
+	s.mu.Unlock()
+	return func() {
+		<-s.sem
+		s.mu.Lock()
+		s.running--
+		s.runningG.Set(int64(s.running))
+		s.mu.Unlock()
+	}, true
+}
+
+// run executes (or coalesces, or serves from cache) one validated request.
+func (s *Server) run(req Request, progress func(done, total int)) (exp.Table, string, error) {
+	opts := req.Opts
+	opts.Jobs = s.cfg.RunJobs
+	opts.Progress = progress
+	return s.cache.Do(req.CacheKey(), func() exp.Table { return req.gen(opts) })
+}
+
+// handleRun serves one spec as a complete rendered table.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w) {
+		return
+	}
+	defer s.exit()
+	sp, err := ParseSpec(r.Method, r.URL.Query(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := sp.Validate(s.cfg.Limits)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	release, ok := s.admit(r.Context(), w, tenantOf(r))
+	if !ok {
+		return
+	}
+	start := time.Now()
+	table, status, err := s.run(req, nil)
+	release()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body, ctype := req.Render(table)
+	// Timing and cache status travel in headers only: the body is a pure
+	// function of the spec, byte-identical whether computed, coalesced, or
+	// cached.
+	w.Header().Set("Content-Type", ctype)
+	w.Header().Set("X-Cache", status)
+	w.Header().Set("X-Elapsed-Ms", strconv.FormatInt(time.Since(start).Milliseconds(), 10))
+	w.Write(body)
+}
+
+// Stream events, one JSON object per NDJSON line.
+type (
+	evAccepted struct {
+		Event  string `json:"event"` // "accepted"
+		Figure string `json:"figure"`
+	}
+	evProgress struct {
+		Event string `json:"event"` // "progress"
+		Done  int    `json:"done"`
+		Total int    `json:"total"`
+	}
+	evTable struct {
+		Event  string   `json:"event"` // "table"
+		Title  string   `json:"title"`
+		Header []string `json:"header"`
+	}
+	evRow struct {
+		Event string   `json:"event"` // "row"
+		Index int      `json:"index"`
+		Cells []string `json:"cells"`
+	}
+	evDone struct {
+		Event string `json:"event"` // "done"
+		Rows  int    `json:"rows"`
+		Cache string `json:"cache"`
+	}
+	evError struct {
+		Event string `json:"event"` // "error"
+		Error string `json:"error"`
+	}
+)
+
+// handleStream serves one spec as NDJSON: an accepted event, live progress
+// events while this request's simulation fans out (none when the result is
+// cached or coalesced — nothing is simulated then), the table header, one
+// event per row, and a done event carrying the cache status. Unlike /v1/run
+// the stream is not byte-stable across cache states — progress is inherently
+// a property of the computation, not the result.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w) {
+		return
+	}
+	defer s.exit()
+	sp, err := ParseSpec(r.Method, r.URL.Query(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := sp.Validate(s.cfg.Limits)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	release, ok := s.admit(r.Context(), w, tenantOf(r))
+	if !ok {
+		return
+	}
+	defer release()
+	s.mu.Lock()
+	s.streams.Inc()
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	var wmu sync.Mutex
+	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		enc.Encode(v)
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+	}
+	emit(evAccepted{Event: "accepted", Figure: req.Figure})
+	// Progress calls arrive on simulation worker goroutines; emit's mutex
+	// serializes them with the row writes below.
+	table, status, err := s.run(req, func(done, total int) {
+		emit(evProgress{Event: "progress", Done: done, Total: total})
+	})
+	if err != nil {
+		emit(evError{Event: "error", Error: err.Error()})
+		return
+	}
+	emit(evTable{Event: "table", Title: table.Title, Header: table.Header})
+	for i, row := range table.Rows {
+		emit(evRow{Event: "row", Index: i, Cells: row})
+	}
+	emit(evDone{Event: "done", Rows: len(table.Rows), Cache: status})
+}
+
+// handleHealthz reports liveness; Drain flips it to 503 so load balancers
+// stop routing before in-flight work finishes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		w.Header().Set("X-Draining", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleStatsz renders the server/cache/quota counter groups: JSON (a
+// key-sorted object) by default, the internal/stats text table with
+// ?format=text.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, snap.Format(""))
+		return
+	}
+	vals := make(map[string]uint64, snap.Len())
+	for _, e := range snap.Entries {
+		vals[e.Key] = e.Val
+	}
+	w.Header().Set("Content-Type", "application/json")
+	data, _ := json.MarshalIndent(vals, "", " ")
+	w.Write(append(data, '\n'))
+}
