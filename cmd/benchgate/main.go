@@ -33,6 +33,17 @@
 // -max-5xx genuine 5xx responses, or any transport error. 429s and drain
 // 503s are expected pushback and never gate. -latency skips the benchmark
 // parsing entirely.
+//
+// A fourth mode lints Prometheus /metrics scrapes — the server-smoke CI
+// job's telemetry-hygiene bar:
+//
+//	benchgate -promlint scrape1.txt
+//	benchgate -promlint scrape1.txt,scrape2.txt
+//
+// Each file must parse as text exposition format and pass name/label
+// hygiene, TYPE declaration, duplicate-series, and histogram-consistency
+// checks; with two files (scrapes of the same server, in order) every
+// counter and histogram series must also be monotonic between them.
 package main
 
 import (
@@ -47,6 +58,7 @@ import (
 	"strings"
 	"time"
 
+	"scatteradd/internal/obs"
 	"scatteradd/internal/server"
 )
 
@@ -62,7 +74,17 @@ func main() {
 	maxP99 := flag.Duration("max-p99", 0, "with -latency: maximum allowed p99 (0 = don't gate p99)")
 	minRPS := flag.Float64("min-rps", 0, "with -latency: minimum achieved 2xx rate (0 = don't gate)")
 	max5xx := flag.Int("max-5xx", 0, "with -latency: maximum allowed genuine 5xx responses")
+	promlint := flag.String("promlint", "", "lint /metrics scrape file(s), comma-separated; two files also check counter monotonicity")
 	flag.Parse()
+
+	if *promlint != "" {
+		msg, ok := PromLint(strings.Split(*promlint, ","))
+		fmt.Fprint(os.Stderr, msg)
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *latency != "" {
 		rep, err := server.ReadLoadReport(*latency)
@@ -282,6 +304,51 @@ func LatencyGate(rep server.LoadReport, maxP99 time.Duration, minRPS float64, ma
 		return fmt.Sprintf("%s FAIL: %s", line, strings.Join(fails, "; ")), false
 	}
 	return line + " ok", true
+}
+
+// PromLint validates one or two /metrics scrape files: exposition-format
+// syntax, metric-name hygiene, TYPE declarations, duplicate series,
+// histogram consistency — and, given two scrapes of the same server in
+// order, monotonicity of every counter and histogram series between them.
+func PromLint(paths []string) (string, bool) {
+	if len(paths) == 0 || len(paths) > 2 {
+		return fmt.Sprintf("benchgate: -promlint: want 1 or 2 files, got %d\n", len(paths)), false
+	}
+	var b strings.Builder
+	ok := true
+	scrapes := make([]*obs.Scrape, 0, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(&b, "benchgate: promlint: %v\n", err)
+			return b.String(), false
+		}
+		s, err := obs.ParseProm(data)
+		if err != nil {
+			fmt.Fprintf(&b, "benchgate: promlint: %s: %v\n", path, err)
+			return b.String(), false
+		}
+		if problems := s.Lint(); len(problems) > 0 {
+			ok = false
+			for _, p := range problems {
+				fmt.Fprintf(&b, "benchgate: promlint: %s: %s\n", path, p)
+			}
+		} else {
+			fmt.Fprintf(&b, "benchgate: promlint: %s: %d samples ok\n", path, len(s.Samples))
+		}
+		scrapes = append(scrapes, s)
+	}
+	if len(scrapes) == 2 {
+		if problems := obs.CheckMonotonic(scrapes[0], scrapes[1]); len(problems) > 0 {
+			ok = false
+			for _, p := range problems {
+				fmt.Fprintf(&b, "benchgate: promlint: %s -> %s: %s\n", paths[0], paths[1], p)
+			}
+		} else {
+			fmt.Fprintf(&b, "benchgate: promlint: counters monotonic across scrapes\n")
+		}
+	}
+	return b.String(), ok
 }
 
 // Gate compares the gate benchmark's median against the baseline and

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -175,5 +177,87 @@ func TestLatencyGate(t *testing.T) {
 		if ok != tc.want {
 			t.Errorf("%s: LatencyGate = %v (%s), want %v", tc.name, ok, msg, tc.want)
 		}
+	}
+}
+
+const goodScrape1 = `# HELP scatteradd_http_requests_total Requests completed.
+# TYPE scatteradd_http_requests_total counter
+scatteradd_http_requests_total{endpoint="/v1/run",class="2xx"} 10
+# HELP scatteradd_http_request_duration_seconds Total request duration.
+# TYPE scatteradd_http_request_duration_seconds histogram
+scatteradd_http_request_duration_seconds_bucket{endpoint="/v1/run",le="0.1"} 8
+scatteradd_http_request_duration_seconds_bucket{endpoint="/v1/run",le="+Inf"} 10
+scatteradd_http_request_duration_seconds_sum{endpoint="/v1/run"} 0.42
+scatteradd_http_request_duration_seconds_count{endpoint="/v1/run"} 10
+`
+
+const goodScrape2 = `# HELP scatteradd_http_requests_total Requests completed.
+# TYPE scatteradd_http_requests_total counter
+scatteradd_http_requests_total{endpoint="/v1/run",class="2xx"} 14
+# HELP scatteradd_http_request_duration_seconds Total request duration.
+# TYPE scatteradd_http_request_duration_seconds histogram
+scatteradd_http_request_duration_seconds_bucket{endpoint="/v1/run",le="0.1"} 11
+scatteradd_http_request_duration_seconds_bucket{endpoint="/v1/run",le="+Inf"} 14
+scatteradd_http_request_duration_seconds_sum{endpoint="/v1/run"} 0.61
+scatteradd_http_request_duration_seconds_count{endpoint="/v1/run"} 14
+`
+
+func writeScrape(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPromLintClean(t *testing.T) {
+	p1 := writeScrape(t, "s1.txt", goodScrape1)
+	msg, ok := PromLint([]string{p1})
+	if !ok {
+		t.Fatalf("clean scrape failed lint:\n%s", msg)
+	}
+	if !strings.Contains(msg, "samples ok") {
+		t.Fatalf("message: %s", msg)
+	}
+}
+
+func TestPromLintMonotonicPair(t *testing.T) {
+	p1 := writeScrape(t, "s1.txt", goodScrape1)
+	p2 := writeScrape(t, "s2.txt", goodScrape2)
+	msg, ok := PromLint([]string{p1, p2})
+	if !ok {
+		t.Fatalf("monotonic pair failed:\n%s", msg)
+	}
+	if !strings.Contains(msg, "monotonic") {
+		t.Fatalf("message: %s", msg)
+	}
+	// Reversed order: the counters "go backwards".
+	if msg, ok := PromLint([]string{p2, p1}); ok {
+		t.Fatalf("reversed scrapes passed:\n%s", msg)
+	}
+}
+
+func TestPromLintViolations(t *testing.T) {
+	bad := writeScrape(t, "bad.txt", "# TYPE hits counter\nhits 3\nhits 3\n")
+	msg, ok := PromLint([]string{bad})
+	if ok {
+		t.Fatalf("bad scrape passed:\n%s", msg)
+	}
+	if !strings.Contains(msg, "_total") || !strings.Contains(msg, "duplicate") {
+		t.Fatalf("message: %s", msg)
+	}
+}
+
+func TestPromLintUnparseable(t *testing.T) {
+	bad := writeScrape(t, "bad.txt", "m{a=unquoted} 1\n")
+	if msg, ok := PromLint([]string{bad}); ok {
+		t.Fatalf("unparseable scrape passed:\n%s", msg)
+	}
+	if _, ok := PromLint([]string{filepath.Join(t.TempDir(), "missing.txt")}); ok {
+		t.Fatal("missing file passed")
+	}
+	if _, ok := PromLint(nil); ok {
+		t.Fatal("empty file list passed")
 	}
 }

@@ -17,6 +17,12 @@
 // stdout (exit 1 on any non-200) — CI uses it to hold the daemon's bytes
 // against the scatteradd CLI's.
 //
+// -scrape pulls the daemon's /metrics before and after the run and
+// cross-checks the server-side request/error/cache counters against this
+// client's own accounting (zero drift required); discrepancies land in the
+// report's scrape_problems and flip the exit code to 1. It is CI's proof
+// that the daemon's telemetry is truthful, not just present.
+//
 // Accounting follows the server's overload semantics: 429s (admission or
 // quota pushback) and drain 503s (the X-Draining header) are expected
 // behavior counted separately; errors_5xx is genuine failure only, so a
@@ -35,6 +41,7 @@ import (
 	"sync"
 	"time"
 
+	"scatteradd/internal/obs"
 	"scatteradd/internal/server"
 )
 
@@ -48,6 +55,7 @@ func main() {
 	token := flag.String("token", "", "X-API-Token header (quota tenant)")
 	out := flag.String("out", "", "report output file (default stdout)")
 	probe := flag.Bool("probe", false, "send one request, write its body to stdout, exit 1 on non-200")
+	scrape := flag.Bool("scrape", false, "scrape /metrics before and after the run and cross-check server counters against this report")
 	flag.Parse()
 
 	specs, err := loadSpecs(*spec, *mix)
@@ -60,7 +68,26 @@ func main() {
 	if *rps <= 0 {
 		fatal(fmt.Errorf("-rps %g: want > 0", *rps))
 	}
+	var before *obs.Scrape
+	if *scrape {
+		if before, err = fetchScrape(*addr); err != nil {
+			fatal(fmt.Errorf("-scrape: before-run scrape: %w", err))
+		}
+	}
 	rep := runLoad(*addr, *token, specs, *rps, *duration, *maxInflight)
+	exitCode := 0
+	if *scrape {
+		rep.ScrapeChecked = true
+		rep.ScrapeProblems = crossCheck(*addr, before, rep)
+		if len(rep.ScrapeProblems) > 0 {
+			exitCode = 1
+			for _, p := range rep.ScrapeProblems {
+				fmt.Fprintf(os.Stderr, "saload: scrape drift: %s\n", p)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "saload: scrape cross-check: zero drift over %d requests\n", rep.Sent)
+		}
+	}
 	js, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -73,6 +100,46 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "saload: %d sent, %d ok, %d shed; p99 %s\n",
 		rep.Sent, rep.OK, rep.Shed, time.Duration(rep.Latency.P99))
+	os.Exit(exitCode)
+}
+
+// fetchScrape pulls and parses the daemon's /metrics exposition.
+func fetchScrape(addr string) (*obs.Scrape, error) {
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics status %d: %s", resp.StatusCode, body)
+	}
+	return obs.ParseProm(body)
+}
+
+// crossCheck re-scrapes until the server's counters agree with the client's
+// report, returning the surviving discrepancies. The retry loop absorbs
+// accounting lag: the server folds a request into its counters after the
+// response bytes reach the client, so the instant after the last response is
+// received the last few requests may not be counted yet. Genuine drift is
+// stable and survives every retry.
+func crossCheck(addr string, before *obs.Scrape, rep server.LoadReport) []string {
+	var problems []string
+	for attempt := 0; attempt < 30; attempt++ {
+		after, err := fetchScrape(addr)
+		if err != nil {
+			return []string{fmt.Sprintf("after-run scrape: %v", err)}
+		}
+		problems = server.CheckScrape(before, after, rep)
+		if len(problems) == 0 {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return problems
 }
 
 func fatal(err error) {

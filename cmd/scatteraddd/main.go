@@ -10,12 +10,26 @@
 // in-flight request. Overload answers 429 with Retry-After; SIGTERM drains
 // gracefully — stop accepting, finish every in-flight request, persist the
 // result-cache index (with -cache-dir), then exit 0.
+//
+// Telemetry (on by default, -telemetry=false turns it off entirely):
+//
+//	GET /metrics            Prometheus text exposition: stats registries +
+//	                        per-endpoint RED metrics with stage histograms
+//	GET /debug/slowz        slowest -slow-traces request traces as Perfetto
+//	                        JSON (?gzip=1 compressed, ?format=json summaries)
+//	GET /buildz             binary identity (version, Go runtime, VCS stamp)
+//
+// -access-log FILE writes one NDJSON line per /v1/* request (id, tenant,
+// figure, fingerprint, stage timings, cache status, outcome); "-" logs to
+// stderr. Every response carries X-Request-Id (propagated from the request
+// when present) for correlating access-log lines with client-side traces.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -23,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"scatteradd/internal/obs"
 	"scatteradd/internal/server"
 )
 
@@ -38,10 +53,22 @@ func main() {
 	minScale := flag.Int("min-scale", 1, "reject specs with scale below this (larger scale = smaller datasets)")
 	maxShards := flag.Int("max-shards", 64, "reject specs with more shards than this")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "maximum time to wait for in-flight requests on shutdown")
+	telemetry := flag.Bool("telemetry", true, "RED metrics on /metrics, request tracing, /debug/slowz slow-trace capture")
+	slowTraces := flag.Int("slow-traces", 32, "slowest request traces retained for /debug/slowz (0 = none)")
+	accessLog := flag.String("access-log", "", "NDJSON access log file, one line per /v1/* request (\"-\" = stderr; implies -telemetry)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "scatteraddd: unexpected argument %q\n", flag.Arg(0))
 		os.Exit(2)
+	}
+
+	observer, alogClose, err := buildObserver(*telemetry, *slowTraces, *accessLog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scatteraddd: %v\n", err)
+		os.Exit(1)
+	}
+	if alogClose != nil {
+		defer alogClose()
 	}
 
 	// The flag's 0 means "cache off"; Config's 0 means "default size".
@@ -62,6 +89,7 @@ func main() {
 		QuotaRPS:     *quotaRPS,
 		QuotaBurst:   *quotaBurst,
 		Limits:       server.Limits{MinScale: *minScale, MaxShards: *maxShards},
+		Obs:          observer,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -100,4 +128,34 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "scatteraddd: drained; exiting")
+}
+
+// buildObserver assembles the telemetry layer from the flags: nil (all hooks
+// free) when disabled, otherwise an observer sized by -slow-traces with the
+// access log opened if requested. A non-empty -access-log implies telemetry
+// even with -telemetry=false — asking for the log is asking for the tracing
+// that fills it. The returned close func (nil when no file was opened) flushes
+// the log file on exit.
+func buildObserver(telemetry bool, slowTraces int, accessLog string) (*obs.Observer, func() error, error) {
+	if !telemetry && accessLog == "" {
+		return nil, nil, nil
+	}
+	cfg := obs.Config{SlowN: slowTraces}
+	if slowTraces <= 0 {
+		cfg.SlowN = -1
+	}
+	var closeFn func() error
+	switch accessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = io.Writer(os.Stderr)
+	default:
+		f, err := os.OpenFile(accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-access-log: %w", err)
+		}
+		cfg.AccessLog = f
+		closeFn = f.Close
+	}
+	return obs.New(cfg), closeFn, nil
 }

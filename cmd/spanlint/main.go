@@ -1,23 +1,46 @@
 // Command spanlint sanity-checks Chrome trace-event / Perfetto JSON files
-// produced by the span exporter (sabench -span-out, span.WriteTraceEvents).
-// It verifies the trace-event envelope and the per-phase required fields so
-// CI can gate exported artifacts before anyone tries to load a broken file
-// in ui.perfetto.dev.
+// produced by the span exporter (sabench -span-out, span.WriteTraceEvents,
+// the daemon's /debug/slowz). It verifies the trace-event envelope and the
+// per-phase required fields so CI can gate exported artifacts before anyone
+// tries to load a broken file in ui.perfetto.dev.
 //
 // Usage:
 //
 //	spanlint FILE...
 //
-// Exits non-zero if any file fails validation.
+// Gzipped inputs (such as `curl /debug/slowz?gzip=1` artifacts) are detected
+// by magic number and decompressed transparently. Exits non-zero if any file
+// fails validation.
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"scatteradd/internal/span"
 )
+
+// maybeGunzip transparently decompresses gzip input, detected by the
+// two-byte magic header; anything else passes through untouched.
+func maybeGunzip(data []byte) ([]byte, error) {
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		return data, nil
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("gzip: %v", err)
+	}
+	defer zr.Close()
+	plain, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("gunzip: %v", err)
+	}
+	return plain, nil
+}
 
 func main() {
 	flag.Usage = func() {
@@ -34,6 +57,11 @@ func main() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spanlint: %v\n", err)
+			failed++
+			continue
+		}
+		if data, err = maybeGunzip(data); err != nil {
+			fmt.Fprintf(os.Stderr, "spanlint: %s: %v\n", path, err)
 			failed++
 			continue
 		}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+
+	"scatteradd/internal/obs"
+	"scatteradd/internal/span"
+)
+
+func sampleTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := obs.SlowTrace{
+		ID: "r-1", Endpoint: "/v1/run", Figure: "fig6", Cache: "miss", Code: 200,
+		Total: 1e7,
+	}
+	tr.Stages[obs.StageRun] = obs.StageSpan{Dur: 1e7, Visited: true}
+	if err := obs.WriteSlowPerfetto(&buf, []obs.SlowTrace{tr}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestMaybeGunzipPassthrough(t *testing.T) {
+	plain := sampleTrace(t)
+	got, err := maybeGunzip(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Fatal("plain input was altered")
+	}
+	if _, err := span.ValidateTraceJSON(got); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestMaybeGunzipDecompresses(t *testing.T) {
+	plain := sampleTrace(t)
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write(plain)
+	zw.Close()
+
+	got, err := maybeGunzip(gz.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Fatal("gunzip does not round-trip")
+	}
+	if _, err := span.ValidateTraceJSON(got); err != nil {
+		t.Fatalf("validate after gunzip: %v", err)
+	}
+}
+
+func TestMaybeGunzipCorrupt(t *testing.T) {
+	// Valid magic, garbage body.
+	if _, err := maybeGunzip([]byte{0x1f, 0x8b, 0xff, 0x00, 0x01}); err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+	// Short non-gzip inputs pass through.
+	if got, err := maybeGunzip([]byte{0x7b}); err != nil || len(got) != 1 {
+		t.Fatalf("short input: %v %v", got, err)
+	}
+}

@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// recoverPanic runs f and returns the recovered panic value as a string
+// ("" when f completes normally).
+func recoverPanic(f func()) (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg = r.(string)
+		}
+	}()
+	f()
+	return ""
+}
+
+// progressLog is a race-safe recorder for Options.Progress callbacks.
+type progressLog struct {
+	mu    sync.Mutex
+	dones []int
+	total int
+}
+
+func (p *progressLog) note(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dones = append(p.dones, done)
+	p.total = total
+}
+
+func TestProgressSequentialStopsAtPanic(t *testing.T) {
+	var log progressLog
+	o := Options{Jobs: 1, Progress: log.note}
+	msg := recoverPanic(func() {
+		o.forEach(8, func(i int) {
+			if i == 3 {
+				panic("boom")
+			}
+		})
+	})
+	// The sequential path re-raises in place: tasks 0..2 complete and
+	// report, task 3 never reaches its Progress call, 4..7 never run.
+	if !strings.Contains(msg, "boom") {
+		t.Fatalf("panic not propagated, got %q", msg)
+	}
+	if want := []int{1, 2, 3}; len(log.dones) != len(want) {
+		t.Fatalf("progress calls = %v, want %v", log.dones, want)
+	}
+	for i, d := range log.dones {
+		if d != i+1 {
+			t.Fatalf("progress calls = %v, want 1..3 in order", log.dones)
+		}
+	}
+	if log.total != 8 {
+		t.Fatalf("total = %d, want 8", log.total)
+	}
+}
+
+func TestProgressParallelSkipsPanickedTasks(t *testing.T) {
+	const n = 16
+	var log progressLog
+	o := Options{Jobs: 4, Progress: log.note}
+	msg := recoverPanic(func() {
+		o.forEach(n, func(i int) {
+			if i == 5 {
+				panic("bad task")
+			}
+		})
+	})
+	if !strings.Contains(msg, "exp: task 5: bad task") {
+		t.Fatalf("panic = %q, want it to name task 5", msg)
+	}
+	// The pool drains every index, but the panicked task must not count as
+	// progress — done reaches n-1, never n, and each done value is distinct.
+	if len(log.dones) != n-1 {
+		t.Fatalf("progress fired %d times, want %d", len(log.dones), n-1)
+	}
+	seen := make(map[int]bool)
+	for _, d := range log.dones {
+		if d < 1 || d >= n {
+			t.Fatalf("done value %d out of range [1,%d)", d, n)
+		}
+		if seen[d] {
+			t.Fatalf("done value %d reported twice", d)
+		}
+		seen[d] = true
+	}
+	if log.total != n {
+		t.Fatalf("total = %d, want %d", log.total, n)
+	}
+}
+
+func TestProgressParallelLowestIndexPanicWins(t *testing.T) {
+	var log progressLog
+	o := Options{Jobs: 8, Progress: log.note}
+	msg := recoverPanic(func() {
+		o.forEach(12, func(i int) {
+			if i == 2 || i == 9 {
+				panic(i)
+			}
+		})
+	})
+	if !strings.Contains(msg, "exp: task 2: 2") {
+		t.Fatalf("panic = %q, want the lowest-index task (2) re-raised", msg)
+	}
+	if len(log.dones) != 10 {
+		t.Fatalf("progress fired %d times, want 10 (two tasks panicked)", len(log.dones))
+	}
+}
+
+func TestProgressParallelCleanRun(t *testing.T) {
+	const n = 9
+	var log progressLog
+	o := Options{Jobs: 3, Progress: log.note}
+	o.forEach(n, func(int) {})
+	if len(log.dones) != n {
+		t.Fatalf("progress fired %d times, want %d", len(log.dones), n)
+	}
+	// Some callback must report full completion.
+	max := 0
+	for _, d := range log.dones {
+		if d > max {
+			max = d
+		}
+	}
+	if max != n {
+		t.Fatalf("max done = %d, want %d", max, n)
+	}
+}

@@ -72,7 +72,10 @@ func (o Options) forEach(n int, fn func(int)) {
 		panicMu sync.Mutex
 		panics  []taskPanic
 	)
-	runOne := func(i int) {
+	// ok reports whether the task completed; a panicked task must not count
+	// as progress — the sequential path never reaches note() for it either,
+	// so Progress observes the same done counts at any worker count.
+	runOne := func(i int) (ok bool) {
 		defer func() {
 			if r := recover(); r != nil {
 				panicMu.Lock()
@@ -81,6 +84,7 @@ func (o Options) forEach(n int, fn func(int)) {
 			}
 		}()
 		fn(i)
+		return true
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -91,8 +95,9 @@ func (o Options) forEach(n int, fn func(int)) {
 				if i >= n {
 					return
 				}
-				runOne(i)
-				note()
+				if runOne(i) {
+					note()
+				}
 			}
 		}()
 	}

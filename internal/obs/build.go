@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+)
+
+// Build identifies the running binary for /buildz: the Go runtime, the
+// module path/version, and the VCS stamp debug.ReadBuildInfo embeds when the
+// binary was built from a checkout.
+type Build struct {
+	Service     string `json:"service"`
+	GoVersion   string `json:"go_version"`
+	OS          string `json:"os"`
+	Arch        string `json:"arch"`
+	Module      string `json:"module,omitempty"`
+	Version     string `json:"version,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// ReadBuild assembles the Build record for a named service.
+func ReadBuild(service string) Build {
+	b := Build{
+		Service:   service,
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Module = info.Main.Path
+	b.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.VCSRevision = s.Value
+		case "vcs.time":
+			b.VCSTime = s.Value
+		case "vcs.modified":
+			b.VCSModified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// BuildHandler serves ReadBuild(service) as JSON.
+func BuildHandler(service string) http.HandlerFunc {
+	build := ReadBuild(service)
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(build)
+	}
+}

@@ -1,0 +1,491 @@
+// Package obs is the serving layer's observability stack: where
+// internal/stats counts simulator hardware events and internal/span traces
+// the cycles of one memory operation, obs answers the operator's question
+// about the service built on top of them — "where did this request's 800 ms
+// go: quota wait, admission queue, cache lookup, simulation, or encode?"
+//
+// It mirrors the paper's §5 methodology (cycle-level attribution of
+// scatter-add latency across AG/bank/combining stages) at the HTTP layer:
+// every request is decomposed into the same queue-vs-service stages the
+// simulator reports for memory operations, and the results are exported
+// three ways:
+//
+//   - RED metrics in Prometheus text exposition format (prom.go): request
+//     counters labeled by endpoint, status class, figure, and cache state;
+//     an in-flight gauge; fixed-bucket latency histograms per stage.
+//   - Per-request lifecycle traces with a propagated X-Request-Id, the
+//     slowest N of which are retained in a bounded ring and exported as
+//     Perfetto JSON through the internal/span exporter (slow.go).
+//   - A structured NDJSON access log, one line per request (this file).
+//
+// The contract is the same as span's: zero allocation and near-zero cost
+// when disabled. A nil *Observer produces nil *Req handles, and every method
+// on both is safe (and free) on a nil receiver, so a server without
+// telemetry pays one predictable branch per hook.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Stage identifies one segment of a request's path through the serving
+// pipeline. Stages are disjoint sub-intervals of the request's total
+// duration, so the per-stage histogram sums always reconcile with the total
+// request duration histogram (CheckScrape in internal/server proves it).
+type Stage uint8
+
+const (
+	// StageQuota is the per-tenant token-bucket admission check.
+	StageQuota Stage = iota
+	// StageQueue is time spent waiting in the bounded admission queue for a
+	// simulation worker — the serving layer's queueing delay.
+	StageQueue
+	// StageCache is result-cache residency: the LRU lookup, plus (for
+	// coalesced requests) the wait on the in-flight leader, excluding any
+	// simulation this request ran itself.
+	StageCache
+	// StageRun is simulation compute owned by this request (zero for cache
+	// hits and coalesced followers — nothing was simulated).
+	StageRun
+	// StageEncode is response rendering and the write back to the client.
+	StageEncode
+
+	// NumStages is the stage count; it indexes per-stage arrays.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	StageQuota:  "quota",
+	StageQueue:  "queue",
+	StageCache:  "cache",
+	StageRun:    "run",
+	StageEncode: "encode",
+}
+
+// String returns the stage's metric label value.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Class returns "queue" for contention stages and "service" for stages that
+// model the service doing work — the same decomposition the simulator's span
+// report applies to memory operations.
+func (s Stage) Class() string {
+	if s == StageQuota || s == StageQueue || s == StageCache {
+		return "queue"
+	}
+	return "service"
+}
+
+// DurationBuckets are the fixed histogram bucket upper bounds, in seconds.
+// They are deliberately identical for every stage and endpoint so scrapes
+// from different servers are directly comparable (the Spatter lesson:
+// standardized measurement output is what makes results usable by others).
+var DurationBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// hist is a fixed-bucket latency histogram (non-cumulative storage; the
+// Prometheus renderer accumulates).
+type hist struct {
+	buckets  []uint64 // one per DurationBuckets bound; overflow only in count
+	count    uint64
+	sum      float64 // seconds
+	overflow uint64
+}
+
+func newHist() *hist { return &hist{buckets: make([]uint64, len(DurationBuckets))} }
+
+func (h *hist) observe(sec float64) {
+	placed := false
+	for i, b := range DurationBuckets {
+		if sec <= b {
+			h.buckets[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.overflow++
+	}
+	h.count++
+	h.sum += sec
+}
+
+// seriesKey is the label set of one requests_total series.
+type seriesKey struct {
+	endpoint, class, figure, cache string
+}
+
+// stageKey is the label set of one stage-duration histogram.
+type stageKey struct {
+	endpoint string
+	stage    Stage
+}
+
+// Config sizes an Observer. The zero value retains 32 slow traces and writes
+// no access log.
+type Config struct {
+	// SlowN bounds the slow-trace ring: the slowest SlowN requests by total
+	// duration are retained for /debug/slowz (0 = 32, negative = none).
+	SlowN int
+	// AccessLog, when non-nil, receives one NDJSON line per /v1/* request.
+	// Writes are serialized by the Observer.
+	AccessLog io.Writer
+	// Now overrides the clock for tests (nil = time.Now).
+	Now func() time.Time
+}
+
+// Observer collects service telemetry. A nil *Observer is the disabled
+// state: Begin returns a nil *Req and every hook is a no-op costing one
+// branch and zero allocations.
+type Observer struct {
+	now  func() time.Time
+	alog *accessLogger
+
+	mu          sync.Mutex
+	idSeq       uint64
+	inflight    int64
+	inflightMax int64
+	requests    map[seriesKey]uint64
+	duration    map[string]*hist // per endpoint: total request duration
+	stages      map[stageKey]*hist
+	slow        slowRing
+}
+
+// New builds an enabled Observer.
+func New(cfg Config) *Observer {
+	switch {
+	case cfg.SlowN == 0:
+		cfg.SlowN = 32
+	case cfg.SlowN < 0:
+		cfg.SlowN = 0
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	o := &Observer{
+		now:      cfg.Now,
+		requests: make(map[seriesKey]uint64),
+		duration: make(map[string]*hist),
+		stages:   make(map[stageKey]*hist),
+		slow:     slowRing{max: cfg.SlowN},
+	}
+	if cfg.AccessLog != nil {
+		o.alog = &accessLogger{w: cfg.AccessLog}
+	}
+	return o
+}
+
+// stageSpan is one stage's placement within a request: offset from request
+// start (first entry) and accumulated duration.
+type stageSpan struct {
+	off     time.Duration
+	dur     time.Duration
+	touched bool
+}
+
+// Req tracks one in-flight HTTP request's lifecycle. It is confined to the
+// request's handler goroutine. All methods are no-ops on a nil receiver,
+// which is exactly what a disabled Observer hands out.
+type Req struct {
+	o        *Observer
+	id       string
+	endpoint string
+	start    time.Time
+
+	tenant      string
+	figure      string
+	fingerprint string
+	cache       string
+	stages      [NumStages]stageSpan
+}
+
+// Begin opens a request lifecycle on endpoint, honoring a propagated
+// inbound X-Request-Id (sanitized) or minting "r-<seq>". Returns nil — the
+// free disabled handle — when o is nil.
+func (o *Observer) Begin(endpoint, inboundID string) *Req {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	o.idSeq++
+	seq := o.idSeq
+	o.inflight++
+	if o.inflight > o.inflightMax {
+		o.inflightMax = o.inflight
+	}
+	o.mu.Unlock()
+	id := sanitizeID(inboundID)
+	if id == "" {
+		id = "r-" + strconv.FormatUint(seq, 10)
+	}
+	return &Req{o: o, id: id, endpoint: endpoint, start: o.now()}
+}
+
+// sanitizeID keeps a propagated request id only if it is short and made of
+// header-safe characters; anything else is discarded (a fresh id is minted).
+func sanitizeID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// ID returns the request id ("" on the disabled handle).
+func (r *Req) ID() string {
+	if r == nil {
+		return ""
+	}
+	return r.id
+}
+
+// Now reads the observer's clock; the zero time on the disabled handle, so
+// disabled servers never touch the clock.
+func (r *Req) Now() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.o.now()
+}
+
+// Stage attributes the time since `since` to stage s. Repeated visits
+// accumulate; the first visit records the stage's offset from request start.
+func (r *Req) Stage(s Stage, since time.Time) {
+	if r == nil {
+		return
+	}
+	sp := &r.stages[s]
+	if !sp.touched {
+		sp.touched = true
+		sp.off = since.Sub(r.start)
+	}
+	sp.dur += r.o.now().Sub(since)
+}
+
+// StageExcluding attributes the time since `since` to stage s, minus
+// whatever is already attributed to stage other. The cache stage uses it:
+// the leader's own simulation runs inside the cache's Do, so cache residency
+// is Do's elapsed time with the run carved out — keeping the stages disjoint
+// so their histogram sums reconcile with the total.
+func (r *Req) StageExcluding(s Stage, since time.Time, other Stage) {
+	if r == nil {
+		return
+	}
+	sp := &r.stages[s]
+	if !sp.touched {
+		sp.touched = true
+		sp.off = since.Sub(r.start)
+	}
+	d := r.o.now().Sub(since) - r.stages[other].dur
+	if d > 0 {
+		sp.dur += d
+	}
+}
+
+// SetRequest records the validated figure and quota tenant.
+func (r *Req) SetRequest(figure, tenant string) {
+	if r == nil {
+		return
+	}
+	r.figure = figure
+	r.tenant = tenant
+}
+
+// SetFingerprint records the spec's canonical options fingerprint for the
+// access log. Callers guard with `if r != nil` so the fingerprint is only
+// computed when telemetry is on.
+func (r *Req) SetFingerprint(fp string) {
+	if r == nil {
+		return
+	}
+	r.fingerprint = fp
+}
+
+// SetCache records the result-cache outcome (hit / miss / coalesced).
+func (r *Req) SetCache(status string) {
+	if r == nil {
+		return
+	}
+	r.cache = status
+}
+
+// Finish closes the lifecycle with the response status code: counters and
+// histograms update, the trace is offered to the slow ring, and (for /v1/*
+// requests) one access-log line is written.
+func (r *Req) Finish(code int) {
+	if r == nil {
+		return
+	}
+	o := r.o
+	end := o.now()
+	total := end.Sub(r.start)
+	key := seriesKey{endpoint: r.endpoint, class: codeClass(code), figure: r.figure, cache: r.cache}
+
+	o.mu.Lock()
+	o.inflight--
+	o.requests[key]++
+	h := o.duration[r.endpoint]
+	if h == nil {
+		h = newHist()
+		o.duration[r.endpoint] = h
+	}
+	h.observe(total.Seconds())
+	for s := Stage(0); s < NumStages; s++ {
+		if !r.stages[s].touched {
+			continue
+		}
+		sk := stageKey{endpoint: r.endpoint, stage: s}
+		sh := o.stages[sk]
+		if sh == nil {
+			sh = newHist()
+			o.stages[sk] = sh
+		}
+		sh.observe(r.stages[s].dur.Seconds())
+	}
+	o.slow.offer(SlowTrace{
+		ID:       r.id,
+		Endpoint: r.endpoint,
+		Tenant:   r.tenant,
+		Figure:   r.figure,
+		Cache:    r.cache,
+		Code:     code,
+		Start:    r.start,
+		Total:    total,
+		Stages:   r.stageSpans(),
+	})
+	o.mu.Unlock()
+
+	if o.alog != nil && len(r.endpoint) >= 4 && r.endpoint[:4] == "/v1/" {
+		o.alog.log(r, code, total)
+	}
+}
+
+func (r *Req) stageSpans() [NumStages]StageSpan {
+	var out [NumStages]StageSpan
+	for s := Stage(0); s < NumStages; s++ {
+		if r.stages[s].touched {
+			out[s] = StageSpan{Off: r.stages[s].off, Dur: r.stages[s].dur, Visited: true}
+		}
+	}
+	return out
+}
+
+// codeClass buckets an HTTP status code for the requests_total class label.
+func codeClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// outcome names a status code for the access log.
+func outcome(code int) string {
+	switch {
+	case code == 429:
+		return "throttled"
+	case code == 503:
+		return "unavailable"
+	case code >= 500:
+		return "error"
+	case code >= 400:
+		return "client-error"
+	default:
+		return "ok"
+	}
+}
+
+// accessLogger serializes NDJSON access-log writes.
+type accessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// AccessRecord is one access-log line. Field order is fixed by the struct,
+// and the stage map is rendered key-sorted by encoding/json, so lines are
+// deterministic given the request's measured values.
+type AccessRecord struct {
+	Time        string             `json:"ts"`
+	ID          string             `json:"id"`
+	Endpoint    string             `json:"endpoint"`
+	Tenant      string             `json:"tenant,omitempty"`
+	Figure      string             `json:"figure,omitempty"`
+	Fingerprint string             `json:"fingerprint,omitempty"`
+	Cache       string             `json:"cache,omitempty"`
+	Code        int                `json:"code"`
+	Outcome     string             `json:"outcome"`
+	TotalMs     float64            `json:"total_ms"`
+	StageMs     map[string]float64 `json:"stage_ms,omitempty"`
+}
+
+func (a *accessLogger) log(r *Req, code int, total time.Duration) {
+	rec := AccessRecord{
+		Time:        r.start.UTC().Format(time.RFC3339Nano),
+		ID:          r.id,
+		Endpoint:    r.endpoint,
+		Tenant:      r.tenant,
+		Figure:      r.figure,
+		Fingerprint: r.fingerprint,
+		Cache:       r.cache,
+		Code:        code,
+		Outcome:     outcome(code),
+		TotalMs:     ms(total),
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		if r.stages[s].touched {
+			if rec.StageMs == nil {
+				rec.StageMs = make(map[string]float64, int(NumStages))
+			}
+			rec.StageMs[s.String()] = ms(r.stages[s].dur)
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return // a plain-data struct cannot fail to marshal
+	}
+	line = append(line, '\n')
+	a.mu.Lock()
+	a.w.Write(line)
+	a.mu.Unlock()
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// ctxKey keys the per-request handle in a request context.
+type ctxKey struct{}
+
+// NewContext attaches a request handle to ctx.
+func NewContext(ctx context.Context, r *Req) context.Context {
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the request handle attached by NewContext, or nil —
+// the same free disabled handle a nil Observer hands out.
+func FromContext(ctx context.Context) *Req {
+	r, _ := ctx.Value(ctxKey{}).(*Req)
+	return r
+}

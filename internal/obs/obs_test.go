@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually stepped clock for deterministic stage accounting.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time                 { return c.t }
+func (c *fakeClock) step(d time.Duration) time.Time { c.t = c.t.Add(d); return c.t }
+
+func TestDisabledTelemetryAddsNoAllocs(t *testing.T) {
+	var o *Observer // disabled
+	allocs := testing.AllocsPerRun(100, func() {
+		tr := o.Begin("/v1/run", "inbound-id")
+		start := tr.Now()
+		tr.Stage(StageQuota, start)
+		tr.Stage(StageQueue, start)
+		tr.SetRequest("fig6", "tenant")
+		tr.SetCache("hit")
+		tr.StageExcluding(StageCache, start, StageRun)
+		tr.Stage(StageEncode, start)
+		if tr.ID() != "" {
+			t.Fatal("disabled handle minted an id")
+		}
+		tr.Finish(200)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestRequestAccounting(t *testing.T) {
+	clk := newFakeClock()
+	o := New(Config{Now: clk.now})
+
+	tr := o.Begin("/v1/run", "")
+	if got := tr.ID(); got != "r-1" {
+		t.Fatalf("minted id = %q, want r-1", got)
+	}
+	q := tr.Now()
+	clk.step(2 * time.Millisecond)
+	tr.Stage(StageQuota, q) // 2ms quota
+
+	qu := clk.now()
+	clk.step(8 * time.Millisecond)
+	tr.Stage(StageQueue, qu) // 8ms queue
+
+	do := clk.now()
+	run := clk.now()
+	clk.step(50 * time.Millisecond)
+	tr.Stage(StageRun, run)                     // 50ms run inside the cache Do
+	clk.step(5 * time.Millisecond)              // 5ms of cache bookkeeping
+	tr.StageExcluding(StageCache, do, StageRun) // 55ms elapsed - 50ms run = 5ms
+	tr.SetRequest("fig6", "acme")
+	tr.SetCache("miss")
+
+	enc := clk.now()
+	clk.step(1 * time.Millisecond)
+	tr.Stage(StageEncode, enc) // 1ms encode
+	tr.Finish(200)
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.inflight != 0 || o.inflightMax != 1 {
+		t.Fatalf("inflight=%d max=%d, want 0/1", o.inflight, o.inflightMax)
+	}
+	key := seriesKey{endpoint: "/v1/run", class: "2xx", figure: "fig6", cache: "miss"}
+	if o.requests[key] != 1 {
+		t.Fatalf("requests[%+v] = %d, want 1", key, o.requests[key])
+	}
+	total := o.duration["/v1/run"]
+	if total == nil || total.count != 1 {
+		t.Fatalf("duration histogram missing or wrong count: %+v", total)
+	}
+	wantTotal := (66 * time.Millisecond).Seconds()
+	if total.sum != wantTotal {
+		t.Fatalf("total sum = %v, want %v", total.sum, wantTotal)
+	}
+	wantStage := map[Stage]float64{
+		StageQuota:  0.002,
+		StageQueue:  0.008,
+		StageCache:  0.005,
+		StageRun:    0.050,
+		StageEncode: 0.001,
+	}
+	var stageSum float64
+	for s, want := range wantStage {
+		h := o.stages[stageKey{endpoint: "/v1/run", stage: s}]
+		if h == nil {
+			t.Fatalf("stage %v histogram missing", s)
+		}
+		if h.sum != want {
+			t.Errorf("stage %v sum = %v, want %v", s, h.sum, want)
+		}
+		stageSum += h.sum
+	}
+	if stageSum != wantTotal {
+		t.Fatalf("stage sums %v do not reconcile with total %v", stageSum, wantTotal)
+	}
+}
+
+func TestStageAccumulates(t *testing.T) {
+	clk := newFakeClock()
+	o := New(Config{Now: clk.now})
+	tr := o.Begin("/v1/run", "")
+	first := clk.now()
+	clk.step(3 * time.Millisecond)
+	tr.Stage(StageQueue, first)
+	clk.step(10 * time.Millisecond) // unattributed gap
+	second := clk.now()
+	clk.step(4 * time.Millisecond)
+	tr.Stage(StageQueue, second)
+	sp := tr.stages[StageQueue]
+	if sp.dur != 7*time.Millisecond {
+		t.Fatalf("accumulated dur = %v, want 7ms", sp.dur)
+	}
+	if sp.off != 0 {
+		t.Fatalf("offset = %v, want 0 (first visit)", sp.off)
+	}
+	tr.Finish(200)
+}
+
+func TestIDPropagation(t *testing.T) {
+	o := New(Config{})
+	cases := []struct {
+		inbound string
+		want    string // "" = minted
+	}{
+		{"client-id-42", "client-id-42"},
+		{"a.b_c-D", "a.b_c-D"},
+		{"", ""},
+		{"has space", ""},
+		{"bad\nnewline", ""},
+		{`quote"inject`, ""},
+		{strings.Repeat("x", 65), ""},
+	}
+	for _, tc := range cases {
+		tr := o.Begin("/v1/run", tc.inbound)
+		got := tr.ID()
+		if tc.want != "" && got != tc.want {
+			t.Errorf("inbound %q: id = %q, want propagated %q", tc.inbound, got, tc.want)
+		}
+		if tc.want == "" && !strings.HasPrefix(got, "r-") {
+			t.Errorf("inbound %q: id = %q, want minted r-<seq>", tc.inbound, got)
+		}
+		tr.Finish(200)
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	clk := newFakeClock()
+	var buf bytes.Buffer
+	o := New(Config{Now: clk.now, AccessLog: &buf})
+
+	// A /v1/ request logs one line.
+	tr := o.Begin("/v1/run", "req-7")
+	start := tr.Now()
+	clk.step(12 * time.Millisecond)
+	tr.Stage(StageRun, start)
+	tr.SetRequest("fig6", "acme")
+	tr.SetFingerprint("deadbeef")
+	tr.SetCache("miss")
+	tr.Finish(200)
+
+	// A non-/v1/ request does not.
+	ht := o.Begin("/healthz", "")
+	ht.Finish(200)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("access log has %d lines, want 1: %q", len(lines), buf.String())
+	}
+	var rec AccessRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("access log line is not JSON: %v\n%s", err, lines[0])
+	}
+	if rec.ID != "req-7" || rec.Endpoint != "/v1/run" || rec.Tenant != "acme" ||
+		rec.Figure != "fig6" || rec.Fingerprint != "deadbeef" || rec.Cache != "miss" ||
+		rec.Code != 200 || rec.Outcome != "ok" {
+		t.Fatalf("unexpected record: %+v", rec)
+	}
+	if rec.TotalMs != 12 {
+		t.Fatalf("total_ms = %v, want 12", rec.TotalMs)
+	}
+	if rec.StageMs["run"] != 12 {
+		t.Fatalf("stage_ms[run] = %v, want 12", rec.StageMs)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, rec.Time); err != nil {
+		t.Fatalf("ts %q not RFC3339Nano: %v", rec.Time, err)
+	}
+}
+
+func TestOutcomeNames(t *testing.T) {
+	cases := map[int]string{
+		200: "ok", 204: "ok", 304: "ok",
+		400: "client-error", 404: "client-error",
+		429: "throttled", 503: "unavailable", 500: "error",
+	}
+	for code, want := range cases {
+		if got := outcome(code); got != want {
+			t.Errorf("outcome(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	o := New(Config{})
+	tr := o.Begin("/v1/run", "")
+	ctx := NewContext(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %v, want %v", got, tr)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext on empty ctx = %v, want nil", got)
+	}
+	// The nil handle survives the round trip as nil.
+	ctx = NewContext(context.Background(), nil)
+	if got := FromContext(ctx); got != nil {
+		t.Fatalf("nil handle round trip = %v, want nil", got)
+	}
+	tr.Finish(200)
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	o := New(Config{AccessLog: &bytes.Buffer{}})
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 50; j++ {
+				tr := o.Begin("/v1/run", "")
+				tr.Stage(StageRun, tr.Now())
+				tr.SetRequest("fig6", "t")
+				tr.SetCache("hit")
+				tr.Finish(200)
+				o.SlowTraces()
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.inflight != 0 {
+		t.Fatalf("inflight = %d after drain, want 0", o.inflight)
+	}
+	key := seriesKey{endpoint: "/v1/run", class: "2xx", figure: "fig6", cache: "hit"}
+	if o.requests[key] != 400 {
+		t.Fatalf("requests = %d, want 400", o.requests[key])
+	}
+}
+
+func TestBuildRecord(t *testing.T) {
+	b := ReadBuild("scatteraddd")
+	if b.Service != "scatteraddd" {
+		t.Fatalf("service = %q", b.Service)
+	}
+	if b.GoVersion == "" || b.OS == "" || b.Arch == "" {
+		t.Fatalf("runtime fields missing: %+v", b)
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	for _, k := range []string{"service", "go_version", "os", "arch"} {
+		if _, ok := round[k]; !ok {
+			t.Errorf("field %q missing from JSON", k)
+		}
+	}
+}

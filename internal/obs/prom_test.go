@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scatteradd/internal/stats"
+)
+
+// render drives a small deterministic workload through an observer and
+// returns its exposition.
+func render(t *testing.T, o *Observer, snap stats.Snapshot) string {
+	t.Helper()
+	var b strings.Builder
+	if err := WriteMetrics(&b, o, snap); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	return b.String()
+}
+
+func sampleObserver() (*Observer, *fakeClock) {
+	clk := newFakeClock()
+	o := New(Config{Now: clk.now})
+	for i, tc := range []struct {
+		cache string
+		code  int
+		dur   time.Duration
+	}{
+		{"miss", 200, 40 * time.Millisecond},
+		{"hit", 200, 1 * time.Millisecond},
+		{"coalesced", 200, 30 * time.Millisecond},
+		{"", 429, 100 * time.Microsecond},
+	} {
+		tr := o.Begin("/v1/run", "")
+		start := tr.Now()
+		clk.step(tc.dur)
+		if tc.code == 200 {
+			if tc.cache == "miss" {
+				tr.Stage(StageRun, start)
+			} else {
+				tr.Stage(StageCache, start)
+			}
+			tr.SetRequest("fig6", "acme")
+			tr.SetCache(tc.cache)
+		} else {
+			tr.Stage(StageQuota, start)
+		}
+		tr.Finish(tc.code)
+		_ = i
+	}
+	return o, clk
+}
+
+func sampleSnapshot() stats.Snapshot {
+	return stats.Snapshot{Entries: []stats.Entry{
+		{Key: "server/cache.hits", Kind: stats.KindCounter, Val: 12},
+		{Key: "server/queue[0].depth", Kind: stats.KindGauge, Val: 3},
+	}}
+}
+
+func TestWriteMetricsDeterministic(t *testing.T) {
+	o, _ := sampleObserver()
+	snap := sampleSnapshot()
+	a := render(t, o, snap)
+	b := render(t, o, snap)
+	if a != b {
+		t.Fatalf("two renders of an idle observer differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestWriteMetricsContent(t *testing.T) {
+	o, _ := sampleObserver()
+	out := render(t, o, sampleSnapshot())
+
+	for _, want := range []string{
+		`scatteradd_http_requests_total{cache="miss",class="2xx",endpoint="/v1/run",figure="fig6"} 1`,
+		`scatteradd_http_requests_total{cache="hit",class="2xx",endpoint="/v1/run",figure="fig6"} 1`,
+		`scatteradd_http_requests_total{cache="",class="4xx",endpoint="/v1/run",figure=""} 1`,
+		`scatteradd_http_inflight_requests 0`,
+		`scatteradd_http_request_duration_seconds_count{endpoint="/v1/run"} 4`,
+		`scatteradd_http_stage_duration_seconds_count{endpoint="/v1/run",stage="run"} 1`,
+		`scatteradd_http_stage_duration_seconds_count{endpoint="/v1/run",stage="cache"} 2`,
+		"# TYPE scatteradd_http_requests_total counter",
+		"# TYPE scatteradd_http_request_duration_seconds histogram",
+		"scatteradd_stats_server_cache_hits_total 12",
+		"scatteradd_stats_server_queue_0_depth 3",
+		"# TYPE scatteradd_stats_server_queue_0_depth gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderParsesCleanly(t *testing.T) {
+	o, _ := sampleObserver()
+	out := render(t, o, sampleSnapshot())
+	scrape, err := ParseProm([]byte(out))
+	if err != nil {
+		t.Fatalf("ParseProm on own render: %v\n%s", err, out)
+	}
+	if problems := scrape.Lint(); len(problems) != 0 {
+		t.Fatalf("Lint on own render: %v\n%s", problems, out)
+	}
+	// Sum over the counter family recovers the request count.
+	if got := scrape.Sum(MetricRequests, nil); got != 4 {
+		t.Fatalf("Sum(requests) = %v, want 4", got)
+	}
+	if got := scrape.Sum(MetricRequests, map[string]string{"class": "2xx"}); got != 3 {
+		t.Fatalf("Sum(requests, 2xx) = %v, want 3", got)
+	}
+	if got := scrape.Sum(MetricRequests, map[string]string{"cache": "miss"}); got != 1 {
+		t.Fatalf("Sum(requests, miss) = %v, want 1", got)
+	}
+	// Stage histogram sums reconcile with the total-duration sum.
+	var stageSum float64
+	for _, sm := range scrape.Samples {
+		if sm.Name == MetricStageDuration+"_sum" {
+			stageSum += sm.Value
+		}
+	}
+	totalSum := scrape.Sum(MetricDuration+"_sum", nil)
+	if diff := stageSum - totalSum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("stage sums %v != total sum %v", stageSum, totalSum)
+	}
+}
+
+func TestWriteMetricsNilObserver(t *testing.T) {
+	out := render(t, nil, sampleSnapshot())
+	if strings.Contains(out, MetricRequests) {
+		t.Fatalf("nil observer rendered RED metrics:\n%s", out)
+	}
+	if !strings.Contains(out, "scatteradd_stats_server_cache_hits_total 12") {
+		t.Fatalf("nil observer dropped stats families:\n%s", out)
+	}
+	if _, err := ParseProm([]byte(out)); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+}
+
+func TestParsePromLabels(t *testing.T) {
+	in := `# TYPE m_total counter
+m_total{a="x y",b="q\"uo\\te",c="nl\nhere"} 3
+m_total{a="other"} 1.5
+plain 7
+`
+	s, err := ParseProm([]byte(in))
+	if err != nil {
+		t.Fatalf("ParseProm: %v", err)
+	}
+	if len(s.Samples) != 3 {
+		t.Fatalf("parsed %d samples, want 3", len(s.Samples))
+	}
+	v, ok := s.Value("m_total", map[string]string{"a": "x y", "b": `q"uo\te`, "c": "nl\nhere"})
+	if !ok || v != 3 {
+		t.Fatalf("escaped-label lookup = %v,%v", v, ok)
+	}
+	if got := s.Sum("m_total", nil); got != 4.5 {
+		t.Fatalf("Sum = %v, want 4.5", got)
+	}
+}
+
+func TestParsePromErrors(t *testing.T) {
+	for _, in := range []string{
+		"m_total{a=\"unterminated\n",
+		"m_total{a=unquoted} 1\n",
+		"m_total{a=\"x\"}\n", // missing value
+		"m_total notanumber\n",
+		"# TYPE m_total bogus\n",
+	} {
+		if _, err := ParseProm([]byte(in)); err == nil {
+			t.Errorf("ParseProm(%q) accepted malformed input", in)
+		}
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{
+			"no type",
+			"orphan 1\n",
+			"no TYPE declared",
+		},
+		{
+			"counter without _total",
+			"# TYPE hits counter\nhits 3\n",
+			"does not end in _total",
+		},
+		{
+			"duplicate series",
+			"# TYPE m_total counter\nm_total{a=\"x\"} 1\nm_total{a=\"x\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"negative counter",
+			"# TYPE m_total counter\nm_total -1\n",
+			"negative counter",
+		},
+		{
+			"bad metric name",
+			"# TYPE bad-name counter\nbad-name 1\n",
+			"invalid metric name",
+		},
+		{
+			"non-cumulative buckets",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"not cumulative",
+		},
+		{
+			"inf bucket mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+			"!= _count",
+		},
+		{
+			"missing inf bucket",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n",
+			"missing +Inf",
+		},
+	}
+	for _, tc := range cases {
+		s, err := ParseProm([]byte(tc.in))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		problems := s.Lint()
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: Lint() = %v, want a problem containing %q", tc.name, problems, tc.want)
+		}
+	}
+}
+
+func TestCheckMonotonic(t *testing.T) {
+	before, err := ParseProm([]byte(
+		"# TYPE m_total counter\nm_total 5\n# TYPE g gauge\ng 10\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 0.5\nh_count 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := ParseProm([]byte(
+		"# TYPE m_total counter\nm_total 7\n# TYPE g gauge\ng 2\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 0.9\nh_count 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := CheckMonotonic(before, after); len(problems) != 0 {
+		t.Fatalf("forward progress flagged: %v", problems)
+	}
+	// Gauge decrease (g 10 -> 2) is allowed; counter decrease is not.
+	if problems := CheckMonotonic(after, before); len(problems) == 0 {
+		t.Fatal("counter regression not flagged")
+	} else {
+		joined := strings.Join(problems, "; ")
+		if !strings.Contains(joined, "m_total") || strings.Contains(joined, "series g ") {
+			t.Fatalf("wrong series flagged: %v", problems)
+		}
+	}
+	// A disappeared series is flagged too.
+	gone, _ := ParseProm([]byte("# TYPE m_total counter\n"))
+	if problems := CheckMonotonic(before, gone); len(problems) == 0 {
+		t.Fatal("disappeared series not flagged")
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"server/cache.hits":  "server_cache_hits",
+		"queue[3]/depth":     "queue_3_depth",
+		"already_clean":      "already_clean",
+		"__lead/and/trail__": "lead_and_trail",
+		"a..b":               "a_b",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,436 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A minimal Prometheus text-exposition parser and linter. It exists for two
+// consumers: `saload -scrape` (cross-checking server counters against the
+// client's LoadReport) and `benchgate -promlint` (CI's exposition-hygiene
+// gate). It parses exactly the subset WriteMetrics emits — # HELP / # TYPE
+// comments and `name{labels} value` samples — and rejects anything outside
+// the format rather than guessing.
+
+// Sample is one parsed series sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// key renders the sample's identity (name plus key-sorted labels) for
+// duplicate detection and cross-scrape matching.
+func (s Sample) key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(strconv.Quote(s.Labels[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Scrape is one parsed /metrics payload.
+type Scrape struct {
+	// Types maps family name to its declared TYPE (counter, gauge, histogram).
+	Types map[string]string
+	// Help maps family name to its HELP text.
+	Help map[string]string
+	// Samples preserves input order.
+	Samples []Sample
+
+	byKey map[string]float64
+}
+
+// ParseProm parses a text-exposition payload.
+func ParseProm(data []byte) (*Scrape, error) {
+	s := &Scrape{
+		Types: make(map[string]string),
+		Help:  make(map[string]string),
+		byKey: make(map[string]float64),
+	}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := s.parseComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			continue
+		}
+		sm, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		s.Samples = append(s.Samples, sm)
+		s.byKey[sm.key()] = sm.Value
+	}
+	return s, nil
+}
+
+func (s *Scrape) parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		s.Types[fields[2]] = fields[3]
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		s.Help[fields[2]] = help
+	}
+	return nil
+}
+
+// parseSample parses `name value` or `name{k="v",...} value`.
+func parseSample(line string) (Sample, error) {
+	sm := Sample{}
+	i := strings.IndexByte(line, '{')
+	if i < 0 {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return sm, fmt.Errorf("malformed sample %q", line)
+		}
+		sm.Name = fields[0]
+		return sm, parseValue(&sm, fields[1])
+	}
+	sm.Name = line[:i]
+	rest := line[i+1:]
+	labels, rest, err := parseLabels(rest)
+	if err != nil {
+		return sm, fmt.Errorf("sample %q: %w", line, err)
+	}
+	sm.Labels = labels
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return sm, fmt.Errorf("sample %q: missing value", line)
+	}
+	return sm, parseValue(&sm, fields[0])
+}
+
+func parseValue(sm *Sample, s string) error {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("bad value %q: %v", s, err)
+	}
+	sm.Value = v
+	return nil
+}
+
+// parseLabels consumes `k="v",...}` (the opening brace already eaten) with
+// escape-aware value scanning, returning the labels and the remainder of the
+// line after the closing brace.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	for {
+		s = strings.TrimLeft(s, " ,")
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, "", fmt.Errorf("label %q: unquoted value", name)
+		}
+		val, rest, err := scanQuoted(s[1:])
+		if err != nil {
+			return nil, "", fmt.Errorf("label %q: %w", name, err)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val
+		s = rest
+	}
+}
+
+// scanQuoted consumes an exposition-escaped label value (opening quote
+// already eaten), returning the unescaped value and the remainder.
+func scanQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}
+
+// Value returns the sample with exactly this name and label set, and whether
+// it was present.
+func (s *Scrape) Value(name string, labels map[string]string) (float64, bool) {
+	v, ok := s.byKey[Sample{Name: name, Labels: labels}.key()]
+	return v, ok
+}
+
+// Sum totals every sample of family `name` whose labels are a superset of
+// `match` (nil matches all). Histogram child series (_bucket/_sum/_count) are
+// distinct names and do not alias their family.
+func (s *Scrape) Sum(name string, match map[string]string) float64 {
+	var total float64
+	for _, sm := range s.Samples {
+		if sm.Name != name {
+			continue
+		}
+		if !labelsMatch(sm.Labels, match) {
+			continue
+		}
+		total += sm.Value
+	}
+	return total
+}
+
+func labelsMatch(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// familyOf strips histogram child suffixes so a _bucket sample maps back to
+// its declared family.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// Lint applies exposition hygiene rules to a single scrape and returns the
+// violations (empty = clean):
+//
+//   - metric and label names match [a-zA-Z_:][a-zA-Z0-9_:]* (labels: no colon)
+//   - every sample's family has a TYPE declared before its first sample
+//   - counter family names end in _total
+//   - no duplicate series (same name + label set)
+//   - counter and histogram samples are non-negative
+//   - histogram buckets are cumulative in le order and the +Inf bucket
+//     equals the family's _count
+func (s *Scrape) Lint() []string {
+	var problems []string
+	badName := func(n string, label bool) bool {
+		if n == "" {
+			return true
+		}
+		for i := 0; i < len(n); i++ {
+			c := n[i]
+			switch {
+			case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+			case c == ':' && !label:
+			case c >= '0' && c <= '9' && i > 0:
+			default:
+				return true
+			}
+		}
+		return false
+	}
+
+	seen := make(map[string]bool)
+	declaredBefore := make(map[string]bool)
+	for name := range s.Types {
+		if badName(name, false) {
+			problems = append(problems, fmt.Sprintf("invalid metric name %q", name))
+		}
+	}
+	for _, sm := range s.Samples {
+		fam := familyOf(sm.Name, s.Types)
+		typ, declared := s.Types[fam]
+		if !declared {
+			problems = append(problems, fmt.Sprintf("series %s: no TYPE declared for family %s", sm.key(), fam))
+		} else {
+			declaredBefore[fam] = true
+		}
+		if badName(sm.Name, false) {
+			problems = append(problems, fmt.Sprintf("invalid metric name %q", sm.Name))
+		}
+		for ln := range sm.Labels {
+			if badName(ln, true) {
+				problems = append(problems, fmt.Sprintf("series %s: invalid label name %q", sm.key(), ln))
+			}
+		}
+		if seen[sm.key()] {
+			problems = append(problems, fmt.Sprintf("duplicate series %s", sm.key()))
+		}
+		seen[sm.key()] = true
+		if typ == "counter" && !strings.HasSuffix(fam, "_total") {
+			problems = append(problems, fmt.Sprintf("counter family %s does not end in _total", fam))
+		}
+		if (typ == "counter" || typ == "histogram") && sm.Value < 0 {
+			problems = append(problems, fmt.Sprintf("series %s: negative %s value %v", sm.key(), typ, sm.Value))
+		}
+	}
+	problems = append(problems, s.lintHistograms()...)
+	return problems
+}
+
+// lintHistograms checks bucket monotonicity in le order and +Inf == _count
+// for every histogram child series group.
+func (s *Scrape) lintHistograms() []string {
+	var problems []string
+
+	type group struct {
+		fam     string
+		baseKey string
+		buckets []Sample // _bucket samples in input order
+		count   float64
+		hasCnt  bool
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	baseKeyOf := func(sm Sample, fam string) string {
+		labels := make(map[string]string, len(sm.Labels))
+		for k, v := range sm.Labels {
+			if k == "le" {
+				continue
+			}
+			labels[k] = v
+		}
+		return Sample{Name: fam, Labels: labels}.key()
+	}
+
+	for _, sm := range s.Samples {
+		fam := familyOf(sm.Name, s.Types)
+		if s.Types[fam] != "histogram" {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(sm.Name, "_bucket"):
+			bk := baseKeyOf(sm, fam)
+			g, ok := groups[bk]
+			if !ok {
+				g = &group{fam: fam, baseKey: bk}
+				groups[bk] = g
+				order = append(order, bk)
+			}
+			g.buckets = append(g.buckets, sm)
+		case strings.HasSuffix(sm.Name, "_count"):
+			bk := baseKeyOf(sm, fam)
+			g, ok := groups[bk]
+			if !ok {
+				g = &group{fam: fam, baseKey: bk}
+				groups[bk] = g
+				order = append(order, bk)
+			}
+			g.count = sm.Value
+			g.hasCnt = true
+		}
+	}
+
+	for _, bk := range order {
+		g := groups[bk]
+		prev := -1.0
+		prevLe := ""
+		sawInf := false
+		for _, b := range g.buckets {
+			le := b.Labels["le"]
+			if le == "" {
+				problems = append(problems, fmt.Sprintf("histogram %s: _bucket sample without le label", bk))
+				continue
+			}
+			if b.Value < prev {
+				problems = append(problems, fmt.Sprintf(
+					"histogram %s: bucket le=%q (%v) below le=%q (%v): buckets not cumulative",
+					bk, le, b.Value, prevLe, prev))
+			}
+			prev, prevLe = b.Value, le
+			if le == "+Inf" {
+				sawInf = true
+				if g.hasCnt && b.Value != g.count {
+					problems = append(problems, fmt.Sprintf(
+						"histogram %s: +Inf bucket (%v) != _count (%v)", bk, b.Value, g.count))
+				}
+			}
+		}
+		if len(g.buckets) > 0 && !sawInf {
+			problems = append(problems, fmt.Sprintf("histogram %s: missing +Inf bucket", bk))
+		}
+	}
+	return problems
+}
+
+// CheckMonotonic compares two scrapes of the same server and reports every
+// counter or histogram series that went backwards — the cross-scrape half of
+// `benchgate -promlint`.
+func CheckMonotonic(before, after *Scrape) []string {
+	var problems []string
+	for _, sm := range before.Samples {
+		fam := familyOf(sm.Name, before.Types)
+		typ := before.Types[fam]
+		if typ != "counter" && typ != "histogram" {
+			continue
+		}
+		afterV, ok := after.byKey[sm.key()]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("series %s disappeared between scrapes", sm.key()))
+			continue
+		}
+		if afterV < sm.Value {
+			problems = append(problems, fmt.Sprintf(
+				"series %s went backwards: %v -> %v", sm.key(), sm.Value, afterV))
+		}
+	}
+	return problems
+}

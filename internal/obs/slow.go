@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"scatteradd/internal/span"
+)
+
+// The slowz ring: a bounded buffer retaining the slowest-N completed
+// requests by total duration. Semantics:
+//
+//   - Below capacity, every completed request is retained.
+//   - At capacity, a new trace replaces the fastest retained one only if it
+//     is strictly slower; otherwise it is dropped. The ring therefore
+//     converges on the N slowest requests the server has ever answered, not
+//     the N most recent — the traces an operator actually wants when asking
+//     "what does our tail look like".
+//   - SlowTraces snapshots slowest-first (ties broken by id) so exports are
+//     deterministic for a fixed set of retained traces.
+
+// StageSpan is one stage's placement within a retained trace.
+type StageSpan struct {
+	Off     time.Duration // offset from request start
+	Dur     time.Duration // accumulated stage time
+	Visited bool          // whether the request touched the stage at all
+}
+
+// SlowTrace is one retained request lifecycle.
+type SlowTrace struct {
+	ID       string
+	Endpoint string
+	Tenant   string
+	Figure   string
+	Cache    string
+	Code     int
+	Start    time.Time
+	Total    time.Duration
+	Stages   [NumStages]StageSpan
+}
+
+type slowRing struct {
+	max    int
+	traces []SlowTrace
+}
+
+// offer inserts t if the ring has room or t is slower than the fastest
+// retained trace. Caller holds the observer's lock.
+func (r *slowRing) offer(t SlowTrace) {
+	if r.max == 0 {
+		return
+	}
+	if len(r.traces) < r.max {
+		r.traces = append(r.traces, t)
+		return
+	}
+	fastest := 0
+	for i := 1; i < len(r.traces); i++ {
+		if r.traces[i].Total < r.traces[fastest].Total {
+			fastest = i
+		}
+	}
+	if t.Total > r.traces[fastest].Total {
+		r.traces[fastest] = t
+	}
+}
+
+// SlowTraces returns the retained traces, slowest first (ties by id).
+func (o *Observer) SlowTraces() []SlowTrace {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	out := make([]SlowTrace, len(o.slow.traces))
+	copy(out, o.slow.traces)
+	o.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// SlowSummary is the compact JSON form of one retained trace
+// (/debug/slowz?format=json).
+type SlowSummary struct {
+	ID       string             `json:"id"`
+	Endpoint string             `json:"endpoint"`
+	Tenant   string             `json:"tenant,omitempty"`
+	Figure   string             `json:"figure,omitempty"`
+	Cache    string             `json:"cache,omitempty"`
+	Code     int                `json:"code"`
+	Start    string             `json:"start"`
+	TotalMs  float64            `json:"total_ms"`
+	StageMs  map[string]float64 `json:"stage_ms,omitempty"`
+}
+
+// Summary reduces a trace to its JSON form.
+func (t SlowTrace) Summary() SlowSummary {
+	s := SlowSummary{
+		ID:       t.ID,
+		Endpoint: t.Endpoint,
+		Tenant:   t.Tenant,
+		Figure:   t.Figure,
+		Cache:    t.Cache,
+		Code:     t.Code,
+		Start:    t.Start.UTC().Format(time.RFC3339Nano),
+		TotalMs:  ms(t.Total),
+	}
+	for st := Stage(0); st < NumStages; st++ {
+		if t.Stages[st].Visited {
+			if s.StageMs == nil {
+				s.StageMs = make(map[string]float64, int(NumStages))
+			}
+			s.StageMs[st.String()] = ms(t.Stages[st].Dur)
+		}
+	}
+	return s
+}
+
+// WriteSlowPerfetto exports retained traces as Chrome trace-event JSON
+// through the span exporter — the same artifact format as `scatteradd
+// -spans`' simulator traces, loadable in ui.perfetto.dev. Each request is
+// one Perfetto process: a "request" track spanning the whole lifecycle plus
+// one track per visited pipeline stage, with timestamps in microseconds
+// since the request began.
+func WriteSlowPerfetto(w io.Writer, traces []SlowTrace) error {
+	procs := make([]span.Process, 0, len(traces))
+	for i, t := range traces {
+		name := fmt.Sprintf("%s %s", t.ID, t.Endpoint)
+		if t.Figure != "" {
+			name += " " + t.Figure
+		}
+		if t.Cache != "" {
+			name += " cache=" + t.Cache
+		}
+		name += fmt.Sprintf(" http=%d (%.1f ms)", t.Code, ms(t.Total))
+		evs := []span.Event{{
+			Track: "request",
+			Name:  outcome(t.Code),
+			Start: usOf(0),
+			End:   usOf(t.Total),
+		}}
+		for st := Stage(0); st < NumStages; st++ {
+			sp := t.Stages[st]
+			if !sp.Visited {
+				continue
+			}
+			evs = append(evs, span.Event{
+				Track: st.String(),
+				Name:  st.String(),
+				Start: usOf(sp.Off),
+				End:   usOf(sp.Off + sp.Dur),
+			})
+		}
+		procs = append(procs, span.Process{Pid: i + 1, Name: name, Events: evs})
+	}
+	return span.WriteTraceEvents(w, procs)
+}
+
+// usOf converts a wall duration to the exporter's microsecond timestamps.
+func usOf(d time.Duration) uint64 {
+	if d < 0 {
+		return 0
+	}
+	return uint64(d / time.Microsecond)
+}

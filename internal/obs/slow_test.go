@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"scatteradd/internal/span"
+)
+
+func trace(id string, total time.Duration) SlowTrace {
+	t := SlowTrace{
+		ID:       id,
+		Endpoint: "/v1/run",
+		Figure:   "fig6",
+		Cache:    "miss",
+		Code:     200,
+		Start:    time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		Total:    total,
+	}
+	t.Stages[StageRun] = StageSpan{Off: 0, Dur: total, Visited: true}
+	return t
+}
+
+func TestSlowRingRetainsSlowest(t *testing.T) {
+	r := slowRing{max: 3}
+	for i, d := range []time.Duration{
+		5 * time.Millisecond, 50 * time.Millisecond, 10 * time.Millisecond,
+		1 * time.Millisecond,  // faster than everything retained: dropped
+		40 * time.Millisecond, // evicts the 5ms trace
+		10 * time.Millisecond, // equal to the current fastest: dropped
+	} {
+		r.offer(trace(fmt.Sprintf("r-%d", i), d))
+	}
+	if len(r.traces) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(r.traces))
+	}
+	got := map[string]bool{}
+	for _, tr := range r.traces {
+		got[tr.ID] = true
+	}
+	for _, want := range []string{"r-1", "r-2", "r-4"} {
+		if !got[want] {
+			t.Errorf("ring missing %s (have %v)", want, got)
+		}
+	}
+}
+
+func TestSlowRingDisabled(t *testing.T) {
+	r := slowRing{max: 0}
+	r.offer(trace("r-1", time.Second))
+	if len(r.traces) != 0 {
+		t.Fatal("disabled ring retained a trace")
+	}
+}
+
+func TestSlowTracesOrdering(t *testing.T) {
+	clk := newFakeClock()
+	o := New(Config{Now: clk.now, SlowN: 8})
+	for _, d := range []time.Duration{
+		3 * time.Millisecond, 9 * time.Millisecond, 1 * time.Millisecond,
+	} {
+		tr := o.Begin("/v1/run", "")
+		start := tr.Now()
+		clk.step(d)
+		tr.Stage(StageRun, start)
+		tr.SetRequest("fig6", "t")
+		tr.SetCache("miss")
+		tr.Finish(200)
+	}
+	got := o.SlowTraces()
+	if len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Total > got[i-1].Total {
+			t.Fatalf("not sorted slowest-first: %v then %v", got[i-1].Total, got[i].Total)
+		}
+	}
+	if got[0].Total != 9*time.Millisecond {
+		t.Fatalf("slowest = %v, want 9ms", got[0].Total)
+	}
+	// Nil observer: empty, not a panic.
+	var disabled *Observer
+	if traces := disabled.SlowTraces(); traces != nil {
+		t.Fatalf("nil observer SlowTraces = %v", traces)
+	}
+}
+
+func TestSlowSummaryJSON(t *testing.T) {
+	tr := trace("r-9", 25*time.Millisecond)
+	tr.Tenant = "acme"
+	data, err := json.Marshal(tr.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["id"] != "r-9" || m["total_ms"] != 25.0 || m["tenant"] != "acme" {
+		t.Fatalf("summary = %v", m)
+	}
+	stages, ok := m["stage_ms"].(map[string]any)
+	if !ok || stages["run"] != 25.0 {
+		t.Fatalf("stage_ms = %v", m["stage_ms"])
+	}
+}
+
+func TestWriteSlowPerfettoValidates(t *testing.T) {
+	traces := []SlowTrace{
+		trace("r-1", 40*time.Millisecond),
+		trace("r-2", 5*time.Millisecond),
+	}
+	traces[0].Stages[StageQueue] = StageSpan{Off: 0, Dur: 2 * time.Millisecond, Visited: true}
+	traces[0].Stages[StageRun] = StageSpan{Off: 2 * time.Millisecond, Dur: 38 * time.Millisecond, Visited: true}
+
+	var buf bytes.Buffer
+	if err := WriteSlowPerfetto(&buf, traces); err != nil {
+		t.Fatalf("WriteSlowPerfetto: %v", err)
+	}
+	n, err := span.ValidateTraceJSON(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace fails validation: %v\n%s", err, buf.String())
+	}
+	// Five slices (2 request + 3 stage) plus 9 metadata events (2
+	// process_name, 2 "ops" threads, 5 stage-track thread_names).
+	if n != 14 {
+		t.Fatalf("validated %d events, want 14", n)
+	}
+	out := buf.String()
+	for _, want := range []string{"r-1 /v1/run fig6 cache=miss http=200 (40.0 ms)", `"queue"`, `"run"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q", want)
+		}
+	}
+}

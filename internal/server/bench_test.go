@@ -1,0 +1,130 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"scatteradd/internal/obs"
+)
+
+// discardRW is a ResponseWriter that keeps headers but drops the body, so
+// benchmark iterations measure the serving path rather than recorder growth.
+type discardRW struct {
+	h http.Header
+}
+
+func (d *discardRW) Header() http.Header         { return d.h }
+func (d *discardRW) WriteHeader(int)             {}
+func (d *discardRW) Write(p []byte) (int, error) { return len(p), nil }
+
+// benchServer builds a server, seeds the result cache with the benchmark
+// request, and returns the handler plus a factory for identical requests.
+func benchServer(b *testing.B, observer *obs.Observer) (http.Handler, func() *http.Request) {
+	b.Helper()
+	srv := New(Config{Workers: 1, CacheEntries: 8, Obs: observer})
+	h := srv.Handler()
+	newReq := func() *http.Request {
+		return httptest.NewRequest(http.MethodGet, "/v1/run?figure=fig6&scale=8&format=csv", nil)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, newReq())
+	if rec.Code != http.StatusOK {
+		b.Fatalf("seed request: %d %s", rec.Code, rec.Body.String())
+	}
+	return h, newReq
+}
+
+// BenchmarkHandleRunCacheHit measures the full cache-hit serving path. The
+// telemetry=off case is the baseline everything before this layer paid; the
+// telemetry=on delta is the whole cost of tracing + RED accounting per hit.
+func BenchmarkHandleRunCacheHit(b *testing.B) {
+	cases := []struct {
+		name string
+		obs  *obs.Observer
+	}{
+		{"telemetry=off", nil},
+		{"telemetry=on", obs.New(obs.Config{SlowN: 32})},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			h, newReq := benchServer(b, tc.obs)
+			w := &discardRW{h: make(http.Header)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.ServeHTTP(w, newReq())
+			}
+		})
+	}
+}
+
+// TestDisabledTelemetryHooksAllocateNothing pins the acceptance criterion
+// that a nil observer adds zero allocations to the serving path: it runs the
+// exact hook sequence counted/admit/handleRun execute per request — against a
+// typed nil observer, as Config.Obs leaves it when telemetry is off — and
+// demands the allocator never fires.
+func TestDisabledTelemetryHooksAllocateNothing(t *testing.T) {
+	var o *obs.Observer // what s.cfg.Obs is with -telemetry=false
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr := o.Begin("/v1/run", "client-id") // counted
+		if tr != nil {
+			t.Fatal("nil observer minted a handle")
+		}
+		quotaStart := tr.Now() // admit
+		tr.Stage(obs.StageQuota, quotaStart)
+		queueStart := tr.Now()
+		tr.Stage(obs.StageQueue, queueStart)
+		cacheStart := tr.Now() // handleRun
+		tr.StageExcluding(obs.StageCache, cacheStart, obs.StageRun)
+		tr.SetCache("hit")
+		encodeStart := tr.Now()
+		tr.Stage(obs.StageEncode, encodeStart)
+		tr.Finish(http.StatusOK)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry hooks allocate %.1f/op, want 0", allocs)
+	}
+}
+
+// TestTelemetryCacheHitLatencyAttribution sanity-checks the benchmark setup:
+// a cache hit served with telemetry on must record a zero run stage (nothing
+// was simulated for it) while still recording a total duration.
+func TestTelemetryCacheHitLatencyAttribution(t *testing.T) {
+	observer := obs.New(obs.Config{SlowN: 4})
+	h, newReq := benchServerT(t, observer)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, newReq())
+	if got := rec.Header().Get("X-Cache"); got != "hit" {
+		t.Fatalf("X-Cache = %q, want hit", got)
+	}
+	for _, tr := range observer.SlowTraces() {
+		if tr.Cache != "hit" {
+			continue
+		}
+		if tr.Stages[obs.StageRun].Visited {
+			t.Fatal("cache hit recorded a run stage")
+		}
+		if tr.Total <= 0 {
+			t.Fatal("cache hit recorded no total duration")
+		}
+		return
+	}
+	t.Fatal("no cache-hit trace retained")
+}
+
+// benchServerT adapts benchServer for tests.
+func benchServerT(t *testing.T, observer *obs.Observer) (http.Handler, func() *http.Request) {
+	t.Helper()
+	srv := New(Config{Workers: 1, CacheEntries: 8, Obs: observer})
+	h := srv.Handler()
+	newReq := func() *http.Request {
+		return httptest.NewRequest(http.MethodGet, "/v1/run?figure=fig6&scale=8&format=csv", nil)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, newReq())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("seed request: %d %s", rec.Code, rec.Body.String())
+	}
+	return h, newReq
+}

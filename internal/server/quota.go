@@ -85,6 +85,19 @@ func (q *quotas) allow(tenant string) (bool, time.Duration) {
 	return false, wait
 }
 
+// retryAfterSeconds converts a token-accrual wait into a Retry-After header
+// value, rounding UP to whole seconds with a floor of 1: truncation would
+// emit "Retry-After: 0" for sub-second waits, which well-behaved clients
+// read as "retry immediately" — a recipe for a retry storm against the very
+// bucket that just rejected them.
+func retryAfterSeconds(wait time.Duration) int {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // pruneLocked drops buckets idle long enough to have refilled to burst —
 // equivalent to fresh buckets, so nothing observable changes. Caller holds
 // mu.

@@ -41,6 +41,12 @@ type LoadReport struct {
 	Cache map[string]int `json:"cache,omitempty"`
 	// Latency summarizes 2xx response latencies.
 	Latency LatencySummary `json:"latency_ns"`
+	// ScrapeChecked is true when saload ran with -scrape: /metrics was
+	// pulled before and after the load and cross-checked against this
+	// report's own counts (CheckScrape). ScrapeProblems lists every
+	// discrepancy found; empty with ScrapeChecked set means zero drift.
+	ScrapeChecked  bool     `json:"scrape_checked,omitempty"`
+	ScrapeProblems []string `json:"scrape_problems,omitempty"`
 }
 
 // LatencySummary holds order statistics over observed latencies, in
@@ -85,6 +91,16 @@ func SummarizeLatencies(samples []time.Duration) LatencySummary {
 		P99:   rank(0.99),
 		Max:   ns[len(ns)-1],
 	}
+}
+
+// Write persists the report as indented JSON, the form ReadLoadReport and
+// benchgate -latency consume.
+func (r LoadReport) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // ReadLoadReport loads a LoadReport written by saload.

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSummarizeLatenciesEmpty(t *testing.T) {
+	if got := SummarizeLatencies(nil); got != (LatencySummary{}) {
+		t.Fatalf("empty input = %+v, want zero value", got)
+	}
+}
+
+func TestSummarizeLatenciesSingle(t *testing.T) {
+	got := SummarizeLatencies([]time.Duration{5 * time.Millisecond})
+	want := float64(5 * time.Millisecond)
+	if got.Count != 1 || got.Mean != want || got.P50 != want ||
+		got.P95 != want || got.P99 != want || got.Max != want {
+		t.Fatalf("single sample = %+v", got)
+	}
+}
+
+func TestSummarizeLatenciesPercentiles(t *testing.T) {
+	// 100 samples: 1ms..100ms. Nearest-rank: p50 -> 50th value, p95 -> 95th,
+	// p99 -> 99th, max -> 100th.
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	got := SummarizeLatencies(samples)
+	msf := func(n int) float64 { return float64(time.Duration(n) * time.Millisecond) }
+	if got.Count != 100 {
+		t.Fatalf("count = %d", got.Count)
+	}
+	if got.P50 != msf(50) {
+		t.Errorf("p50 = %v, want %v", got.P50, msf(50))
+	}
+	if got.P95 != msf(95) {
+		t.Errorf("p95 = %v, want %v", got.P95, msf(95))
+	}
+	if got.P99 != msf(99) {
+		t.Errorf("p99 = %v, want %v", got.P99, msf(99))
+	}
+	if got.Max != msf(100) {
+		t.Errorf("max = %v, want %v", got.Max, msf(100))
+	}
+	if got.Mean != msf(1)*50.5/1 {
+		t.Errorf("mean = %v, want %v", got.Mean, msf(1)*50.5)
+	}
+}
+
+func TestSummarizeLatenciesUnsortedInput(t *testing.T) {
+	a := SummarizeLatencies([]time.Duration{3, 1, 2})
+	b := SummarizeLatencies([]time.Duration{1, 2, 3})
+	if a != b {
+		t.Fatalf("order-dependent summaries: %+v vs %+v", a, b)
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	want := LoadReport{
+		Addr: "127.0.0.1:8080", TargetRPS: 50, DurationSec: 3,
+		Sent: 150, Shed: 2,
+		Status:         map[string]int{"200": 140, "429": 10},
+		OK:             140,
+		AchievedRPS:    46.7,
+		Rejected429:    10,
+		Cache:          map[string]int{"hit": 100, "miss": 40},
+		Latency:        LatencySummary{Count: 140, Mean: 1e6, P50: 9e5, P95: 2e6, P99: 3e6, Max: 4e6},
+		ScrapeChecked:  true,
+		ScrapeProblems: []string{"requests: server counted 151, client saw 150"},
+	}
+	if err := want.Write(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadLoadReport(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Sent != want.Sent || got.OK != want.OK || got.Rejected429 != want.Rejected429 ||
+		got.Latency != want.Latency || !got.ScrapeChecked ||
+		len(got.ScrapeProblems) != 1 || got.Cache["hit"] != 100 {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadLoadReportMissing(t *testing.T) {
+	if _, err := ReadLoadReport(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file not reported")
+	}
+}
+
+func TestReadLoadReportCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLoadReport(path); err == nil {
+		t.Fatal("corrupt file not reported")
+	}
+}

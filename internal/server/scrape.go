@@ -1,0 +1,84 @@
+package server
+
+import (
+	"fmt"
+
+	"scatteradd/internal/obs"
+)
+
+// Scrape cross-checking: `saload -scrape` pulls /metrics before and after a
+// load run and proves the server's telemetry truthful against the client's
+// own LoadReport — every request the client sent must appear in the server's
+// counters with the status class and cache outcome the client saw, and the
+// per-stage histogram sums must reconcile with the total request duration.
+// CI runs this on every push (server-load job), so a drifting counter or a
+// stage that double-counts breaks the build, not the operator's trust.
+
+// epsilonSeconds absorbs float accumulation error in histogram sums.
+const epsilonSeconds = 1e-6
+
+// CheckScrape compares the before→after /metrics delta of the /v1/run
+// endpoint against the client-side report and returns every discrepancy
+// (empty = zero drift). It assumes the scrapes bracket exactly the reported
+// load — concurrent foreign traffic on /v1/run will (correctly) show up as
+// drift.
+func CheckScrape(before, after *obs.Scrape, rep LoadReport) []string {
+	var problems []string
+	if rep.TransportErrors > 0 {
+		// A request that died in transport may or may not have reached the
+		// server's accounting; its class is unknowable client-side.
+		return []string{fmt.Sprintf(
+			"%d transport errors: client-side classes are incomplete, cross-check is meaningless", rep.TransportErrors)}
+	}
+
+	ep := map[string]string{"endpoint": "/v1/run"}
+	delta := func(match map[string]string) float64 {
+		m := map[string]string{"endpoint": "/v1/run"}
+		for k, v := range match {
+			m[k] = v
+		}
+		return after.Sum(obs.MetricRequests, m) - before.Sum(obs.MetricRequests, m)
+	}
+	check := func(name string, server float64, client int) {
+		if server != float64(client) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: server counted %v, client saw %d", name, server, client))
+		}
+	}
+
+	check("requests", delta(nil), rep.Sent)
+	check("2xx", delta(map[string]string{"class": "2xx"}), rep.OK)
+	check("4xx", delta(map[string]string{"class": "4xx"}), rep.Rejected429)
+	check("5xx", delta(map[string]string{"class": "5xx"}), rep.Errors5xx+rep.Drained503)
+	for _, status := range []string{CacheHit, CacheMiss, CacheCoalesced} {
+		check("cache "+status, delta(map[string]string{"cache": status}), rep.Cache[status])
+	}
+
+	// Durations: the total-duration histogram must have absorbed exactly the
+	// requests counted above, and the stage histograms must decompose it —
+	// stages are disjoint sub-intervals, so their sum can never exceed the
+	// total, and the unattributed remainder (mux dispatch, header parsing)
+	// must stay below bucket resolution per request.
+	durCount := after.Sum(obs.MetricDuration+"_count", ep) - before.Sum(obs.MetricDuration+"_count", ep)
+	if durCount != float64(rep.Sent) {
+		problems = append(problems, fmt.Sprintf(
+			"duration histogram count: server %v, client sent %d", durCount, rep.Sent))
+	}
+	totalSum := after.Sum(obs.MetricDuration+"_sum", ep) - before.Sum(obs.MetricDuration+"_sum", ep)
+	stageSum := after.Sum(obs.MetricStageDuration+"_sum", ep) - before.Sum(obs.MetricStageDuration+"_sum", ep)
+	if stageSum > totalSum+epsilonSeconds {
+		problems = append(problems, fmt.Sprintf(
+			"stage sums exceed total duration: stages %.6fs > total %.6fs (double-counted stage)", stageSum, totalSum))
+	}
+	if rep.Sent > 0 {
+		// Allow 5 ms of unattributed overhead per request plus a constant
+		// 10 ms of slack for scheduling noise.
+		slack := 0.005*float64(rep.Sent) + 0.010
+		if totalSum-stageSum > slack {
+			problems = append(problems, fmt.Sprintf(
+				"stage sums do not reconcile with total: %.6fs unattributed over %d requests (budget %.6fs)",
+				totalSum-stageSum, rep.Sent, slack))
+		}
+	}
+	return problems
+}

@@ -1,10 +1,10 @@
 package server
 
 import (
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
-	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"scatteradd/internal/exp"
+	"scatteradd/internal/obs"
 	"scatteradd/internal/stats"
 )
 
@@ -42,6 +43,11 @@ type Config struct {
 	QuotaBurst int
 	// Limits bounds accepted specs (scale floor, shard cap).
 	Limits Limits
+	// Obs, when non-nil, enables service telemetry: RED metrics on /metrics,
+	// per-request stage tracing with slow-trace capture on /debug/slowz, and
+	// (when the observer is built with an AccessLog) NDJSON access logging.
+	// Nil disables all of it at the cost of one branch per hook.
+	Obs *obs.Observer
 	// Now overrides the clock for tests (nil = time.Now).
 	Now func() time.Time
 }
@@ -126,14 +132,20 @@ func (s *Server) indexPath() string { return filepath.Join(s.cfg.CacheDir, index
 //	POST /v1/run     JSON spec -> rendered table (json | text | csv)
 //	GET  /v1/run     ?figure=fig6&scale=8&format=csv -> same
 //	POST /v1/stream  JSON spec -> NDJSON: accepted, progress*, table, row*, done
-//	GET  /healthz    "ok" (503 "draining" once Drain begins)
-//	GET  /statsz     server + cache + quota counters (json | ?format=text)
+//	GET  /healthz      "ok" (503 "draining" once Drain begins)
+//	GET  /statsz       server + cache + quota counters (json | ?format=text)
+//	GET  /metrics      Prometheus text exposition (stats + RED metrics)
+//	GET  /buildz       binary identity: version, Go runtime, VCS stamp
+//	GET  /debug/slowz  slowest-N request traces (Perfetto JSON | ?format=json)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/v1/run", s.counted(s.handleRun))
-	mux.Handle("/v1/stream", s.counted(s.handleStream))
-	mux.Handle("/healthz", s.counted(s.handleHealthz))
-	mux.Handle("/statsz", s.counted(s.handleStatsz))
+	mux.Handle("/v1/run", s.counted("/v1/run", s.handleRun))
+	mux.Handle("/v1/stream", s.counted("/v1/stream", s.handleStream))
+	mux.Handle("/healthz", s.counted("/healthz", s.handleHealthz))
+	mux.Handle("/statsz", s.counted("/statsz", s.handleStatsz))
+	mux.Handle("/metrics", s.counted("/metrics", s.handleMetrics))
+	mux.Handle("/buildz", s.counted("/buildz", obs.BuildHandler("scatteraddd")))
+	mux.Handle("/debug/slowz", s.counted("/debug/slowz", s.handleSlowz))
 	return mux
 }
 
@@ -214,9 +226,19 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
-// counted wraps a handler with request/response-class accounting.
-func (s *Server) counted(h func(http.ResponseWriter, *http.Request)) http.Handler {
+// counted wraps a handler with request/response-class accounting and, when
+// telemetry is on, the request's obs lifecycle: a propagated (or minted)
+// X-Request-Id echoed on the response, a stage-tracing handle in the request
+// context, and the Finish that folds the request into counters, histograms,
+// the slow-trace ring, and the access log. With a nil observer every obs call
+// is a nil-receiver no-op — zero allocations added.
+func (s *Server) counted(endpoint string, h func(http.ResponseWriter, *http.Request)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := s.cfg.Obs.Begin(endpoint, r.Header.Get("X-Request-Id"))
+		if tr != nil {
+			w.Header().Set("X-Request-Id", tr.ID())
+			r = r.WithContext(obs.NewContext(r.Context(), tr))
+		}
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
 		s.mu.Lock()
@@ -230,6 +252,7 @@ func (s *Server) counted(h func(http.ResponseWriter, *http.Request)) http.Handle
 			s.responses2x.Inc()
 		}
 		s.mu.Unlock()
+		tr.Finish(rec.code)
 	})
 }
 
@@ -270,8 +293,12 @@ func tenantOf(r *http.Request) string {
 // simulation. Rejections are answered on w (429 with Retry-After); a client
 // that disconnects while queued is dropped silently.
 func (s *Server) admit(ctx context.Context, w http.ResponseWriter, tenant string) (release func(), ok bool) {
-	if allowed, wait := s.quota.allow(tenant); !allowed {
-		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(wait.Seconds()))))
+	tr := obs.FromContext(ctx)
+	quotaStart := tr.Now()
+	allowed, wait := s.quota.allow(tenant)
+	tr.Stage(obs.StageQuota, quotaStart)
+	if !allowed {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(wait)))
 		http.Error(w, fmt.Sprintf("quota exhausted for tenant; retry in %s", wait.Round(time.Millisecond)), http.StatusTooManyRequests)
 		return nil, false
 	}
@@ -291,6 +318,7 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter, tenant string
 	s.queuedG.Set(int64(s.queued))
 	s.mu.Unlock()
 
+	queueStart := tr.Now()
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -298,8 +326,10 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter, tenant string
 		s.queued--
 		s.queuedG.Set(int64(s.queued))
 		s.mu.Unlock()
+		tr.Stage(obs.StageQueue, queueStart)
 		return nil, false
 	}
+	tr.Stage(obs.StageQueue, queueStart)
 	s.mu.Lock()
 	s.queued--
 	s.running++
@@ -316,11 +346,19 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter, tenant string
 }
 
 // run executes (or coalesces, or serves from cache) one validated request.
-func (s *Server) run(req Request, progress func(done, total int)) (exp.Table, string, error) {
+// The simulation itself is attributed to the run stage of the request that
+// actually computes it (cache.Do runs compute on the leader's goroutine, so
+// tr is always the leader's handle); hits and coalesced followers keep a
+// zero run stage — nothing was simulated on their behalf by themselves.
+func (s *Server) run(req Request, tr *obs.Req, progress func(done, total int)) (exp.Table, string, error) {
 	opts := req.Opts
 	opts.Jobs = s.cfg.RunJobs
 	opts.Progress = progress
-	return s.cache.Do(req.CacheKey(), func() exp.Table { return req.gen(opts) })
+	return s.cache.Do(req.CacheKey(), func() exp.Table {
+		runStart := tr.Now()
+		defer func() { tr.Stage(obs.StageRun, runStart) }()
+		return req.gen(opts)
+	})
 }
 
 // handleRun serves one spec as a complete rendered table.
@@ -339,17 +377,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	tr := obs.FromContext(r.Context())
+	if tr != nil {
+		tr.SetRequest(req.Figure, tenantOf(r))
+		tr.SetFingerprint(req.Opts.Fingerprint())
+	}
 	release, ok := s.admit(r.Context(), w, tenantOf(r))
 	if !ok {
 		return
 	}
 	start := time.Now()
-	table, status, err := s.run(req, nil)
+	cacheStart := tr.Now()
+	table, status, err := s.run(req, tr, nil)
+	// Cache residency is Do's elapsed time minus the simulation this request
+	// ran itself, keeping the stages disjoint so their sums reconcile.
+	tr.StageExcluding(obs.StageCache, cacheStart, obs.StageRun)
+	tr.SetCache(status)
 	release()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	encodeStart := tr.Now()
 	body, ctype := req.Render(table)
 	// Timing and cache status travel in headers only: the body is a pure
 	// function of the spec, byte-identical whether computed, coalesced, or
@@ -358,6 +407,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Cache", status)
 	w.Header().Set("X-Elapsed-Ms", strconv.FormatInt(time.Since(start).Milliseconds(), 10))
 	w.Write(body)
+	tr.Stage(obs.StageEncode, encodeStart)
 }
 
 // Stream events, one JSON object per NDJSON line.
@@ -413,6 +463,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	tr := obs.FromContext(r.Context())
+	if tr != nil {
+		tr.SetRequest(req.Figure, tenantOf(r))
+		tr.SetFingerprint(req.Opts.Fingerprint())
+	}
 	release, ok := s.admit(r.Context(), w, tenantOf(r))
 	if !ok {
 		return
@@ -436,18 +491,23 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	emit(evAccepted{Event: "accepted", Figure: req.Figure})
 	// Progress calls arrive on simulation worker goroutines; emit's mutex
 	// serializes them with the row writes below.
-	table, status, err := s.run(req, func(done, total int) {
+	cacheStart := tr.Now()
+	table, status, err := s.run(req, tr, func(done, total int) {
 		emit(evProgress{Event: "progress", Done: done, Total: total})
 	})
+	tr.StageExcluding(obs.StageCache, cacheStart, obs.StageRun)
+	tr.SetCache(status)
 	if err != nil {
 		emit(evError{Event: "error", Error: err.Error()})
 		return
 	}
+	encodeStart := tr.Now()
 	emit(evTable{Event: "table", Title: table.Title, Header: table.Header})
 	for i, row := range table.Rows {
 		emit(evRow{Event: "row", Index: i, Cells: row})
 	}
 	emit(evDone{Event: "done", Rows: len(table.Rows), Cache: status})
+	tr.Stage(obs.StageEncode, encodeStart)
 }
 
 // handleHealthz reports liveness; Drain flips it to 503 so load balancers
@@ -482,4 +542,43 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	data, _ := json.MarshalIndent(vals, "", " ")
 	w.Write(append(data, '\n'))
+}
+
+// handleMetrics serves the Prometheus text exposition: the server's stats
+// registries (server/cache/quota groups) plus, with telemetry enabled, the
+// RED metrics and stage histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	obs.WriteMetrics(w, s.cfg.Obs, s.Snapshot())
+}
+
+// handleSlowz exports the slowest-N retained request traces. The default is
+// Perfetto/Chrome trace-event JSON (the same artifact `scatteradd -spans`
+// produces — drop it on ui.perfetto.dev); ?gzip=1 compresses it for
+// artifact-sized transfers, and ?format=json returns compact summaries.
+func (s *Server) handleSlowz(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Obs == nil {
+		http.Error(w, "telemetry disabled: no slow traces retained (run without -telemetry=false)", http.StatusNotFound)
+		return
+	}
+	traces := s.cfg.Obs.SlowTraces()
+	if r.URL.Query().Get("format") == "json" {
+		out := make([]obs.SlowSummary, len(traces))
+		for i, t := range traces {
+			out[i] = t.Summary()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		data, _ := json.MarshalIndent(out, "", " ")
+		w.Write(append(data, '\n'))
+		return
+	}
+	if r.URL.Query().Get("gzip") == "1" {
+		w.Header().Set("Content-Type", "application/gzip")
+		gz := gzip.NewWriter(w)
+		obs.WriteSlowPerfetto(gz, traces)
+		gz.Close()
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteSlowPerfetto(w, traces)
 }
