@@ -12,7 +12,9 @@
 //	sabench -app spmv      -variant csr|ebehw|ebesw
 //	sabench -app moldyn    -variant nosa|hw|sw -mol 903 -cutoff 8
 //
-// Common flags: -trace FILE (dump the reference trace as CSV), -seed N.
+// Common flags: -trace FILE (dump the reference trace as CSV), -seed N,
+// -shards N (tick the machine's bank clusters on N parallel workers;
+// output is byte-identical for every N).
 //
 // Request-lifecycle spans: -span-out FILE samples 1 in -span-rate memory
 // operations and writes either a Perfetto/Chrome trace-event JSON
@@ -49,6 +51,7 @@ func main() {
 	mol := flag.Int("mol", 903, "moldyn molecule count")
 	cutoff := flag.Float64("cutoff", 8.0, "moldyn neighbor cutoff")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	shards := flag.Int("shards", 1, "bank-cluster shards ticking the machine in parallel (1 = sequential; output is byte-identical for every value)")
 	traceOut := flag.String("trace", "", "write the memory-reference trace CSV here")
 	spanOut := flag.String("span-out", "", "write sampled request-lifecycle spans here")
 	spanFormat := flag.String("span-format", "perfetto", "span output format: perfetto | report")
@@ -64,8 +67,12 @@ func main() {
 	if addr := sess.HTTPAddr(); addr != "" {
 		fmt.Fprintf(os.Stderr, "sabench: pprof at http://%s/debug/pprof/\n", addr)
 	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "sabench: -shards %d invalid (want >= 1)\n", *shards)
+		os.Exit(2)
+	}
 	sp := spanOpts{out: *spanOut, format: *spanFormat, rate: *spanRate}
-	if err := run(*app, *variant, *n, *rangeSize, *batch, *mol, *cutoff, *seed, *traceOut, sp); err != nil {
+	if err := run(*app, *variant, *n, *rangeSize, *batch, *mol, *cutoff, *seed, *shards, *traceOut, sp); err != nil {
 		sess.Stop()
 		fmt.Fprintf(os.Stderr, "sabench: %v\n", err)
 		os.Exit(1)
@@ -76,8 +83,11 @@ func main() {
 	}
 }
 
-func run(app, variant string, n, rangeSize, batch, mol int, cutoff float64, seed uint64, traceOut string, sp spanOpts) error {
-	m := machine.New(machine.DefaultConfig())
+func run(app, variant string, n, rangeSize, batch, mol int, cutoff float64, seed uint64, shards int, traceOut string, sp spanOpts) error {
+	cfg := machine.DefaultConfig()
+	cfg.Shards = shards
+	m := machine.New(cfg)
+	defer m.Close()
 	rec := trace.NewRecorder(0)
 	if traceOut != "" {
 		m.SetTracer(rec.Observe)

@@ -120,14 +120,15 @@ func TestFastForwardEquivalenceWithFaults(t *testing.T) {
 
 // shardedFigsUnderTest returns the figure set for the sharded gates.
 // Under the race detector (with no explicit FFDIFF_FIGS) it narrows to
-// Fig. 13: race instrumentation makes the full-figure sweeps ~10x slower,
-// and the single-machine figures ignore Shards entirely — their runs are
-// the identical sequential code path, so instrumenting them finds nothing
-// the multi-node figure doesn't. The full matrix runs un-instrumented in
-// the regular test job and the sharded-equivalence CI job.
+// Fig. 6 and Fig. 13 — one single-machine figure exercising the bank-cluster
+// spin pool and the multi-node figure exercising the per-node worker pool:
+// race instrumentation makes the full-figure sweeps ~10x slower, and the
+// remaining single-machine figures run the same sharded machine code path
+// Fig. 6 does. The full matrix runs un-instrumented in the regular test job
+// and the sharded-equivalence CI job.
 func shardedFigsUnderTest(t *testing.T) []int {
 	if raceEnabled && os.Getenv("FFDIFF_FIGS") == "" {
-		return []int{13}
+		return []int{6, 13}
 	}
 	return figsUnderTest(t)
 }
@@ -146,10 +147,11 @@ func shardedScaleUnderTest(t *testing.T) int {
 
 // TestShardedEquivalence is the shard scheduler's differential gate: every
 // figure must produce byte-identical output — rendered table, raw counter
-// snapshot, span reports — whether each simulation's node compute runs
-// sequentially or fanned across 2 or 4 worker shards. Single-machine
-// figures ignore Shards and so pass trivially; they stay in the matrix so
-// the gate keeps holding if any of them ever grows a multi-node variant.
+// snapshot, span reports — whether each simulation runs sequentially or
+// fanned across 2 or 4 worker shards. Multi-node figures shard their
+// per-node engines; single-machine figures (6-12) shard the machine's bank
+// clusters, so the whole evaluation now exercises a parallel tick path that
+// this gate pins against its sequential twin.
 func TestShardedEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("differential gate runs full figure suites")
@@ -193,17 +195,19 @@ func TestShardedEquivalenceLegacyStepping(t *testing.T) {
 // injector firing at the default chaos rate — link drops and duplications,
 // retransmissions, dedup, combining-store scrubs and degradation — a
 // 4-shard run must not move a byte relative to sequential. Fault draws key
-// on (seed, component, event index), and the exchange phase executes in
-// node order in both modes, so any divergence means compute-phase state
-// leaked across a shard boundary.
+// on (seed, component, event index), and the exchange/commit phases execute
+// in canonical order in both modes, so any divergence means compute-phase
+// state leaked across a shard boundary. Fig. 6 covers the sharded
+// single-machine memory system, Fig. 10 its async-overlap workload shape,
+// Fig. 13 the multi-node link layer.
 func TestShardedEquivalenceWithFaults(t *testing.T) {
 	if testing.Short() {
 		t.Skip("differential gate runs full figure suites")
 	}
 	scale := shardedScaleUnderTest(t) * 2 // chaos runs are slower; shrink the data
-	figs := []int{6, 13}
+	figs := []int{6, 10, 13}
 	if raceEnabled && os.Getenv("FFDIFF_FIGS") == "" {
-		figs = []int{13} // see shardedFigsUnderTest
+		figs = []int{6, 13} // see shardedFigsUnderTest
 	}
 	for _, fig := range figs {
 		fig := fig

@@ -122,16 +122,57 @@ type bank struct {
 	busyUntil uint64
 }
 
+// chanStats are one channel's cumulative activity counters. All transaction
+// accounting is confined to the owning channel so that parallel shard
+// workers ticking disjoint channel sets never share a counter; DRAM-wide
+// totals are folded from these at sequential points (Stats, FoldMetrics).
+type chanStats struct {
+	reads, writes       uint64
+	rowHits, rowMisses  uint64
+	precharges          uint64
+	busCycles           uint64
+	stalls              uint64 // Accept attempts refused on this channel
+	faultStalls         uint64
+	faultStallCycles    uint64
+	faultWindowsCrossed uint64
+}
+
+func (s *chanStats) add(o *chanStats) {
+	s.reads += o.reads
+	s.writes += o.writes
+	s.rowHits += o.rowHits
+	s.rowMisses += o.rowMisses
+	s.precharges += o.precharges
+	s.busCycles += o.busCycles
+	s.stalls += o.stalls
+	s.faultStalls += o.faultStalls
+	s.faultStallCycles += o.faultStallCycles
+	s.faultWindowsCrossed += o.faultWindowsCrossed
+}
+
 type channel struct {
 	queue   []chanReq
 	banks   []bank
 	busFree uint64 // first cycle the data bus is free
-	pending []pendingResp
-	resps   []LineResp
 
-	// Fault injection: the channel's outage-window schedule, and a cursor
-	// (last issue cycle) so entered windows are counted at transaction grain
-	// — both stepping modes issue at identical cycles, so the counts match.
+	// pending and resps are consumed from a head index rather than by
+	// re-slicing, so their backing arrays are reused as slabs: once both
+	// drains empty a slice, it resets to [:0]/head 0 and the steady-state
+	// tick allocates nothing.
+	pending  []pendingResp
+	pendHead int
+	resps    []LineResp
+	respHead int
+
+	st chanStats
+
+	// Fault injection: a per-channel stall stream (so the Bernoulli draw
+	// order is a pure function of the channel's own issue sequence, not of
+	// which other channels issued first), the channel's outage-window
+	// schedule, and a cursor (last issue cycle) so entered windows are
+	// counted at transaction grain — both stepping modes issue at identical
+	// cycles, so the counts match.
+	stallInj  *fault.Injector
 	windows   *fault.Windows
 	winCursor uint64
 }
@@ -177,15 +218,20 @@ type DRAM struct {
 	cfg      Config
 	store    *mem.Store
 	channels []channel
-	queued   int // total requests queued across channels
-	stats    Stats
+	queued   int // total requests queued across channels (unpartitioned mode)
 	met      metrics
-	rrChan   int // round-robin pointer for response draining
+	folded   chanStats // counter totals already folded into met (partitioned mode)
+	rrChan   int       // round-robin pointer for response draining
 	tr       *span.Tracer
 	track    string
 
-	// Fault injection (nil/zero when disabled).
-	stallInj    *fault.Injector
+	// partitioned marks the DRAM as channel-partitioned across parallel
+	// shard workers (SetPartitioned): global accounting (the queue-depth
+	// gauge, the met counters) moves off the per-transaction path onto
+	// sequential fold points so shard ticks never share a counter.
+	partitioned bool
+
+	// Fault injection (zero when disabled).
 	stallCycles uint64
 }
 
@@ -209,8 +255,21 @@ func New(cfg Config) *DRAM {
 // and result readback).
 func (d *DRAM) Store() *mem.Store { return d.store }
 
-// Stats returns a copy of the activity counters.
-func (d *DRAM) Stats() Stats { return d.stats }
+// Stats returns a copy of the activity counters, folded across channels.
+func (d *DRAM) Stats() Stats {
+	var sum chanStats
+	for i := range d.channels {
+		sum.add(&d.channels[i].st)
+	}
+	return Stats{
+		Reads:     sum.reads,
+		Writes:    sum.writes,
+		RowHits:   sum.rowHits,
+		RowMisses: sum.rowMisses,
+		BusCycles: sum.busCycles,
+		Stalls:    sum.stalls,
+	}
+}
 
 // StatsGroup returns the DRAM's performance-counter group, for adoption into
 // a machine-level registry.
@@ -233,9 +292,10 @@ func (d *DRAM) SetSpanTracer(tr *span.Tracer, track string) {
 //
 //   - Per-transaction stalls: with probability DRAMStallRate a scheduled
 //     transaction times out and retries internally, charging DRAMStallCycles
-//     of extra latency. The Bernoulli draw happens once per issued
-//     transaction, so legacy and fast-forward stepping consume the stream
-//     identically.
+//     of extra latency. Each channel owns its own Bernoulli stream, drawn
+//     once per issued transaction, so the draw order is a pure function of
+//     the channel's issue sequence — identical under legacy stepping,
+//     fast-forward, and any shard partition of the channels.
 //
 //   - Channel outage windows: each channel owns a stateless fault.Windows
 //     schedule during which it issues nothing. The schedule is a pure
@@ -243,9 +303,10 @@ func (d *DRAM) SetSpanTracer(tr *span.Tracer, track string) {
 //     exactly and the fast-forward engine never lands inside one blind.
 func (d *DRAM) SetFaults(fc fault.Config, inst string) {
 	fc = fc.WithDefaults()
-	d.stallInj = fault.NewInjector(fc.Seed, inst+".dram.stall", fc.DRAMStallRate)
 	d.stallCycles = uint64(fc.DRAMStallCycles)
 	for ci := range d.channels {
+		d.channels[ci].stallInj = fault.NewInjector(fc.Seed,
+			fmt.Sprintf("%s.dram.stall[%d]", inst, ci), fc.DRAMStallRate)
 		d.channels[ci].windows = fault.NewWindows(fc.Seed,
 			fmt.Sprintf("%s.dram.window[%d]", inst, ci),
 			fc.DRAMWindowEvery, fc.DRAMWindowSpan, fc.DRAMWindowRate)
@@ -283,15 +344,17 @@ func (d *DRAM) Accept(now uint64, r LineReq) bool {
 	}
 	ch := &d.channels[d.channelOf(r.Line)]
 	if len(ch.queue) >= d.cfg.QueueDepth {
-		d.stats.Stalls++
+		ch.st.stalls++
 		return false
 	}
 	if r.Write {
 		d.store.StoreLine(r.Line, &r.Data)
 	}
 	ch.queue = append(ch.queue, chanReq{req: r, arrival: now})
-	d.queued++
-	d.met.queueDepth.Set(int64(d.queued))
+	if !d.partitioned {
+		d.queued++
+		d.met.queueDepth.Set(int64(d.queued))
+	}
 	return true
 }
 
@@ -338,78 +401,176 @@ func (d *DRAM) schedule(now uint64, ch *channel) int {
 // Tick advances all channels by one cycle.
 func (d *DRAM) Tick(now uint64) {
 	for ci := range d.channels {
-		ch := &d.channels[ci]
-		// Retire pending reads whose data has arrived.
-		for len(ch.pending) > 0 && ch.pending[0].ready <= now {
-			ch.resps = append(ch.resps, ch.pending[0].resp)
-			ch.pending = ch.pending[1:]
-		}
-		i := d.schedule(now, ch)
-		if i < 0 {
-			continue
-		}
-		cr := ch.queue[i]
-		ch.queue = append(ch.queue[:i], ch.queue[i+1:]...)
-		d.queued--
-		b, row := d.bankRowOf(cr.req.Line)
-		bk := &ch.banks[b]
-		lat := uint64(d.cfg.TCas)
-		if ch.windows != nil {
-			// Charge outage windows entered since the previous issue; both
-			// stepping modes issue at identical cycles, so counts match.
-			d.met.faultWindows.Add(ch.windows.CountIn(ch.winCursor, now))
-			ch.winCursor = now
-		}
-		if d.stallInj.Fire() {
-			// Injected timeout: the transaction retries internally and
-			// completes late. One draw per issued transaction.
-			lat += d.stallCycles
-			d.met.faultStalls.Inc()
-			d.met.faultStallCycles.Add(d.stallCycles)
-		}
-		rowHit := bk.openRow == row
-		if rowHit {
-			d.stats.RowHits++
-			d.met.rowHits.Inc()
-		} else {
-			d.stats.RowMisses++
-			d.met.rowMisses.Inc()
-			if bk.openRow >= 0 {
-				d.met.precharges.Inc()
-			}
-			lat += uint64(d.cfg.TRowMiss)
-			bk.openRow = row
-		}
-		bus := uint64(d.cfg.BusCyclesPerLn)
-		bk.busyUntil = now + lat + bus
-		ch.busFree = now + lat + bus // serialize transfers on the channel bus
-		d.stats.BusCycles += bus
-		d.met.busBusy.Add(bus)
-		if d.tr != nil {
-			// One serialized service span per channel transaction, with
-			// the queueing delay and row outcome in the slice name.
-			rw, rowTag := "rd", "hit"
-			if cr.req.Write {
-				rw = "wr"
-			}
-			if !rowHit {
-				rowTag = "miss"
-			}
-			d.tr.Span(fmt.Sprintf("%s[%d]", d.track, ci),
-				fmt.Sprintf("%s line=%d q=%d row-%s", rw, cr.req.Line, now-cr.arrival, rowTag),
-				now, now+lat+bus)
-		}
-		if cr.req.Write {
-			d.stats.Writes++
-			d.met.writes.Inc()
-			continue // data already in store; no response
-		}
-		d.stats.Reads++
-		d.met.reads.Inc()
-		resp := LineResp{ID: cr.req.ID, Line: cr.req.Line}
-		d.store.LoadLine(cr.req.Line, &resp.Data)
-		ch.pending = append(ch.pending, pendingResp{resp: resp, ready: now + lat + bus})
+		d.tickChannel(now, ci, d.tr)
 	}
+	d.FoldMetrics()
+}
+
+// SetPartitioned marks the DRAM as channel-partitioned across parallel shard
+// workers. The owner then drives channels with TickChannels/DrainResponses/
+// NextEventChannels and is responsible for calling FoldMetrics and
+// SyncQueueDepth at sequential points; the per-transaction global accounting
+// (queue-depth gauge updates in Accept) is suppressed so shard ticks never
+// write shared state.
+func (d *DRAM) SetPartitioned() { d.partitioned = true }
+
+// TickChannels advances exactly the given channels by one cycle, recording
+// any spans on tr. Writes are confined to those channels (plus the
+// synchronized store), so disjoint channel sets may tick concurrently.
+func (d *DRAM) TickChannels(now uint64, chans []int, tr *span.Tracer) {
+	for _, ci := range chans {
+		d.tickChannel(now, ci, tr)
+	}
+}
+
+// DrainResponses pops every completed read on the given channels, in channel
+// list order, into fn. Unlike the round-robin PopResponse it never consults
+// other channels, so disjoint channel sets may drain concurrently.
+func (d *DRAM) DrainResponses(chans []int, fn func(LineResp)) {
+	for _, ci := range chans {
+		ch := &d.channels[ci]
+		for i := ch.respHead; i < len(ch.resps); i++ {
+			fn(ch.resps[i])
+		}
+		ch.resps = ch.resps[:0]
+		ch.respHead = 0
+	}
+}
+
+// NextEventChannels is NextEvent restricted to the given channels.
+func (d *DRAM) NextEventChannels(now uint64, chans []int) uint64 {
+	ev := sim.Never
+	for _, ci := range chans {
+		ch := &d.channels[ci]
+		if ch.respHead < len(ch.resps) {
+			return now
+		}
+		if ch.pendHead < len(ch.pending) && ch.pending[ch.pendHead].ready < ev {
+			ev = ch.pending[ch.pendHead].ready
+		}
+		if len(ch.queue) > 0 {
+			if t := d.nextIssue(now, ch); t < ev {
+				ev = t
+			}
+		}
+	}
+	if ev < now {
+		return now
+	}
+	return ev
+}
+
+// FoldMetrics folds the per-channel accumulators into the performance-
+// counter group, adding only the delta since the previous fold. The whole-
+// DRAM Tick folds every cycle; a partitioned owner folds at sequential
+// points (the fold order is fixed, and counters are order-insensitive sums,
+// so the folded values are identical for any shard count).
+func (d *DRAM) FoldMetrics() {
+	var cur chanStats
+	for i := range d.channels {
+		cur.add(&d.channels[i].st)
+	}
+	d.met.rowHits.Add(cur.rowHits - d.folded.rowHits)
+	d.met.rowMisses.Add(cur.rowMisses - d.folded.rowMisses)
+	d.met.precharges.Add(cur.precharges - d.folded.precharges)
+	d.met.busBusy.Add(cur.busCycles - d.folded.busCycles)
+	d.met.reads.Add(cur.reads - d.folded.reads)
+	d.met.writes.Add(cur.writes - d.folded.writes)
+	d.met.faultStalls.Add(cur.faultStalls - d.folded.faultStalls)
+	d.met.faultStallCycles.Add(cur.faultStallCycles - d.folded.faultStallCycles)
+	d.met.faultWindows.Add(cur.faultWindowsCrossed - d.folded.faultWindowsCrossed)
+	d.folded = cur
+}
+
+// SyncQueueDepth samples the total queued requests across all channels into
+// the queue-depth gauge. A partitioned owner calls it once per cycle at a
+// sequential point (the gauge's high-water mark then tracks end-of-cycle
+// totals, which are scheduling-independent).
+func (d *DRAM) SyncQueueDepth() {
+	total := 0
+	for i := range d.channels {
+		total += len(d.channels[i].queue)
+	}
+	d.met.queueDepth.Set(int64(total))
+}
+
+// tickChannel advances one channel by one cycle. All writes are confined to
+// the channel itself (plus the synchronized store), so parallel shard
+// workers may tick disjoint channel sets concurrently. Spans are recorded on
+// tr — the caller's tracer for the shard that owns this channel.
+func (d *DRAM) tickChannel(now uint64, ci int, tr *span.Tracer) {
+	ch := &d.channels[ci]
+	// Retire pending reads whose data has arrived.
+	for ch.pendHead < len(ch.pending) && ch.pending[ch.pendHead].ready <= now {
+		ch.resps = append(ch.resps, ch.pending[ch.pendHead].resp)
+		ch.pendHead++
+	}
+	if ch.pendHead > 0 && ch.pendHead == len(ch.pending) {
+		ch.pending = ch.pending[:0]
+		ch.pendHead = 0
+	}
+	i := d.schedule(now, ch)
+	if i < 0 {
+		return
+	}
+	cr := ch.queue[i]
+	ch.queue = append(ch.queue[:i], ch.queue[i+1:]...)
+	if !d.partitioned {
+		d.queued--
+	}
+	b, row := d.bankRowOf(cr.req.Line)
+	bk := &ch.banks[b]
+	lat := uint64(d.cfg.TCas)
+	if ch.windows != nil {
+		// Charge outage windows entered since the previous issue; both
+		// stepping modes issue at identical cycles, so counts match.
+		ch.st.faultWindowsCrossed += ch.windows.CountIn(ch.winCursor, now)
+		ch.winCursor = now
+	}
+	if ch.stallInj.Fire() {
+		// Injected timeout: the transaction retries internally and
+		// completes late. One draw per issued transaction.
+		lat += d.stallCycles
+		ch.st.faultStalls++
+		ch.st.faultStallCycles += d.stallCycles
+	}
+	rowHit := bk.openRow == row
+	if rowHit {
+		ch.st.rowHits++
+	} else {
+		ch.st.rowMisses++
+		if bk.openRow >= 0 {
+			ch.st.precharges++
+		}
+		lat += uint64(d.cfg.TRowMiss)
+		bk.openRow = row
+	}
+	bus := uint64(d.cfg.BusCyclesPerLn)
+	bk.busyUntil = now + lat + bus
+	ch.busFree = now + lat + bus // serialize transfers on the channel bus
+	ch.st.busCycles += bus
+	if tr != nil {
+		// One serialized service span per channel transaction, with
+		// the queueing delay and row outcome in the slice name.
+		rw, rowTag := "rd", "hit"
+		if cr.req.Write {
+			rw = "wr"
+		}
+		if !rowHit {
+			rowTag = "miss"
+		}
+		tr.Span(fmt.Sprintf("%s[%d]", d.track, ci),
+			fmt.Sprintf("%s line=%d q=%d row-%s", rw, cr.req.Line, now-cr.arrival, rowTag),
+			now, now+lat+bus)
+	}
+	if cr.req.Write {
+		ch.st.writes++
+		return // data already in store; no response
+	}
+	ch.st.reads++
+	resp := LineResp{ID: cr.req.ID, Line: cr.req.Line}
+	d.store.LoadLine(cr.req.Line, &resp.Data)
+	ch.pending = append(ch.pending, pendingResp{resp: resp, ready: now + lat + bus})
 }
 
 // NextEvent reports the earliest cycle at which any channel can do work
@@ -421,13 +582,13 @@ func (d *DRAM) NextEvent(now uint64) uint64 {
 	ev := sim.Never
 	for i := range d.channels {
 		ch := &d.channels[i]
-		if len(ch.resps) > 0 {
+		if ch.respHead < len(ch.resps) {
 			return now
 		}
 		// busFree serializes transfers, so pending completions are
 		// FIFO-ordered: the head is the earliest.
-		if len(ch.pending) > 0 && ch.pending[0].ready < ev {
-			ev = ch.pending[0].ready
+		if ch.pendHead < len(ch.pending) && ch.pending[ch.pendHead].ready < ev {
+			ev = ch.pending[ch.pendHead].ready
 		}
 		if len(ch.queue) > 0 {
 			if t := d.nextIssue(now, ch); t < ev {
@@ -479,9 +640,13 @@ func (d *DRAM) PopResponse(now uint64) (LineResp, bool) {
 	for k := 0; k < len(d.channels); k++ {
 		ci := (d.rrChan + k) % len(d.channels)
 		ch := &d.channels[ci]
-		if len(ch.resps) > 0 {
-			r := ch.resps[0]
-			ch.resps = ch.resps[1:]
+		if ch.respHead < len(ch.resps) {
+			r := ch.resps[ch.respHead]
+			ch.respHead++
+			if ch.respHead == len(ch.resps) {
+				ch.resps = ch.resps[:0]
+				ch.respHead = 0
+			}
 			d.rrChan = (ci + 1) % len(d.channels)
 			return r, true
 		}
@@ -493,7 +658,7 @@ func (d *DRAM) PopResponse(now uint64) (LineResp, bool) {
 func (d *DRAM) Busy() bool {
 	for i := range d.channels {
 		ch := &d.channels[i]
-		if len(ch.queue) > 0 || len(ch.pending) > 0 || len(ch.resps) > 0 {
+		if len(ch.queue) > 0 || ch.pendHead < len(ch.pending) || ch.respHead < len(ch.resps) {
 			return true
 		}
 	}

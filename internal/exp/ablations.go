@@ -33,6 +33,7 @@ func ablationDRAMSched(o Options) Table {
 		cfg.DRAM.Policy = pol
 		cfg.LegacyStepping = o.Legacy
 		cfg.Faults = o.Faults
+		cfg.Shards = o.shards()
 		m := machine.New(cfg)
 		h := apps.NewHistogram(n, 1<<20, o.seed(0xAB1))
 		res := h.RunHW(m)
@@ -66,6 +67,7 @@ func ablationSAPlacement(o Options) Table {
 		cfg.SA.PortWidth = 8 / banks
 		cfg.LegacyStepping = o.Legacy
 		cfg.Faults = o.Faults
+		cfg.Shards = o.shards()
 		m := machine.New(cfg)
 		h := apps.NewHistogram(n, 2048, o.seed(0xAB2))
 		res := h.RunHW(m)
@@ -124,6 +126,7 @@ func ablationEagerCombine(o Options) Table {
 		cfg.SA.EagerCombine = eager
 		cfg.LegacyStepping = o.Legacy
 		cfg.Faults = o.Faults
+		cfg.Shards = o.shards()
 		m := machine.New(cfg)
 		h := apps.NewHistogram(n, 64, o.seed(0xAB4))
 		res := h.RunHW(m)
@@ -215,6 +218,7 @@ func ablationWritePolicy(o Options) Table {
 		cfg.Cache.WriteNoAllocate = noAlloc
 		cfg.LegacyStepping = o.Legacy
 		cfg.Faults = o.Faults
+		cfg.Shards = o.shards()
 		m := machine.New(cfg)
 		res := m.RunOp(machine.StoreStream("result", 0, vals))
 		m.FlushCaches()
@@ -274,7 +278,7 @@ func ablationHierarchical(o Options) Table {
 		cfg.Hierarchical = p.hier
 		cfg.LegacyStepping = o.Legacy
 		cfg.Faults = o.Faults
-		cfg.Shards = o.Shards
+		cfg.Shards = o.shards()
 		s := multinode.New(cfg, mem.AddI64)
 		res := s.RunTrace(refs)
 		label := "linear"
@@ -305,6 +309,7 @@ func ablationCombiningStore(o Options) Table {
 		cfg.SA.Entries = entries
 		cfg.LegacyStepping = o.Legacy
 		cfg.Faults = o.Faults
+		cfg.Shards = o.shards()
 		m := machine.New(cfg)
 		h := apps.NewHistogram(n, 65536, o.seed(0xAB5))
 		res := h.RunHW(m)

@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"testing"
+
+	"scatteradd/internal/machine"
+)
+
+// fig10Bench replays the Figure 10 hardware scatter-add run — the moldyn
+// gather/kernel/async-scatter pipeline that dominates the single-machine
+// figures' wall-clock — at the given shard count. One machine per
+// iteration, like the experiment driver; the workload is cloned so each
+// iteration sees pristine force arrays.
+func fig10Bench(b *testing.B, shards int) {
+	b.Helper()
+	md := Fig10Input(Options{Scale: 4})
+	cfg := machine.DefaultConfig()
+	cfg.Shards = shards
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := machine.New(cfg)
+		res := md.Clone().RunHWSA(m)
+		if res.Cycles == 0 {
+			b.Fatal("empty fig10 run")
+		}
+		m.Close()
+	}
+}
+
+// BenchmarkFig10Shard1 is the sequential twin of BenchmarkFig10Sharded: the
+// same run through the same partitioned memory phase with the pool off.
+func BenchmarkFig10Shard1(b *testing.B) { fig10Bench(b, 1) }
+
+// BenchmarkFig10Sharded runs the same simulation with the machine's bank
+// clusters spread over 4 shards. benchgate compares its median against
+// BenchmarkFig10Shard1 on multi-core runners, mirroring the Fig 13
+// multi-node gate (differ proves the outputs byte-identical, so the delta
+// is pure wall-clock).
+func BenchmarkFig10Sharded(b *testing.B) { fig10Bench(b, 4) }

@@ -117,13 +117,18 @@ type Options struct {
 	// CPU (GOMAXPROCS); 1 runs everything sequentially on the caller's
 	// goroutine. Output is byte-identical for every value.
 	Jobs int
-	// Shards partitions each multi-node simulation's nodes across a worker
+	// Shards partitions each simulation's component groups across a worker
 	// pool, parallelizing *within* one run the way Jobs parallelizes across
-	// runs: per-cycle node compute fans out between deterministic exchange
-	// points. 0 or 1 keeps runs sequential; output is byte-identical for
-	// every value (enforced by internal/differ). Single-machine figures
-	// ignore it — only the multi-node figures (Fig 13 and the hierarchical
-	// ablation) have nodes to shard.
+	// runs: multi-node figures (Fig 13, hierarchical ablation) shard their
+	// per-node engines; single-machine figures (6-12) shard the machine's
+	// bank clusters (scatter-add units, cache banks, and the DRAM channels
+	// they own). Per-cycle component compute fans out between deterministic
+	// exchange points, so output is byte-identical for every value (enforced
+	// by internal/differ). 0 picks an automatic width from the CPUs left
+	// over after the Jobs pool claims its workers (see AutoShards) — with
+	// the default one-worker-per-CPU Jobs that resolves to 1; 1 keeps every
+	// run sequential; larger values pass through (component counts clamp
+	// inside the engines).
 	Shards int
 	// Seed perturbs every workload seed (0 = the paper's fixed seeds),
 	// regenerating all figures on statistically fresh datasets.

@@ -94,7 +94,7 @@ func runTracePoint(o Options, tr trace, tc traceConfig, nodes int) tracePointOut
 	cfg.Combining = tc.combining
 	cfg.LegacyStepping = o.Legacy
 	cfg.Faults = o.Faults
-	cfg.Shards = o.Shards
+	cfg.Shards = o.shards()
 	s := multinode.New(cfg, tr.kind)
 	sp := o.newTracer()
 	s.SetSpanTracer(sp)

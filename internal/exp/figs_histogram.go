@@ -14,6 +14,7 @@ func paperMachine(o Options) *machine.Machine {
 	cfg := machine.DefaultConfig()
 	cfg.LegacyStepping = o.Legacy
 	cfg.Faults = o.Faults
+	cfg.Shards = o.shards()
 	return machine.New(cfg)
 }
 

@@ -1,32 +1,37 @@
 package exp
 
 import (
+	"runtime"
 	"testing"
 
 	"scatteradd/internal/fault"
 )
 
 // TestReportDeterministicAcrossShards mirrors TestReportDeterministicAcrossJobs
-// for intra-run sharding: the multi-node figures must render byte-identically
-// whether each simulation runs its nodes sequentially or across 2 or 4
-// shards, with the counter and span appendices attached so the whole
-// observable surface is compared — and that must hold with fast-forward on
-// (the default stepping mode) as well as under chaos-rate fault injection.
-// Scale 256 keeps this affordable under -race; the multinode package pins
-// byte-identity exhaustively at the system level, so this test only needs
-// enough data to prove the exp-layer plumbing (options, appendices,
-// checkpointing) is shard-clean. Fig13 runs the full {1,2,4} matrix; the
-// hierarchical ablation — whose only shard-relevant surface is its
+// for intra-run sharding: figures must render byte-identically whether each
+// simulation runs sequentially or fanned across 2 or 4 shards — multi-node
+// figures shard per-node engines, single-machine figures shard the machine's
+// bank clusters — with the counter and span appendices attached so the whole
+// observable surface is compared. Small scales keep this affordable under
+// -race; the multinode and machine packages pin byte-identity exhaustively at
+// the system level, so this test only needs enough data to prove the
+// exp-layer plumbing (options, appendices, checkpointing) is shard-clean.
+// Fig13 runs the full {1,2,4} matrix; Fig6 and Fig10 cover the two
+// single-machine workload shapes (histogram, gather/compute/async-scatter);
+// the hierarchical ablation — whose only shard-relevant surface is its
 // cfg.Shards wiring — is checked at 4 shards alone.
 func TestReportDeterministicAcrossShards(t *testing.T) {
 	for _, tc := range []struct {
 		fig    func(Options) Table
+		scale  int
 		shards []int
 	}{
-		{Fig13, []int{2, 4}},
-		{AblationHierarchical, []int{4}},
+		{Fig13, 256, []int{2, 4}},
+		{Fig6, 32, []int{4}},
+		{Fig10, 8, []int{4}},
+		{AblationHierarchical, 256, []int{4}},
 	} {
-		base := Options{Scale: 256, Jobs: 2, CollectStats: true, CollectSpans: true, Shards: 1}
+		base := Options{Scale: tc.scale, Jobs: 2, CollectStats: true, CollectSpans: true, Shards: 1}
 		want := tc.fig(base)
 		for _, shards := range tc.shards {
 			o := base
@@ -36,6 +41,35 @@ func TestReportDeterministicAcrossShards(t *testing.T) {
 					want.Title, shards, got.String(), want.String())
 			}
 		}
+	}
+}
+
+// TestAutoShardsPolicy pins the automatic width rules: never below 1, never
+// past the widest useful partition, narrowed for scaled-down runs, and the
+// default one-worker-per-CPU pool leaves nothing over.
+func TestAutoShardsPolicy(t *testing.T) {
+	cpus := runtime.NumCPU()
+	if got := AutoShards(cpus, 1); got != 1 {
+		t.Errorf("AutoShards(NumCPU, 1) = %d, want 1 (saturated job pool)", got)
+	}
+	if got := AutoShards(1, 1); got < 1 || got > 8 {
+		t.Errorf("AutoShards(1, 1) = %d, want within [1, 8]", got)
+	}
+	if got := AutoShards(0, 1); got != AutoShards(1, 1) {
+		t.Errorf("AutoShards(0, 1) = %d, want the jobs<1 clamp to match jobs=1", got)
+	}
+	if cpus >= 4 {
+		if got := AutoShards(1, 8); got > 2 {
+			t.Errorf("AutoShards(1, scale 8) = %d, want <= 2 (small-run guard)", got)
+		}
+	}
+	// Options.Shards = 0 resolves through the same policy; non-zero passes.
+	if got := (Options{Shards: 3}).shards(); got != 3 {
+		t.Errorf("Options{Shards: 3}.shards() = %d, want 3", got)
+	}
+	o := Options{Jobs: 1, Scale: 1}
+	if got, want := o.shards(), AutoShards(1, 1); got != want {
+		t.Errorf("auto Options.shards() = %d, want %d", got, want)
 	}
 }
 

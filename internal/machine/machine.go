@@ -68,6 +68,37 @@ type Config struct {
 	// differential harness in internal/differ enforces it); the flag exists
 	// for that comparison and as an escape hatch.
 	LegacyStepping bool
+
+	// Shards partitions the banked memory system — scatter-add units, cache
+	// banks, and the DRAM channels those banks own — across parallel workers
+	// inside one simulation, following the three-phase discipline of the
+	// multinode engine: sequential address-generator issue in canonical
+	// order, parallel per-shard unit/bank/channel ticks, sequential response
+	// routing and stream retirement. Results are byte-identical for any
+	// value (internal/differ enforces it). 0 or 1 runs sequentially; values
+	// above the bank count clamp to it; the uniform-memory configuration
+	// ignores it. Like LegacyStepping, it changes how the simulation is
+	// executed, never what it computes.
+	Shards int
+}
+
+// shardCount resolves Shards to the effective partition width. Sharding
+// needs the banked memory system (uniform mode stays sequential) and a
+// channel count that is a multiple of the bank count — channel c is owned by
+// bank c mod Banks, and a non-multiple would strand channels whose fills
+// target a bank in a different shard.
+func (c Config) shardCount() int {
+	if c.Shards <= 1 || c.UniformMem != nil {
+		return 1
+	}
+	if c.Cache.Banks < 1 || c.DRAM.Channels%c.Cache.Banks != 0 {
+		return 1
+	}
+	s := c.Shards
+	if s > c.Cache.Banks {
+		s = c.Cache.Banks
+	}
+	return s
 }
 
 // DefaultConfig returns the paper's Table 1 machine.
@@ -234,8 +265,10 @@ func (r *Result) Add(other Result) {
 }
 
 // memStream is one in-flight memory stream operation bound to an address
-// generator.
+// generator. Streams live in the machine's fixed slab (one entry per AG) and
+// are recycled in place, so the op hot path allocates nothing per stream.
 type memStream struct {
+	inUse       bool // slab entry claimed (set by runMemOp, cleared at retire)
 	op          Op
 	tag         uint64 // request-ID tag (ID = tag<<32 | index)
 	n           int
@@ -271,9 +304,27 @@ func newMetrics(g *stats.Group, ags int) metrics {
 	}
 }
 
+// machineShard is one bank-cluster partition of the memory system: a
+// contiguous range of scatter-add unit / cache bank indices plus the DRAM
+// channels those banks own. Channel c is owned by bank c mod Banks, so the
+// partition is closed: every line a shard's banks fetch lives on the shard's
+// own channels, and every fill those channels produce lands back in one of
+// the shard's banks.
+type machineShard struct {
+	lo, hi int   // unit/bank index range [lo, hi)
+	chans  []int // DRAM channels owned by banks [lo, hi), bank-major
+	// tr receives the shard's component spans during parallel ticks: the
+	// master tracer when the machine runs unsharded, a shard-private tracer
+	// (absorbed at op boundaries) when it does not.
+	tr *span.Tracer
+}
+
 // Machine is one simulated node. All components are driven by a sim.Engine
 // in consumer-before-producer order; the machine's own phases (address
-// generation, response routing, stream retirement) are engine tickers too.
+// generation, memory-system tick, response routing, stream retirement) are
+// engine tickers too. With Config.Shards > 1 the memory-system phase fans
+// its bank clusters out over a spin-barrier sim.ShardPool; everything else
+// stays sequential, so outputs are byte-identical at any shard count.
 type Machine struct {
 	cfg     Config
 	eng     *sim.Engine
@@ -284,12 +335,27 @@ type Machine struct {
 	reg     *stats.Registry
 	met     metrics
 
+	shards    []machineShard
+	bankShard []int          // bank index -> owning shard index
+	pool      *sim.ShardPool // lazy; lives while async streams are in flight
+	tickNow   uint64         // cycle being fanned out (set before pool.Run)
+
 	active  []*memStream
 	nextTag uint64
 	tracer  func(cycle uint64, req mem.Request)
 
 	tr       *span.Tracer
-	laneBusy []bool // AG lane occupancy (span tracing only)
+	unitTr   []*span.Tracer // per-unit tracer: the owning shard's (master when unsharded)
+	laneBusy []bool         // AG lane occupancy (span tracing only)
+
+	// Prebound closures and the stream slab keep RunOp allocation-free.
+	streamSlab []memStream // one entry per AG, recycled in place
+	curStream  *memStream  // stream the current synchronous op waits on
+	opDoneFn   func() bool
+	agFreeFn   func() bool
+	drainedFn  func() bool
+	shardRunFn func(int)
+	fillFn     func(dram.LineResp)
 
 	kernelFlops uint64
 	memRefs     uint64
@@ -303,27 +369,76 @@ func (m *Machine) SetTracer(fn func(cycle uint64, req mem.Request)) { m.tracer =
 // every memory-system component, so sampled operations record their stage
 // transitions from address-generator issue to reply. Install it before
 // running ops; a nil tracer disables tracing everywhere.
+//
+// When the machine is sharded, each shard gets a private tracer so parallel
+// ticks never share the span state; a shard's components write to it, and
+// completed lifecycles are folded into the master at op boundaries (see
+// absorbShardSpans). Sampling decisions stay on the master tracer, made in
+// canonical issue order, so the sampled population is identical at any shard
+// count; and because an op's whole lifecycle — issue, bank, DRAM, reply — is
+// confined to the bank cluster its address maps to, no lifecycle ever spans
+// two shard tracers.
 func (m *Machine) SetSpanTracer(tr *span.Tracer) {
 	m.tr = tr
 	m.laneBusy = nil
+	m.unitTr = nil
+	for i := range m.shards {
+		m.shards[i].tr = tr
+	}
 	if tr != nil {
 		m.laneBusy = make([]bool, m.cfg.AGs)
+		m.unitTr = make([]*span.Tracer, len(m.sas))
+		if len(m.shards) > 1 {
+			for i := range m.shards {
+				m.shards[i].tr = span.New(tr.Rate())
+			}
+		}
+		for i := range m.sas {
+			m.unitTr[i] = tr
+			if len(m.bankShard) > 0 {
+				m.unitTr[i] = m.shards[m.bankShard[i]].tr
+			}
+		}
 	}
 	for i, sa := range m.sas {
-		sa.SetSpanTracer(tr, fmt.Sprintf("saunit[%d]", i))
+		var utr *span.Tracer
+		if m.unitTr != nil {
+			utr = m.unitTr[i]
+		}
+		sa.SetSpanTracer(utr, fmt.Sprintf("saunit[%d]", i))
 		if m.uniform != nil {
 			// No cache below the unit: bypasses go straight to memory.
 			sa.SetSpanDownstream(span.StageDRAM)
 		}
 	}
 	for i, b := range m.banks {
-		b.SetSpanTracer(tr, fmt.Sprintf("cache[%d]", i))
+		var utr *span.Tracer
+		if m.unitTr != nil {
+			utr = m.unitTr[i]
+		}
+		b.SetSpanTracer(utr, fmt.Sprintf("cache[%d]", i))
 	}
 	if m.dram != nil {
+		// The DRAM records its track name here; the per-cycle spans go to
+		// whichever tracer the ticking shard passes to TickChannels.
 		m.dram.SetSpanTracer(tr, "dram")
 	}
 	if m.uniform != nil {
 		m.uniform.SetSpanTracer(tr, "uniform")
+	}
+}
+
+// absorbShardSpans folds each shard tracer's completed op lifecycles and
+// component spans into the master tracer, in shard order. Called at op
+// boundaries (sequential points). Live ops stay on their shard tracer, where
+// the shard's components keep reporting stage transitions for in-flight
+// asynchronous streams.
+func (m *Machine) absorbShardSpans() {
+	if m.tr == nil || len(m.shards) <= 1 {
+		return
+	}
+	for i := range m.shards {
+		m.tr.AbsorbCompleted(m.shards[i].tr)
 	}
 }
 
@@ -332,7 +447,7 @@ func (m *Machine) SpanTracer() *span.Tracer { return m.tr }
 
 // New constructs a machine.
 func New(cfg Config) *Machine {
-	if cfg.Clusters < 1 || cfg.AGWidth < 1 || cfg.SRFWordsPerCycle <= 0 {
+	if cfg.Clusters < 1 || cfg.AGs < 1 || cfg.AGWidth < 1 || cfg.SRFWordsPerCycle <= 0 {
 		panic(fmt.Sprintf("machine: invalid config %+v", cfg))
 	}
 	m := &Machine{cfg: cfg, eng: sim.NewEngine(), reg: stats.NewRegistry()}
@@ -350,6 +465,7 @@ func New(cfg Config) *Machine {
 		}
 	} else {
 		m.dram = dram.New(cfg.DRAM)
+		m.dram.SetPartitioned()
 		if injecting {
 			m.dram.SetFaults(flt, "m")
 		}
@@ -362,6 +478,25 @@ func New(cfg Config) *Machine {
 				m.sas[i].SetFaults(flt, fmt.Sprintf("m.b%d", i))
 			}
 		}
+		// Partition the bank clusters (and the channels they own) into
+		// shards. A 1-shard machine uses the same partitioned tick path with
+		// a single all-covering shard, so shard counts share one code path
+		// and one canonical ordering of effects.
+		m.bankShard = make([]int, cfg.Cache.Banks)
+		for si, r := range sim.ShardRanges(cfg.Cache.Banks, cfg.shardCount()) {
+			sh := machineShard{lo: r[0], hi: r[1]}
+			for b := r[0]; b < r[1]; b++ {
+				m.bankShard[b] = si
+				for c := b; c < cfg.DRAM.Channels; c += cfg.Cache.Banks {
+					sh.chans = append(sh.chans, c)
+				}
+			}
+			m.shards = append(m.shards, sh)
+		}
+		m.fillFn = func(r dram.LineResp) {
+			m.banks[cache.BankOf(r.Line, len(m.banks))].Fill(m.eng.Now(), r.Line, r.Data)
+		}
+		m.shardRunFn = func(s int) { m.shardTick(m.tickNow, s) }
 	}
 	for i, sa := range m.sas {
 		m.reg.Adopt(fmt.Sprintf("saunit[%d]", i), sa.StatsGroup())
@@ -373,22 +508,19 @@ func New(cfg Config) *Machine {
 		m.reg.Adopt("dram", m.dram.StatsGroup())
 	}
 
-	// Engine order mirrors the machine pipeline: issue, scatter-add units,
-	// cache banks, DRAM (+fill delivery), response routing, stream retire.
+	// Engine order mirrors the machine pipeline: issue, memory system
+	// (scatter-add units, cache banks, DRAM + fill delivery — one composite
+	// phase so it can fan out over shards), response routing, stream retire.
 	// The machine's own phases are named types rather than closures so they
 	// can implement sim.FastForwarder alongside sim.Ticker (and so phase
 	// registration captures nothing per tick).
 	m.eng.Add(issuePhase{m})
-	for _, sa := range m.sas {
-		m.eng.Add(sa)
-	}
-	for _, b := range m.banks {
-		m.eng.Add(b)
-	}
 	if m.dram != nil {
-		m.eng.Add(dramPhase{m})
-	}
-	if m.uniform != nil {
+		m.eng.Add(memPhase{m})
+	} else {
+		for _, sa := range m.sas {
+			m.eng.Add(sa)
+		}
 		m.eng.Add(m.uniform)
 	}
 	m.eng.Add(responsePhase{m})
@@ -396,7 +528,27 @@ func New(cfg Config) *Machine {
 	if cfg.LegacyStepping {
 		m.eng.SetFastForward(false)
 	}
+	// Prebound predicates for the RunUntil calls on the op hot path.
+	m.streamSlab = make([]memStream, cfg.AGs)
+	m.agFreeFn = func() bool { return len(m.active) < m.cfg.AGs }
+	m.drainedFn = m.drained
+	m.opDoneFn = func() bool {
+		s := m.curStream
+		return s.done() && (s.needResp || !m.memSystemBusy())
+	}
 	return m
+}
+
+// Close releases the intra-run shard worker pool, if one is live. RunOp
+// releases it automatically whenever no streams remain active at an op
+// boundary, so Close only matters for a machine abandoned mid-flight with
+// asynchronous streams outstanding. The machine stays usable after Close: a
+// later sharded tick simply starts a fresh pool.
+func (m *Machine) Close() {
+	if m.pool != nil {
+		m.pool.Close()
+		m.pool = nil
+	}
 }
 
 // Config returns the machine's configuration.
@@ -427,7 +579,15 @@ func (m *Machine) Now() uint64 { return m.eng.Now() }
 func (m *Machine) StatsRegistry() *stats.Registry { return m.reg }
 
 // StatsSnapshot returns the current values of every performance counter.
-func (m *Machine) StatsSnapshot() stats.Snapshot { return m.reg.Snapshot() }
+// DRAM counters accumulate per channel on the partitioned tick path and are
+// folded into the registry here (the fold is delta-based and
+// order-insensitive, so snapshots are identical at any shard count).
+func (m *Machine) StatsSnapshot() stats.Snapshot {
+	if m.dram != nil {
+		m.dram.FoldMetrics()
+	}
+	return m.reg.Snapshot()
+}
 
 // StartTimeline begins recording a registry snapshot every interval cycles
 // and returns the timeline being filled. Sampling (the only per-cycle cost
@@ -436,7 +596,7 @@ func (m *Machine) StatsSnapshot() stats.Snapshot { return m.reg.Snapshot() }
 func (m *Machine) StartTimeline(interval uint64) *stats.Timeline {
 	tl := &stats.Timeline{Interval: interval}
 	m.eng.SetSampler(interval, func(now uint64) {
-		tl.Record(now, m.reg.Snapshot())
+		tl.Record(now, m.StatsSnapshot())
 	})
 	return tl
 }
@@ -452,13 +612,13 @@ func (m *Machine) SetSampler(interval uint64, fn func(now uint64)) {
 	m.eng.SetSampler(interval, fn)
 }
 
-// unitFor routes an address to its scatter-add unit (one per cache bank; a
-// single unit in uniform-memory mode).
-func (m *Machine) unitFor(a mem.Addr) *saunit.Unit {
+// unitIndex routes an address to its scatter-add unit index (one per cache
+// bank; a single unit in uniform-memory mode).
+func (m *Machine) unitIndex(a mem.Addr) int {
 	if len(m.sas) == 1 {
-		return m.sas[0]
+		return 0
 	}
-	return m.sas[cache.BankOf(a.Line(), len(m.banks))]
+	return cache.BankOf(a.Line(), len(m.banks))
 }
 
 // tick advances the whole machine one cycle through the engine.
@@ -502,12 +662,85 @@ func (p issuePhase) Skip(now, cycles uint64) {
 	}
 }
 
-// dramPhase advances DRAM and delivers completed line reads to their banks.
-type dramPhase struct{ m *Machine }
+// memPhase is the composite memory-system ticker of a banked machine: the
+// scatter-add units, cache banks, DRAM channels, and fill delivery, grouped
+// into one phase so a sharded machine can fan the cycle out over its bank
+// clusters. The fast-forward contract is the union of the members': the next
+// event is the minimum over every unit, bank, and channel, and Skip fans out
+// to all of them — both computed sequentially (they are pure reads and
+// per-component idle accounting; with at most a few dozen components there
+// is nothing to win by parallelizing them).
+type memPhase struct{ m *Machine }
 
-func (p dramPhase) Tick(now uint64)             { p.m.dramTick(now) }
-func (p dramPhase) NextEvent(now uint64) uint64 { return p.m.dram.NextEvent(now) }
-func (p dramPhase) Skip(now, cycles uint64)     { p.m.dram.Skip(now, cycles) }
+func (p memPhase) Tick(now uint64) {
+	m := p.m
+	if len(m.shards) == 1 {
+		m.shardTick(now, 0)
+		return
+	}
+	if m.pool == nil {
+		m.pool = sim.NewSpinShardPool(len(m.shards))
+	}
+	m.tickNow = now
+	m.pool.Run(m.shardRunFn)
+}
+
+func (p memPhase) NextEvent(now uint64) uint64 {
+	m := p.m
+	ev := sim.Never
+	for _, sa := range m.sas {
+		if e := sa.NextEvent(now); e < ev {
+			if e <= now {
+				return e
+			}
+			ev = e
+		}
+	}
+	for _, b := range m.banks {
+		if e := b.NextEvent(now); e < ev {
+			if e <= now {
+				return e
+			}
+			ev = e
+		}
+	}
+	if e := m.dram.NextEvent(now); e < ev {
+		ev = e
+	}
+	return ev
+}
+
+func (p memPhase) Skip(now, cycles uint64) {
+	m := p.m
+	for _, sa := range m.sas {
+		sa.Skip(now, cycles)
+	}
+	for _, b := range m.banks {
+		b.Skip(now, cycles)
+	}
+	m.dram.Skip(now, cycles)
+}
+
+// shardTick runs one cycle of shard si's slice of the memory system: its
+// scatter-add units, their cache banks, the DRAM channels those banks own,
+// and delivery of completed line reads back into the shard's banks. Within
+// the shard, components tick in the same consumer-before-producer order the
+// sequential engine uses, and every interaction stays inside the shard by
+// construction — unit i feeds bank i, bank i's misses go to channels
+// congruent to i mod Banks, and those channels' fills land back in bank i —
+// so parallel shards share no mutable state beyond the lock-protected
+// functional store.
+func (m *Machine) shardTick(now uint64, si int) {
+	sh := &m.shards[si]
+	for i := sh.lo; i < sh.hi; i++ {
+		m.sas[i].Tick(now)
+	}
+	for i := sh.lo; i < sh.hi; i++ {
+		m.banks[i].Tick(now)
+	}
+	m.dram.TickChannels(now, sh.chans, sh.tr)
+	m.dram.DrainResponses(sh.chans, m.fillFn)
+}
 
 // responsePhase routes scatter-add unit responses back to their streams. It
 // is purely reactive: a deliverable response is reported as work by the
@@ -552,7 +785,8 @@ func (m *Machine) issueTick(now uint64) {
 		issuedBefore := s.issued
 		for w := 0; w < m.cfg.AGWidth && s.issued < s.n; w++ {
 			a := s.op.addr(s.issued)
-			u := m.unitFor(a)
+			ui := m.unitIndex(a)
+			u := m.sas[ui]
 			if !u.CanAccept(now) {
 				break
 			}
@@ -566,8 +800,12 @@ func (m *Machine) issueTick(now uint64) {
 			if m.tracer != nil {
 				m.tracer(now, req)
 			}
+			// The sampling decision runs on the master tracer, in canonical
+			// issue order (identical at any shard count); the lifecycle is
+			// opened on the owning unit's tracer, where the unit's bank
+			// cluster will report its stage transitions.
 			if m.tr != nil && m.tr.SampleNext() {
-				m.tr.OpBegin(0, req.ID, req.Kind, req.Addr, now)
+				m.unitTr[ui].OpBegin(0, req.ID, req.Kind, req.Addr, now)
 			}
 			s.issued++
 			m.met.agIssued.Inc()
@@ -581,22 +819,13 @@ func (m *Machine) issueTick(now uint64) {
 	}
 }
 
-// dramTick advances DRAM and delivers completed line reads to their banks.
-func (m *Machine) dramTick(now uint64) {
-	m.dram.Tick(now)
-	for {
-		r, ok := m.dram.PopResponse(now)
-		if !ok {
-			break
-		}
-		m.banks[cache.BankOf(r.Line, len(m.banks))].Fill(now, r.Line, r.Data)
-	}
-}
-
 // responseTick routes scatter-add unit responses back to their streams by
-// ID tag.
+// ID tag, then samples the DRAM queue-depth gauge (the per-transaction gauge
+// update is suppressed on the partitioned tick path; end-of-cycle totals are
+// identical for any shard count and any stepping mode, since skipped cycles
+// leave the queues untouched).
 func (m *Machine) responseTick(now uint64) {
-	for _, sa := range m.sas {
+	for i, sa := range m.sas {
 		for {
 			r, ok := sa.PopResponse(now)
 			if !ok {
@@ -605,7 +834,7 @@ func (m *Machine) responseTick(now uint64) {
 			if s := m.streamByTag(r.ID >> 32); s != nil {
 				s.responses++
 				if m.tr != nil {
-					m.tr.OpEnd(0, r.ID, now)
+					m.unitTr[i].OpEnd(0, r.ID, now)
 				}
 				if s.op.OnResp != nil {
 					r.ID &= (1 << 32) - 1 // restore the caller's index
@@ -614,9 +843,13 @@ func (m *Machine) responseTick(now uint64) {
 			}
 		}
 	}
+	if m.dram != nil {
+		m.dram.SyncQueueDepth()
+	}
 }
 
-// retireTick removes completed streams, freeing their address generators.
+// retireTick removes completed streams, freeing their address generators and
+// returning their slab entries for reuse.
 func (m *Machine) retireTick(now uint64) {
 	live := m.active[:0]
 	for _, s := range m.active {
@@ -630,6 +863,7 @@ func (m *Machine) retireTick(now uint64) {
 				fmt.Sprintf("%s n=%d", s.op.Name, s.n), s.start, now)
 			m.laneBusy[s.lane] = false
 		}
+		s.inUse = false
 	}
 	m.active = live
 }
@@ -701,6 +935,14 @@ func (m *Machine) RunOp(op Op) Result {
 		panic(fmt.Sprintf("machine: unknown op kind %d", op.Kind))
 	}
 	saAfter := m.saStats()
+	// Op boundaries are sequential points: fold shard span state into the
+	// master tracer, and release the shard worker pool once nothing is in
+	// flight (the next sharded tick lazily starts a fresh one).
+	m.absorbShardSpans()
+	if m.pool != nil && len(m.active) == 0 {
+		m.pool.Close()
+		m.pool = nil
+	}
 	return Result{
 		Cycles:  m.eng.Now() - start,
 		FPOps:   uint64(op.Flops) + fpDelta(saBefore, saAfter),
@@ -713,7 +955,7 @@ func (m *Machine) RunOp(op Op) Result {
 // across skipped cycles, so it is safe under fast-forward.
 func (m *Machine) fence() {
 	limit := m.eng.Now() + opDeadlockCycles
-	if _, ok := m.eng.RunUntil(m.drained, limit); !ok {
+	if _, ok := m.eng.RunUntil(m.drainedFn, limit); !ok {
 		panic("machine: fence did not drain; likely deadlock")
 	}
 }
@@ -756,14 +998,15 @@ func (m *Machine) runMemOp(op Op) {
 	opStart := m.eng.Now()
 	// Claim an address generator (Table 1: 2), waiting if all are busy.
 	if len(m.active) >= m.cfg.AGs {
-		agFree := func() bool { return len(m.active) < m.cfg.AGs }
-		if _, ok := m.eng.RunUntil(agFree, opStart+opDeadlockCycles); !ok {
+		if _, ok := m.eng.RunUntil(m.agFreeFn, opStart+opDeadlockCycles); !ok {
 			panic(fmt.Sprintf("machine: op %q waited %d cycles for an AG; likely deadlock", op.Name, m.eng.Now()-opStart))
 		}
 	}
 	m.nextTag++
-	s := &memStream{
-		op: op, tag: m.nextTag, n: n,
+	s := m.claimStream()
+	*s = memStream{
+		inUse: true,
+		op:    op, tag: m.nextTag, n: n,
 		needResp:    op.MemKind == mem.Read || op.MemKind.IsFetch(),
 		startupLeft: m.cfg.MemOpStartup,
 	}
@@ -783,10 +1026,21 @@ func (m *Machine) runMemOp(op Op) {
 	// Synchronous semantics: reads are complete when every response has
 	// arrived; writes and scatter-adds additionally wait for the memory
 	// system to drain so their data is globally visible when RunOp returns.
-	opDone := func() bool { return s.done() && (s.needResp || !m.memSystemBusy()) }
-	if _, ok := m.eng.RunUntil(opDone, opStart+opDeadlockCycles); !ok {
+	m.curStream = s
+	if _, ok := m.eng.RunUntil(m.opDoneFn, opStart+opDeadlockCycles); !ok {
 		panic(fmt.Sprintf("machine: op %q has run %d cycles; likely deadlock", op.Name, m.eng.Now()-opStart))
 	}
+}
+
+// claimStream takes a free entry from the fixed stream slab (one per address
+// generator; the AG-claim wait above guarantees one is free).
+func (m *Machine) claimStream() *memStream {
+	for i := range m.streamSlab {
+		if !m.streamSlab[i].inUse {
+			return &m.streamSlab[i]
+		}
+	}
+	panic("machine: no free stream slab entry; AG accounting broken")
 }
 
 // opDeadlockCycles guards against flow-control deadlock: single ops in this

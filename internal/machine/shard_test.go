@@ -1,0 +1,201 @@
+package machine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"scatteradd/internal/fault"
+	"scatteradd/internal/mem"
+	"scatteradd/internal/span"
+	"scatteradd/internal/stats"
+)
+
+// fig6Program is a histogram-shaped workload (figure 6): one large
+// scatter-add over a hot bin range, bracketed by a load of the input and a
+// readback of the bins. Collisions force combining-store residency.
+func fig6Program(n, bins int) []Op {
+	addrs := make([]mem.Addr, n)
+	vals := make([]mem.Word, n)
+	state := uint64(0xF166)
+	for i := range addrs {
+		state = state*6364136223846793005 + 1442695040888963407
+		addrs[i] = mem.Addr(state % uint64(bins))
+		vals[i] = mem.I64(int64(i%5 + 1))
+	}
+	return []Op{
+		LoadStream("load-data", 1<<16, n),
+		ScatterAdd("histogram", mem.AddI64, addrs, vals),
+		Fence(),
+	}
+}
+
+// fig10Program is a molecular-dynamics-shaped workload (figure 10): gather
+// positions, compute forces in a kernel, scatter-add them back
+// asynchronously under the next kernel, then fence — the async overlap is
+// what exercises streams in flight across op (and shard-absorb) boundaries.
+func fig10Program(n, sites int) []Op {
+	gAddrs := make([]mem.Addr, n)
+	sAddrs := make([]mem.Addr, n)
+	vals := make([]mem.Word, n)
+	state := uint64(0xF1010)
+	for i := range gAddrs {
+		state = state*6364136223846793005 + 1442695040888963407
+		gAddrs[i] = mem.Addr(state % uint64(sites))
+		state = state*6364136223846793005 + 1442695040888963407
+		sAddrs[i] = mem.Addr(state % uint64(sites))
+		vals[i] = mem.F64(float64(i%13) * 0.5)
+	}
+	sa := ScatterAdd("forces", mem.AddF64, sAddrs, vals)
+	sa.Async = true
+	return []Op{
+		Gather("positions", gAddrs),
+		Kernel("interactions", 80_000, 4096),
+		sa,
+		Kernel("next-block", 60_000, 4096),
+		Fence(),
+	}
+}
+
+// shardTrace runs prog on a fresh machine and captures everything sharding
+// must not change: the clock after every op, per-op results, the final
+// counter snapshot, the span report, and the functional memory image.
+func shardTrace(cfg Config, prog []Op, words int) (nows []uint64, results []Result, snap stats.Snapshot, rep span.Report, image []int64) {
+	m := New(cfg)
+	tr := span.New(4)
+	m.SetSpanTracer(tr)
+	for _, op := range prog {
+		results = append(results, m.RunOp(op))
+		nows = append(nows, m.Now())
+	}
+	m.FlushCaches()
+	return nows, results, m.StatsSnapshot(), span.Aggregate(tr.Ops()), m.Store().ReadI64Slice(0, words)
+}
+
+// TestShardedChaosExact is the machine-level sharded equivalence matrix,
+// mirroring multinode's TestSharded* coverage: figure-6- and
+// figure-10-shaped workloads, fault injection on, both stepping modes, with
+// shard counts 1 vs 3 (odd split) and 4. Everything observable — clocks,
+// per-op results, counters, span reports, memory — must be byte-identical.
+func TestShardedChaosExact(t *testing.T) {
+	progs := []struct {
+		name  string
+		prog  []Op
+		words int
+	}{
+		{"fig6-histogram", fig6Program(6_000, 512), 512},
+		{"fig10-moldyn", fig10Program(4_000, 768), 768},
+	}
+	fc := fault.DefaultChaos()
+	fc.DRAMStallRate = 0.05
+	fc.DRAMWindowEvery = 2_000
+	fc.DRAMWindowSpan = 100
+	fc.CSCorruptRate = 0.01
+	fc.FUErrorRate = 0.01
+	for _, p := range progs {
+		for _, legacy := range []bool{false, true} {
+			for _, faults := range []bool{true, false} {
+				name := fmt.Sprintf("%s/legacy=%v/faults=%v", p.name, legacy, faults)
+				t.Run(name, func(t *testing.T) {
+					cfg := DefaultConfig()
+					cfg.Cache.TotalLines = 256
+					cfg.KernelStartup = 8
+					cfg.MemOpStartup = 4
+					cfg.LegacyStepping = legacy
+					if faults {
+						cfg.Faults = fc
+					}
+					cfg.Shards = 1
+					baseNows, baseRes, baseSnap, baseRep, baseMem := shardTrace(cfg, p.prog, p.words)
+					for _, shards := range []int{3, 4} {
+						cfg.Shards = shards
+						nows, res, snap, rep, img := shardTrace(cfg, p.prog, p.words)
+						if !reflect.DeepEqual(nows, baseNows) {
+							t.Fatalf("shards=%d: per-op clocks diverge\n  1: %v\n  %d: %v", shards, baseNows, shards, nows)
+						}
+						if !reflect.DeepEqual(res, baseRes) {
+							t.Fatalf("shards=%d: per-op results diverge", shards)
+						}
+						if !reflect.DeepEqual(snap, baseSnap) {
+							for i := range snap.Entries {
+								if i < len(baseSnap.Entries) && snap.Entries[i] != baseSnap.Entries[i] {
+									t.Errorf("shards=%d: counter %q: %d vs %d", shards,
+										snap.Entries[i].Key, snap.Entries[i].Val, baseSnap.Entries[i].Val)
+								}
+							}
+							t.Fatalf("shards=%d: counter snapshots diverge", shards)
+						}
+						if !reflect.DeepEqual(rep, baseRep) {
+							t.Fatalf("shards=%d: span reports diverge:\n%+v\nvs\n%+v", shards, rep, baseRep)
+						}
+						if !reflect.DeepEqual(img, baseMem) {
+							t.Fatalf("shards=%d: memory images diverge", shards)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardCountResolution pins the Shards -> effective-partition rules:
+// clamping to the bank count, sequential fallbacks for uniform memory and
+// non-multiple channel counts.
+func TestShardCountResolution(t *testing.T) {
+	base := DefaultConfig() // 8 banks, 16 channels
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want int
+	}{
+		{"zero", func(c *Config) { c.Shards = 0 }, 1},
+		{"one", func(c *Config) { c.Shards = 1 }, 1},
+		{"four", func(c *Config) { c.Shards = 4 }, 4},
+		{"clamped-to-banks", func(c *Config) { c.Shards = 64 }, 8},
+		{"uniform-ignores", func(c *Config) {
+			c.Shards = 4
+			c.UniformMem = &UniformMemConfig{Latency: 64, Interval: 2}
+		}, 1},
+		{"channels-not-multiple", func(c *Config) {
+			c.Shards = 4
+			c.DRAM.Channels = 12 // 12 % 8 != 0: ownership would straddle shards
+		}, 1},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		if got := cfg.shardCount(); got != tc.want {
+			t.Errorf("%s: shardCount() = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestShardedMachinePoolLifecycle checks the worker pool is released at op
+// boundaries once nothing is in flight, and that Close is a safe no-op
+// anywhere else.
+func TestShardedMachinePoolLifecycle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemOpStartup = 4
+	cfg.Shards = 4
+	m := New(cfg)
+	op := chaosOp(2048, 256)
+	m.RunOp(op)
+	if m.pool != nil {
+		t.Fatal("pool still live after a synchronous op drained")
+	}
+	async := op
+	async.Async = true
+	m.RunOp(async)
+	// The async stream is still issuing: if any parallel tick ran, the pool
+	// must stay alive for the next one.
+	m.RunOp(Fence())
+	if m.pool != nil {
+		t.Fatal("pool still live after fence drained the machine")
+	}
+	m.RunOp(async)
+	m.Close() // abandoned mid-flight: Close reaps whatever pool exists
+	if m.pool != nil {
+		t.Fatal("Close left a live pool")
+	}
+	m.RunOp(Fence()) // machine stays usable after Close
+}

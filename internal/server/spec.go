@@ -48,9 +48,11 @@ type Spec struct {
 	Scale int `json:"scale,omitempty"`
 	// Seed perturbs every workload seed (0 = the paper's fixed seeds).
 	Seed uint64 `json:"seed,omitempty"`
-	// Shards partitions each multi-node simulation's nodes across workers
-	// (0 or 1 = sequential). Output is byte-identical for every value, so
-	// shards do not participate in the result-cache key.
+	// Shards partitions each simulation's compute across workers — per-node
+	// engines for multi-node figures, bank clusters for single-machine ones
+	// (0 or 1 = sequential; the server never auto-picks). Output is
+	// byte-identical for every value, so shards do not participate in the
+	// result-cache key.
 	Shards int `json:"shards,omitempty"`
 	// Stats appends the hardware performance-counter appendix.
 	Stats bool `json:"stats,omitempty"`
