@@ -41,7 +41,8 @@ type ReproCheck = exp.Check
 // individual check results.
 var Report = exp.Report
 
-// Figure regenerates one of the paper's figures (6-13) at the given scale.
+// Figure regenerates one of the paper's figures (6-13), or the interconnect
+// scale-out extension (14), at the given scale.
 // With o.CheckpointDir set, a completed figure is snapshotted there and a
 // repeat request with matching options is served from the snapshot.
 func Figure(n int, o ExpOptions) (ExpTable, error) {
@@ -62,6 +63,8 @@ func Figure(n int, o ExpOptions) (ExpTable, error) {
 		return exp.Fig12(o), nil
 	case 13:
 		return exp.Fig13(o), nil
+	case 14:
+		return exp.Fig14(o), nil
 	}
 	return ExpTable{}, fmt.Errorf("scatteradd: no figure %d in the paper's evaluation", n)
 }

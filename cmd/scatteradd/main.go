@@ -6,7 +6,7 @@
 //	scatteradd [flags] <experiment>...
 //
 // Experiments: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
-// ablations, all.
+// fig14, ablations, all.
 //
 // Flags:
 //
@@ -32,6 +32,9 @@
 //	-fault-seed N override the fault injector's seed (with -faults)
 //	-checkpoint D snapshot each completed figure under directory D and
 //	              resume an interrupted sweep from the snapshots
+//	-topology T   restrict fig14 to one interconnect configuration
+//	              (flat, tree, tree+comb, mesh, mesh+comb; default = sweep all)
+//	-fanin N      switch fan-in for fig14 tree topologies (default 0 = 4)
 //
 // Profiling the simulator itself: -pprof-http ADDR serves net/http/pprof,
 // -cpuprofile/-memprofile FILE write pprof profiles, -trace-out FILE writes
@@ -64,6 +67,8 @@ func main() {
 	faults := flag.Float64("faults", 0, "inject the default chaos fault mix scaled by X in [0,1] (0 = off)")
 	faultSeed := flag.Uint64("fault-seed", 0, "override the fault injector seed (0 = default; needs -faults)")
 	checkpoint := flag.String("checkpoint", "", "directory for figure checkpoints (resume interrupted sweeps)")
+	topology := flag.String("topology", "", "restrict fig14 to one interconnect configuration (flat, tree, tree+comb, mesh, mesh+comb)")
+	fanin := flag.Int("fanin", 0, "switch fan-in for fig14 tree topologies (0 = default 4)")
 	profCfg := prof.Flags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
@@ -88,6 +93,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "scatteradd: -faults %g invalid (want 0..1)\n", *faults)
 		os.Exit(2)
 	}
+	if *fanin != 0 && *fanin < 2 {
+		fmt.Fprintf(os.Stderr, "scatteradd: -fanin %d invalid (want 0 or >= 2)\n", *fanin)
+		os.Exit(2)
+	}
+	if *topology != "" {
+		if _, err := scatteradd.ParseTopology(*topology, *fanin); err != nil {
+			fmt.Fprintf(os.Stderr, "scatteradd: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	var fc scatteradd.FaultConfig
 	if *faults > 0 {
 		fc = scatteradd.DefaultChaosFaults().Scale(*faults)
@@ -108,6 +123,7 @@ func main() {
 		CollectStats: *withStats, CollectSpans: *withSpans, SpanRate: *spanRate,
 		Legacy: *legacy,
 		Faults: fc, CheckpointDir: *checkpoint,
+		Topology: *topology, FanIn: *fanin,
 	}
 	for _, name := range flag.Args() {
 		if err := run(name, o, *csv, *doPlot); err != nil {
@@ -145,6 +161,7 @@ func usage() {
 experiments:
   table1           machine parameters (paper Table 1)
   fig6 .. fig13    regenerate the corresponding figure
+  fig14            interconnect scale-out extension (see -topology, -fanin)
   ablations        design-choice studies beyond the paper
   report           regenerate everything + check the paper's claims (markdown)
   all              everything above
@@ -195,6 +212,8 @@ func run(name string, o scatteradd.ExpOptions, csv, doPlot bool) error {
 		return figure(12)
 	case "fig13":
 		return figure(13)
+	case "fig14":
+		return figure(14)
 	case "ablations":
 		for _, t := range scatteradd.Ablations(o) {
 			emit(t)
@@ -214,7 +233,7 @@ func run(name string, o scatteradd.ExpOptions, csv, doPlot bool) error {
 		fmt.Fprintf(os.Stderr, "all %d claim checks passed\n", len(checks))
 	case "all":
 		emit(scatteradd.Table1())
-		for n := 6; n <= 13; n++ {
+		for n := 6; n <= 14; n++ {
 			if err := figure(n); err != nil {
 				return err
 			}
@@ -223,7 +242,7 @@ func run(name string, o scatteradd.ExpOptions, csv, doPlot bool) error {
 			emit(t)
 		}
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1, fig6..fig13, ablations, all)", name)
+		return fmt.Errorf("unknown experiment %q (want table1, fig6..fig14, ablations, all)", name)
 	}
 	return nil
 }

@@ -27,7 +27,7 @@ import (
 )
 
 // Figures lists every figure the harness can diff.
-var Figures = []int{6, 7, 8, 9, 10, 11, 12, 13}
+var Figures = []int{6, 7, 8, 9, 10, 11, 12, 13, 14}
 
 // Run regenerates figure fig with the given options. Options.Legacy selects
 // the stepping mode.
@@ -49,6 +49,8 @@ func Run(fig int, o exp.Options) (exp.Table, error) {
 		return exp.Fig12(o), nil
 	case 13:
 		return exp.Fig13(o), nil
+	case 14:
+		return exp.Fig14(o), nil
 	}
 	return exp.Table{}, fmt.Errorf("differ: no figure %d", fig)
 }

@@ -45,6 +45,17 @@ func scaleUnderTest(t *testing.T) int {
 	return n
 }
 
+// figScale bumps the dataset divisor for the kilo-node scale-out figure:
+// the equivalence gates are scale-independent, and Fig. 14's 16-1024-node
+// fabrics are an order of magnitude more simulation per reference than the
+// paper-scale figures.
+func figScale(fig, scale int) int {
+	if fig == 14 {
+		return scale * 8
+	}
+	return scale
+}
+
 // TestFastForwardEquivalence is the differential gate: every figure must
 // produce byte-identical output — rendered table, raw counter snapshot,
 // span reports — under quiescence fast-forward and legacy per-cycle
@@ -61,7 +72,7 @@ func TestFastForwardEquivalence(t *testing.T) {
 			// Jobs: 1 inside each run — the figures under test already run
 			// in parallel with each other here, and single-worker runs keep
 			// any divergence deterministic to rerun.
-			if err := Diff(fig, exp.Options{Scale: scale, Jobs: 1}); err != nil {
+			if err := Diff(fig, exp.Options{Scale: figScale(fig, scale), Jobs: 1}); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -100,13 +111,14 @@ func TestFastForwardJobsInvariance(t *testing.T) {
 // stepping modes execute identically. Fig. 6 covers the single-node memory
 // system (DRAM stalls and windows, partial scrubs, FU retries); Fig. 13
 // covers the multi-node link layer (drops, duplications, retries, dedup)
-// and combining-store degradation.
+// and combining-store degradation; Fig. 14 covers the multi-hop fabrics'
+// per-hop retransmit/dedup and in-switch combining under loss.
 func TestFastForwardEquivalenceWithFaults(t *testing.T) {
 	if testing.Short() {
 		t.Skip("differential gate runs full figure suites")
 	}
 	scale := scaleUnderTest(t) * 2 // chaos runs are slower; shrink the data
-	for _, fig := range []int{6, 13} {
+	for _, fig := range []int{6, 13, 14} {
 		fig := fig
 		t.Run(fmt.Sprintf("fig%d", fig), func(t *testing.T) {
 			t.Parallel()
@@ -183,7 +195,7 @@ func TestShardedEquivalenceLegacyStepping(t *testing.T) {
 		fig := fig
 		t.Run(fmt.Sprintf("fig%d", fig), func(t *testing.T) {
 			t.Parallel()
-			o := exp.Options{Scale: scale, Jobs: 1, Legacy: true}
+			o := exp.Options{Scale: figScale(fig, scale), Jobs: 1, Legacy: true}
 			if err := DiffSharded(fig, 4, o); err != nil {
 				t.Fatal(err)
 			}
@@ -199,13 +211,13 @@ func TestShardedEquivalenceLegacyStepping(t *testing.T) {
 // in canonical order in both modes, so any divergence means compute-phase
 // state leaked across a shard boundary. Fig. 6 covers the sharded
 // single-machine memory system, Fig. 10 its async-overlap workload shape,
-// Fig. 13 the multi-node link layer.
+// Fig. 13 the multi-node link layer, Fig. 14 the multi-hop switch fabrics.
 func TestShardedEquivalenceWithFaults(t *testing.T) {
 	if testing.Short() {
 		t.Skip("differential gate runs full figure suites")
 	}
 	scale := shardedScaleUnderTest(t) * 2 // chaos runs are slower; shrink the data
-	figs := []int{6, 10, 13}
+	figs := []int{6, 10, 13, 14}
 	if raceEnabled && os.Getenv("FFDIFF_FIGS") == "" {
 		figs = []int{6, 13} // see shardedFigsUnderTest
 	}
@@ -213,7 +225,7 @@ func TestShardedEquivalenceWithFaults(t *testing.T) {
 		fig := fig
 		t.Run(fmt.Sprintf("fig%d", fig), func(t *testing.T) {
 			t.Parallel()
-			o := exp.Options{Scale: scale, Jobs: 1, Faults: fault.DefaultChaos()}
+			o := exp.Options{Scale: figScale(fig, scale), Jobs: 1, Faults: fault.DefaultChaos()}
 			if err := DiffSharded(fig, 4, o); err != nil {
 				t.Fatal(err)
 			}

@@ -46,12 +46,14 @@ type checkpointFile struct {
 func (o Options) Fingerprint() string {
 	flt := o.Faults
 	data, err := json.Marshal(map[string]any{
-		"scale":  o.Scale,
-		"seed":   o.Seed,
-		"stats":  o.CollectStats,
-		"spans":  o.CollectSpans,
-		"rate":   o.spanRate(),
-		"legacy": o.Legacy,
+		"scale":    o.Scale,
+		"seed":     o.Seed,
+		"stats":    o.CollectStats,
+		"spans":    o.CollectSpans,
+		"rate":     o.spanRate(),
+		"legacy":   o.Legacy,
+		"topology": o.Topology,
+		"fanin":    o.FanIn,
 		"faults": map[string]any{
 			"seed":              flt.Seed,
 			"net-drop":          flt.NetDropRate,

@@ -225,7 +225,7 @@ func TestFingerprintCoversFaultConfig(t *testing.T) {
 	if n := reflect.TypeOf(fault.Config{}).NumField(); n != knownFields {
 		t.Fatalf("fault.Config has %d fields (expected %d): add the new field to Options.fingerprint with a stable key, then update this count", n, knownFields)
 	}
-	if n := reflect.TypeOf(Options{}).NumField(); n != 11 {
+	if n := reflect.TypeOf(Options{}).NumField(); n != 13 {
 		t.Fatalf("Options has %d fields: decide whether the new option affects output, wire it into fingerprint if so, then update this count", n)
 	}
 }

@@ -157,6 +157,13 @@ type Options struct {
 	// bit-exact; only the timing columns move. The zero value injects
 	// nothing and leaves all output byte-identical to an unfaulted run.
 	Faults fault.Config
+	// Topology restricts the interconnect scale-out figure (Fig 14) to a
+	// single interconnect configuration ("" = sweep all of them). Names
+	// follow multinode.ParseTopology: flat, flat+comb, hypercube, tree,
+	// tree+comb, mesh, mesh+comb. Figures without a topology axis ignore it.
+	Topology string
+	// FanIn overrides the switch fan-in of Fig 14's tree topologies (0 = 4).
+	FanIn int
 	// CheckpointDir, when non-empty, persists each completed figure's table
 	// to <dir>/<figure>.json and serves later requests with matching
 	// options from that snapshot, so a killed sweep resumes where it left

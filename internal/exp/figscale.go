@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"fmt"
+
+	"scatteradd/internal/mem"
+	"scatteradd/internal/multinode"
+	"scatteradd/internal/stats"
+)
+
+// This file adds the interconnect scale-out family (Figure 14): the paper
+// stops at 8 nodes on one crossbar, and this figure asks what the reduction
+// looks like when the machine keeps growing — 16 to 1024 nodes — on a flat
+// crossbar, a fat-tree of small switches, and a 2D mesh, with and without
+// Ultracomputer-style in-switch combining of same-address scatter-adds. The
+// workload is a deliberately hot histogram (a few bins per node), the
+// regime where the root of a reduction tree melts first and in-network
+// combining pays.
+
+// fig14Nodes are the figure's machine sizes.
+var fig14Nodes = []int{16, 64, 256, 1024}
+
+// fig14Configs names the interconnect configurations swept, in row order.
+var fig14Configs = []string{"flat", "tree", "tree+comb", "mesh", "mesh+comb"}
+
+// fig14Metrics are the per-configuration rows: throughput, total cycles, and
+// the fabric counters the scale-out argument is about.
+var fig14Metrics = []string{"gb/s", "cycles", "root-pkts", "hops", "combined"}
+
+// scalePointOut is one (configuration, node count) cell column.
+type scalePointOut struct {
+	cells [5]string // indexed like fig14Metrics
+	snap  stats.Snapshot
+	rep   SpanRow
+}
+
+// runScalePoint replays the hot histogram on one interconnect at one size.
+// The per-node machine is trimmed (small cache, 2 DRAM channels) so the
+// kilo-node points stay simulable; every configuration shares the identical
+// node, so the columns differ only by interconnect.
+func runScalePoint(o Options, tr trace, name string, nodes int) scalePointOut {
+	topo, err := multinode.ParseTopology(name, o.FanIn)
+	if err != nil {
+		panic(fmt.Sprintf("exp: fig14 config %q: %v", name, err))
+	}
+	ownerSpan := (tr.span/mem.Addr(nodes) + mem.LineWords) &^ (mem.LineWords - 1)
+	cfg := multinode.DefaultConfig(nodes, 1, ownerSpan)
+	cfg.Topology = topo
+	cfg.Cache.Banks = 2
+	cfg.Cache.TotalLines = 256
+	cfg.DRAM.Channels = 2
+	cfg.DRAM.BanksPerChannel = 4
+	// The default wire depth scales with the port count; a kilo-port flat
+	// crossbar doesn't need megabytes of modeled wire.
+	cfg.Net.WireDepth = 64
+	cfg.LegacyStepping = o.Legacy
+	cfg.Faults = o.Faults
+	cfg.Shards = o.shards()
+	s := multinode.New(cfg, tr.kind)
+	sp := o.newTracer()
+	s.SetSpanTracer(sp)
+	res := s.RunTrace(tr.refs)
+	out := scalePointOut{cells: [5]string{
+		fmt.Sprintf("%.2f", res.GBps()),
+		d(res.Cycles),
+		d(res.NetStats.RootPkts),
+		d(res.NetStats.Hops),
+		d(res.NetStats.Combined),
+	}}
+	if o.CollectStats {
+		out.snap = s.StatsSnapshot()
+	}
+	if o.CollectSpans {
+		out.rep = SpanRow{
+			Label:  fmt.Sprintf("%s nodes=%d", name, nodes),
+			Report: spanReport(sp),
+		}
+	}
+	return out
+}
+
+// fig14ConfigList resolves Options.Topology to the configurations swept.
+func fig14ConfigList(o Options) []string {
+	if o.Topology == "" {
+		return fig14Configs
+	}
+	if _, err := multinode.ParseTopology(o.Topology, o.FanIn); err != nil {
+		panic(fmt.Sprintf("exp: %v", err))
+	}
+	return []string{o.Topology}
+}
+
+// Fig14 is the interconnect scale-out family: hot-histogram scatter-add
+// bandwidth and fabric traffic from 16 to 1024 nodes, flat crossbar vs
+// fat-tree vs 2D mesh, in-switch combining on and off.
+func Fig14(o Options) Table { return o.checkpointed("fig14", fig14) }
+
+func fig14(o Options) Table {
+	configs := fig14ConfigList(o)
+	t := Table{
+		Title:  "Figure 14: interconnect scale-out on a hot histogram (16-1024 nodes)",
+		Header: append([]string{"config", "metric"}, mapStr(fig14Nodes)...),
+		Notes: []string{
+			"hot histogram: 4096 bins spread across all nodes (a few per node at 1024);",
+			"root-pkts counts packets crossing the fabric's bisection/root link;",
+			"in-switch combining merges same-address scatter-adds at every hop, so",
+			"root traffic shrinks as the tree deepens while flat stays linear in refs",
+		},
+	}
+	// Keep the heat constant under -scale: ~64 references per bin at any
+	// size (4096 bins at the full 256K references), so the combining windows
+	// see the same collision pressure the full figure argues from.
+	n := o.scaled(1 << 18)
+	rng := n / 64
+	if rng < 256 {
+		rng = 256
+	}
+	tr := histTrace("hot", n, rng, o.seed(0xF16_14))
+	points := mapN(o, len(configs)*len(fig14Nodes), func(i int) scalePointOut {
+		return runScalePoint(o, tr, configs[i/len(fig14Nodes)], fig14Nodes[i%len(fig14Nodes)])
+	})
+	for r, name := range configs {
+		for m, metric := range fig14Metrics {
+			row := []string{name, metric}
+			for c := range fig14Nodes {
+				row = append(row, points[r*len(fig14Nodes)+c].cells[m])
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	if o.CollectSpans {
+		for _, p := range points {
+			t.Spans = append(t.Spans, p.rep)
+		}
+	}
+	if o.CollectStats {
+		snaps := make([]stats.Snapshot, len(points))
+		for i, p := range points {
+			snaps[i] = p.snap
+		}
+		t.Counters = stats.MergeAll(snaps)
+	}
+	return t
+}
+
+// mapStr renders an int slice as header cells.
+func mapStr(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%d", x)
+	}
+	return out
+}

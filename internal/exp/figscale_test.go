@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+)
+
+// fig14Cell extracts one metric row of one config as a float slice over the
+// node-count columns.
+func fig14Row(t *testing.T, tab Table, config, metric string) []float64 {
+	t.Helper()
+	for _, r := range tab.Rows {
+		if r[0] != config || r[1] != metric {
+			continue
+		}
+		out := make([]float64, 0, len(r)-2)
+		for _, c := range r[2:] {
+			v, err := strconv.ParseFloat(c, 64)
+			if err != nil {
+				t.Fatalf("fig14 %s/%s cell %q: %v", config, metric, c, err)
+			}
+			out = append(out, v)
+		}
+		return out
+	}
+	t.Fatalf("fig14: no row %s/%s", config, metric)
+	return nil
+}
+
+// TestFig14Shape pins the scale-out figure's claim: at 256 nodes and up,
+// in-network combining cuts the packets crossing the fabric's root/bisection
+// well below the flat crossbar's, and below the same tree without combining.
+func TestFig14Shape(t *testing.T) {
+	tab := Fig14(Options{Scale: 128})
+	if want := len(fig14Configs) * len(fig14Metrics); len(tab.Rows) != want {
+		t.Fatalf("fig14 rows: %d want %d", len(tab.Rows), want)
+	}
+	flat := fig14Row(t, tab, "flat", "root-pkts")
+	tree := fig14Row(t, tab, "tree", "root-pkts")
+	treeComb := fig14Row(t, tab, "tree+comb", "root-pkts")
+	merged := fig14Row(t, tab, "tree+comb", "combined")
+	// Columns are 16, 64, 256, 1024 nodes; the claim is about >= 256.
+	for c := 2; c < 4; c++ {
+		if treeComb[c] >= flat[c] {
+			t.Fatalf("col %d: tree+comb root-pkts %.0f not below flat %.0f", c, treeComb[c], flat[c])
+		}
+		if treeComb[c] >= tree[c] {
+			t.Fatalf("col %d: combining did not reduce root traffic (%.0f vs %.0f)", c, treeComb[c], tree[c])
+		}
+		if merged[c] == 0 {
+			t.Fatalf("col %d: no in-switch merges", c)
+		}
+	}
+	// Flat takes exactly one hop per packet; the tree takes more.
+	flatHops := fig14Row(t, tab, "flat", "hops")
+	treeHops := fig14Row(t, tab, "tree", "hops")
+	for c := range flatHops {
+		if treeHops[c] <= flatHops[c] {
+			t.Fatalf("col %d: tree hops %.0f not above flat %.0f", c, treeHops[c], flatHops[c])
+		}
+	}
+}
+
+// TestFig14TopologyFilter: Options.Topology restricts the sweep to one
+// configuration, and unknown names fail loudly.
+func TestFig14TopologyFilter(t *testing.T) {
+	tab := Fig14(Options{Scale: 1024, Topology: "tree+comb", FanIn: 2})
+	if len(tab.Rows) != len(fig14Metrics) {
+		t.Fatalf("filtered fig14 rows: %d want %d", len(tab.Rows), len(fig14Metrics))
+	}
+	for _, r := range tab.Rows {
+		if r[0] != "tree+comb" {
+			t.Fatalf("unexpected config row %q", r[0])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unknown topology")
+		}
+	}()
+	Fig14(Options{Scale: 1024, Topology: "torus"})
+}

@@ -126,6 +126,25 @@ func Plot(fig int, t Table) string {
 			series = append(series, s)
 		}
 		return plot.Render(series, plot.Options{Title: t.Title, XLabel: "nodes", YLabel: "GB/s"})
+	case 14:
+		// One curve per interconnect configuration: packets crossing the
+		// fabric root/bisection vs machine size (the figure's headline).
+		nodes := []float64{16, 64, 256, 1024}
+		var series []plot.Series
+		for r := range t.Rows {
+			if t.Rows[r][1] != "root-pkts" {
+				continue
+			}
+			s := plot.Series{Label: t.Rows[r][0]}
+			for c := 2; c < len(t.Rows[r]) && c-2 < len(nodes); c++ {
+				if y, ok := cellF(t, r, c); ok {
+					s.X = append(s.X, nodes[c-2])
+					s.Y = append(s.Y, y)
+				}
+			}
+			series = append(series, s)
+		}
+		return plot.Render(series, plot.Options{Title: t.Title, LogX: true, XLabel: "nodes", YLabel: "root-pkts"})
 	}
 	return fmt.Sprintf("(no plot defined for figure %d)\n", fig)
 }

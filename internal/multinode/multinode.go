@@ -18,6 +18,15 @@
 //
 // The experiment driver replays scatter-add reference traces (the Figure 13
 // workloads) and reports achieved additions/cycle and GB/s.
+//
+// Beyond the paper, Config.Topology selects the interconnect the nodes sit
+// on: the flat crossbar above, the hypercube sum-back hierarchy, or a
+// multi-hop fat-tree / 2D mesh of switches (network.MultiHop) with optional
+// Ultracomputer-style combining inside every switch — same-address
+// scatter-add packets that meet in a switch merge before they ever reach the
+// owner. Multi-hop fabrics carry their own per-hop reliability (seq, ack,
+// retransmit, dedup at every switch), so the end-to-end link layer below
+// stays off for them even under injected network faults.
 package multinode
 
 import (
@@ -78,13 +87,28 @@ type Ref struct {
 type Config struct {
 	Nodes     int
 	OwnerSpan mem.Addr // words of address space owned per node (block partition)
-	Combining bool     // enable the local-combining + sum-back optimization
+
+	// Topology selects the interconnect and combining placement (see
+	// topology.go). The zero value (TopoDefault) derives flat/hypercube
+	// from the two deprecated bools below, so existing configs keep their
+	// exact meaning.
+	Topology Topology
+
+	// Combining enables the local-combining + sum-back optimization.
+	//
+	// Deprecated: set Topology.CombineCache (or use FlatCombining /
+	// Hypercube). Kept as a shim; mixing it with an explicit Topology.Kind
+	// panics.
+	Combining bool
 	// Hierarchical arranges the nodes in a logical hypercube so sum-backs
 	// combine across nodes in logarithmic instead of linear complexity —
 	// the optimization the paper proposes as future work (§5). Each
 	// evicted partial line travels one hypercube dimension toward its
 	// owner per flush round, merging with other nodes' partials at every
 	// hop. Requires Combining and a power-of-two node count.
+	//
+	// Deprecated: set Topology to Hypercube(). Kept as a shim; mixing it
+	// with an explicit Topology.Kind panics.
 	Hierarchical bool
 	IssueRate    int // trace references issued per node per cycle
 
@@ -217,9 +241,10 @@ func newLinkMetrics(maxRetries int) linkMetrics {
 // System is the multi-node machine.
 type System struct {
 	cfg   Config
+	topo  Topology // normalized Topology (cfg.Topology resolved against the shims)
 	kind  mem.Kind
 	nodes []*node
-	xbar  *network.Crossbar[frame]
+	xbar  network.Fabric[frame]
 	reg   *stats.Registry
 	now   uint64
 
@@ -235,6 +260,13 @@ type System struct {
 
 	tr         *span.Tracer
 	sumBackSeq uint64
+
+	// Routing window for in-switch combining: the request currently inside
+	// routeRequest, whose span does not exist yet. routingNode is -1 outside
+	// the window.
+	routingNode     int
+	routingID       uint64
+	routingAbsorbed bool
 
 	// Fault injection and recovery (inactive on the zero config).
 	flt       fault.Config
@@ -252,21 +284,42 @@ func New(cfg Config, kind mem.Kind) *System {
 	if !kind.IsScatterAdd() || kind.IsFetch() {
 		panic(fmt.Sprintf("multinode: unsupported trace kind %v", kind))
 	}
-	if cfg.Hierarchical {
-		if !cfg.Combining {
-			panic("multinode: Hierarchical requires Combining")
-		}
-		if cfg.Nodes&(cfg.Nodes-1) != 0 {
-			panic(fmt.Sprintf("multinode: Hierarchical requires a power-of-two node count, got %d", cfg.Nodes))
-		}
+	if cfg.Hierarchical && !cfg.Combining {
+		panic("multinode: Hierarchical requires Combining")
 	}
-	s := &System{cfg: cfg, kind: kind, xbar: network.New[frame](cfg.Net), reg: stats.NewRegistry(), ff: !cfg.LegacyStepping}
+	topo := cfg.Topology.normalized(cfg)
+	// Mirror the normalized topology back onto the legacy bools: the
+	// combining and hypercube machinery below keys off them, and this keeps
+	// either configuration surface driving identical behaviour.
+	cfg.Combining = topo.CombineCache
+	cfg.Hierarchical = topo.Kind == TopoHypercube
+	s := &System{cfg: cfg, topo: topo, kind: kind, reg: stats.NewRegistry(), ff: !cfg.LegacyStepping, routingNode: -1}
+	if topo.multiHop() {
+		mh := network.NewMultiHop[frame](network.MultiHopConfig{
+			Kind:    topo.graphKind(),
+			Nodes:   cfg.Nodes,
+			FanIn:   topo.FanIn,
+			MeshX:   topo.MeshX,
+			MeshY:   topo.MeshY,
+			Combine: topo.CombineSwitch,
+			Link:    cfg.Net,
+		})
+		if topo.CombineSwitch {
+			mh.SetCombiner(s.switchCombiner())
+		}
+		s.xbar = mh
+	} else {
+		s.xbar = network.New[frame](cfg.Net)
+	}
 	s.ranges = sim.ShardRanges(cfg.Nodes, cfg.Shards)
 	s.shardEv = make([]uint64, len(s.ranges))
 	injecting := cfg.Faults.Enabled()
 	if injecting {
 		s.flt = cfg.Faults.WithDefaults()
-		s.reliable = s.flt.NetFaults()
+		// Multi-hop fabrics recover losses hop-by-hop inside the network
+		// (their SetFaults engages per-switch seq/ack/retransmit/dedup), so
+		// the end-to-end link layer stays off for them.
+		s.reliable = s.flt.NetFaults() && !topo.multiHop()
 		s.degradeAt = s.flt.DegradeThreshold
 		s.xbar.SetFaults(s.flt, "mn")
 		s.lmet = newLinkMetrics(s.flt.MaxRetries)
@@ -471,6 +524,11 @@ func (s *System) RunTrace(refs []Ref) Result {
 	if s.reliable {
 		res.Retransmits = s.lmet.retrans.Value()
 		res.DupsDropped = s.lmet.dupRecv.Value()
+	} else {
+		// Multi-hop fabrics recover losses per hop inside the network;
+		// surface their counters through the same Result fields.
+		res.Retransmits = res.NetStats.HopRetrans
+		res.DupsDropped = res.NetStats.HopDups
 	}
 	return res
 }
@@ -697,14 +755,24 @@ func (s *System) stepNodeExchange(n *node) {
 	for k := 0; k < s.cfg.IssueRate && n.issued < len(n.trace); k++ {
 		ref := n.trace[n.issued]
 		req := mem.Request{ID: uint64(n.issued), Kind: s.kind, Addr: ref.Addr, Val: ref.Val, Node: n.id}
-		if !s.routeRequest(n, req) {
+		// A combining switch can absorb the request inside routeRequest —
+		// before its span exists. Mark the routing window so OnAbsorb can
+		// flag that instead of issuing an OpEnd nothing would receive.
+		s.routingNode, s.routingID, s.routingAbsorbed = n.id, req.ID, false
+		routed := s.routeRequest(n, req)
+		s.routingNode = -1
+		if !routed {
 			break
 		}
 		if s.tr != nil && s.tr.SampleNext() {
 			// The sampling decision is the system tracer's (one global
 			// cadence); the lifecycle lives on the issuing node's tracer.
 			n.str.OpBegin(n.id, req.ID, req.Kind, req.Addr, s.now)
-			if !s.cfg.Combining && s.owner(req.Addr) != n.id {
+			if s.routingAbsorbed {
+				// Merged into another in-flight request at the injection
+				// switch: the op's whole life is this cycle.
+				n.str.OpEnd(n.id, req.ID, s.now)
+			} else if !s.cfg.Combining && s.owner(req.Addr) != n.id {
 				// Direct mode: the request is already on the wire.
 				n.str.OpStage(n.id, req.ID, span.StageNet, s.now)
 			}
@@ -814,6 +882,50 @@ func (s *System) routeRequest(n *node, req mem.Request) bool {
 		return cb.CanAccept(s.now) && cb.Accept(s.now, req)
 	}
 	return s.sendRemote(n, dst, req)
+}
+
+// switchCombiner tells a combining multi-hop fabric how scatter-add frames
+// merge in a switch's staging window: same address and kind (never acks,
+// never fetch variants — a merged fetch reply would be ambiguous). Sum-back
+// frames carry scatter-add kinds too, so evicted partial lines from
+// different nodes cascade together on their way to the owner. Merging
+// reorders additions exactly like the combining caches do: bit-exact for
+// the integer kinds, paper-semantics (associativity assumed) for floats.
+func (s *System) switchCombiner() network.Combiner[frame] {
+	return network.Combiner[frame]{
+		Key: func(f frame) (uint64, bool) {
+			if f.ack || f.seq != 0 {
+				return 0, false
+			}
+			r := f.req
+			if !r.Kind.IsScatterAdd() || r.Kind.IsFetch() {
+				return 0, false
+			}
+			return uint64(r.Addr)<<8 | uint64(r.Kind), true
+		},
+		Merge: func(into, absorb frame) frame {
+			into.req.Val = mem.Combine(into.req.Kind, into.req.Val, absorb.req.Val)
+			return into
+		},
+		OnAbsorb: func(absorbed frame) {
+			if s.tr == nil {
+				return
+			}
+			r := absorbed.req
+			if r.Node == s.routingNode && r.ID == s.routingID {
+				// Absorbed at the injection switch, mid-routeRequest: the
+				// issue loop hasn't decided sampling yet, so flag it and let
+				// the loop close the span right after OpBegin.
+				s.routingAbsorbed = true
+				return
+			}
+			// The absorbed request is complete the moment it merges. Its
+			// lifecycle still lives on the issuing node's tracer — it never
+			// reached the owner, so no Transfer happened. A no-op for
+			// unsampled ids (including every sum-back).
+			s.nodes[r.Node].str.OpEnd(r.Node, r.ID, s.now)
+		},
+	}
 }
 
 // sendRemote injects a data frame for req toward dst. In reliable mode the

@@ -6,6 +6,12 @@
 // Payloads are generic; the multi-node system sends scatter-add requests
 // and acknowledgments. A packet occupies one word-slot of its input port's
 // bandwidth per cycle of transfer.
+//
+// Beyond the paper's flat crossbar, MultiHop (multihop.go) composes many
+// small Crossbar switches into a fat-tree or 2D mesh with optional
+// Ultracomputer-style in-switch combining and per-hop reliability. Both
+// fabrics satisfy the Fabric interface that internal/multinode programs
+// against.
 package network
 
 import (
@@ -30,6 +36,15 @@ type Config struct {
 	InputQDepth  int // per-input queue entries
 	OutputQDepth int // per-output queue entries
 	Latency      int // router + wire latency in cycles
+
+	// WireDepth caps each output's in-flight Delay backing. 0 keeps the
+	// always-sufficient Nodes*WordsPerCyc*(Latency+1)+1, under which the
+	// wire never back-pressures; kilo-port flat crossbars set a small depth
+	// to bound memory (a 1024-port crossbar would otherwise hold ~10M
+	// slots). Packets beyond the depth wait in their input queues —
+	// ordinary back-pressure that only changes timing once the output side
+	// is already saturated.
+	WireDepth int
 }
 
 // DefaultConfig returns an 8-node crossbar at the paper's low bandwidth.
@@ -37,13 +52,45 @@ func DefaultConfig(nodes int) Config {
 	return Config{Nodes: nodes, WordsPerCyc: 1, InputQDepth: 16, OutputQDepth: 16, Latency: 8}
 }
 
-// Stats aggregates crossbar activity.
+// Stats aggregates fabric activity. The flat Crossbar and the MultiHop
+// switch graph fill the same struct so callers compare topologies uniformly.
 type Stats struct {
-	Sent      uint64 // packets accepted at input ports
-	Delivered uint64 // packets popped from output ports
+	Sent      uint64 // packets accepted at injection ports
+	Delivered uint64 // packets popped at destination ports
 	Stalled   uint64 // cycles an input head packet could not traverse
 	Dropped   uint64 // packets lost to injected wire faults
 	Duped     uint64 // packets duplicated by injected wire faults
+
+	// Topology-level traffic accounting. A flat crossbar is a single
+	// switch, so every accepted packet is one hop and one root crossing;
+	// the multi-hop fabrics count per-switch link traversals and
+	// root/bisection crossings — the congestion metrics of the 16→1024-node
+	// scale-out figure.
+	Hops       uint64 // switch traversals (flat: == Sent)
+	RootPkts   uint64 // packets through the tree root / across the mesh bisection (flat: == Sent)
+	Combined   uint64 // packets absorbed by in-switch combining (flat: 0)
+	HopRetrans uint64 // per-hop retransmissions after ack timeout (multi-hop under faults)
+	HopDups    uint64 // duplicate hop frames discarded by receiver dedup
+}
+
+// Fabric is the interconnect contract internal/multinode programs against;
+// the flat Crossbar and the MultiHop switch graph both satisfy it. Sends,
+// peeks, and receives happen in the system's sequential phases; Tick
+// advances one cycle; NextEvent and Skip implement the sim.FastForwarder
+// contract so quiescence fast-forward works across any topology.
+type Fabric[T any] interface {
+	CanSend(src int) bool
+	Send(p Packet[T]) bool
+	Peek(dst int) (Packet[T], bool)
+	Recv(dst int) (Packet[T], bool)
+	Tick(now uint64)
+	NextEvent(now uint64) uint64
+	Skip(now, cycles uint64)
+	Busy() bool
+	Stats() Stats
+	StatsGroup() *stats.Group
+	SetSpanTracer(tr *span.Tracer)
+	SetFaults(fc fault.Config, inst string)
 }
 
 // metrics are the crossbar performance counters.
@@ -94,22 +141,38 @@ type Crossbar[T any] struct {
 	// allocate): grants per output and sends per input this cycle.
 	granted  []int
 	sentFrom []int
+
+	// Head-packet candidate lists for the WordsPerCyc==1 fast path:
+	// candHead[o] is the lowest input whose head targets output o,
+	// candNext[i] threads the remaining candidates in ascending order.
+	candHead []int
+	candNext []int
+
+	// noFastPath forces the general arbitration loop even at WordsPerCyc==1
+	// — a test hook for proving the fast path bit-equivalent.
+	noFastPath bool
 }
 
 // New returns a crossbar with the given configuration.
 func New[T any](cfg Config) *Crossbar[T] {
-	if cfg.Nodes < 1 || cfg.WordsPerCyc < 1 || cfg.InputQDepth < 1 || cfg.OutputQDepth < 1 {
+	if cfg.Nodes < 1 || cfg.WordsPerCyc < 1 || cfg.InputQDepth < 1 || cfg.OutputQDepth < 1 || cfg.WireDepth < 0 {
 		panic(fmt.Sprintf("network: invalid config %+v", cfg))
+	}
+	wireDepth := cfg.Nodes*cfg.WordsPerCyc*(cfg.Latency+1) + 1
+	if cfg.WireDepth > 0 {
+		wireDepth = cfg.WireDepth
 	}
 	x := &Crossbar[T]{cfg: cfg, met: newMetrics()}
 	for i := 0; i < cfg.Nodes; i++ {
 		x.inputs = append(x.inputs, sim.NewQueue[Packet[T]](cfg.InputQDepth))
-		x.wires = append(x.wires, sim.NewDelay[Packet[T]](cfg.Latency, cfg.Nodes*cfg.WordsPerCyc*(cfg.Latency+1)+1))
+		x.wires = append(x.wires, sim.NewDelay[Packet[T]](cfg.Latency, wireDepth))
 		x.outputs = append(x.outputs, sim.NewQueue[Packet[T]](cfg.OutputQDepth))
 		x.arb = append(x.arb, sim.NewRoundRobin(cfg.Nodes))
 	}
 	x.granted = make([]int, cfg.Nodes)
 	x.sentFrom = make([]int, cfg.Nodes)
+	x.candHead = make([]int, cfg.Nodes)
+	x.candNext = make([]int, cfg.Nodes)
 	return x
 }
 
@@ -147,6 +210,8 @@ func (x *Crossbar[T]) Send(p Packet[T]) bool {
 		return false
 	}
 	x.stats.Sent++
+	x.stats.Hops++
+	x.stats.RootPkts++
 	x.met.sent.Inc()
 	return true
 }
@@ -188,38 +253,21 @@ func (x *Crossbar[T]) Tick(now uint64) {
 	for i := range granted {
 		granted[i], sentFrom[i] = 0, 0
 	}
-	for o := 0; o < x.cfg.Nodes; o++ {
-		for granted[o] < x.cfg.WordsPerCyc {
-			in := x.arb[o].Pick(func(i int) bool {
-				p, ok := x.inputs[i].Peek()
-				return ok && p.Dst == o && sentFrom[i] < x.cfg.WordsPerCyc && !x.wires[o].Full()
-			})
-			if in < 0 {
-				break
-			}
-			p, _ := x.inputs[in].Pop()
-			x.met.grants.Inc()
-			granted[o]++
-			sentFrom[in]++
-			if x.dropInj.Fire() {
-				// Injected wire fault: the packet vanishes (its bandwidth
-				// slot is still consumed). One draw per granted packet.
-				x.stats.Dropped++
-				x.met.faultDrops.Inc()
-				continue
-			}
-			x.wires[o].Push(now, p)
-			if x.dupInj.Fire() && !x.wires[o].Full() {
-				// Injected duplication: the packet crosses twice. The
-				// receiver's sequence-number dedup makes replay idempotent.
-				x.wires[o].Push(now, p)
-				x.stats.Duped++
-				x.met.faultDups.Inc()
-			}
-			if x.tr != nil {
-				x.tr.SpanAsync(fmt.Sprintf("net.out[%d]", o),
-					fmt.Sprintf("pkt %d->%d", p.Src, p.Dst),
-					now, now+uint64(x.cfg.Latency))
+	if x.cfg.WordsPerCyc == 1 && !x.noFastPath {
+		x.arbitrateFast(now)
+	} else {
+		for o := 0; o < x.cfg.Nodes; o++ {
+			for granted[o] < x.cfg.WordsPerCyc {
+				in := x.arb[o].Pick(func(i int) bool {
+					p, ok := x.inputs[i].Peek()
+					return ok && p.Dst == o && sentFrom[i] < x.cfg.WordsPerCyc && !x.wires[o].Full()
+				})
+				if in < 0 {
+					break
+				}
+				granted[o]++
+				sentFrom[in]++
+				x.grantTo(o, in, now)
 			}
 		}
 	}
@@ -228,6 +276,79 @@ func (x *Crossbar[T]) Tick(now uint64) {
 			x.stats.Stalled++
 			x.met.stalls.Inc()
 		}
+	}
+}
+
+// arbitrateFast is the WordsPerCyc==1 arbitration path. With one word of
+// bandwidth per port each input offers only its head packet and each output
+// grants at most once, so the per-output candidate sets built from the input
+// heads are disjoint and the sentFrom budget check of the general loop is
+// vacuously true: an input granted by some output cannot appear in a later
+// output's candidate list (its head targeted the granting output). One
+// arbiter step per active output therefore reproduces the general loop's
+// grants — and its round-robin pointer updates — bit-for-bit, while the
+// cycle's cost drops from O(ports²) predicate probes to O(ports). That is
+// what makes the kilo-port flat crossbar of the scale-out figure simulable.
+func (x *Crossbar[T]) arbitrateFast(now uint64) {
+	head, next := x.candHead, x.candNext
+	for o := range head {
+		head[o] = -1
+	}
+	// Build ascending candidate lists by prepending from the highest input
+	// down.
+	for i := x.cfg.Nodes - 1; i >= 0; i-- {
+		if p, ok := x.inputs[i].Peek(); ok {
+			next[i] = head[p.Dst]
+			head[p.Dst] = i
+		}
+	}
+	for o := 0; o < x.cfg.Nodes; o++ {
+		if head[o] < 0 || x.wires[o].Full() {
+			continue
+		}
+		// Grant the candidate the rotating priority pointer reaches first.
+		start := x.arb[o].Start()
+		best, bestKey := -1, x.cfg.Nodes
+		for i := head[o]; i >= 0; i = next[i] {
+			k := i - start
+			if k < 0 {
+				k += x.cfg.Nodes
+			}
+			if k < bestKey {
+				best, bestKey = i, k
+			}
+		}
+		x.arb[o].Grant(best)
+		x.granted[o]++
+		x.sentFrom[best]++
+		x.grantTo(o, best, now)
+	}
+}
+
+// grantTo pops input in's head packet onto output o's wire, applying fault
+// injection and tracing — the shared tail of both arbitration paths.
+func (x *Crossbar[T]) grantTo(o, in int, now uint64) {
+	p, _ := x.inputs[in].Pop()
+	x.met.grants.Inc()
+	if x.dropInj.Fire() {
+		// Injected wire fault: the packet vanishes (its bandwidth
+		// slot is still consumed). One draw per granted packet.
+		x.stats.Dropped++
+		x.met.faultDrops.Inc()
+		return
+	}
+	x.wires[o].Push(now, p)
+	if x.dupInj.Fire() && !x.wires[o].Full() {
+		// Injected duplication: the packet crosses twice. The
+		// receiver's sequence-number dedup makes replay idempotent.
+		x.wires[o].Push(now, p)
+		x.stats.Duped++
+		x.met.faultDups.Inc()
+	}
+	if x.tr != nil {
+		x.tr.SpanAsync(fmt.Sprintf("net.out[%d]", o),
+			fmt.Sprintf("pkt %d->%d", p.Src, p.Dst),
+			now, now+uint64(x.cfg.Latency))
 	}
 }
 

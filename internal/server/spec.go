@@ -41,7 +41,7 @@ import (
 // field means "the CLI's default"; Scale is the only required field a server
 // may enforce a floor on (Limits.MinScale) to bound per-request cost.
 type Spec struct {
-	// Figure names the experiment: "table1" or "fig6" .. "fig13".
+	// Figure names the experiment: "table1" or "fig6" .. "fig14".
 	Figure string `json:"figure"`
 	// Scale divides dataset sizes, exactly as `scatteradd -scale` (0 = 1 =
 	// the paper's full sizes — typically rejected by a server MinScale).
@@ -67,6 +67,12 @@ type Spec struct {
 	// FaultSeed overrides the fault injector's seed (used only when
 	// Faults > 0, mirroring the CLI).
 	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// Topology restricts the interconnect scale-out figure (fig14) to one
+	// interconnect configuration: flat, tree, tree+comb, mesh, or mesh+comb
+	// ("" = sweep all). Other figures reject a non-empty value.
+	Topology string `json:"topology,omitempty"`
+	// FanIn sets the switch fan-in of fig14's tree topologies (0 = 4).
+	FanIn int `json:"fan_in,omitempty"`
 	// Format selects the response rendering: "json" (default), "text"
 	// (Table.String), or "csv" (byte-identical to `scatteradd -csv`).
 	// Format is presentation only and does not participate in the
@@ -82,6 +88,8 @@ type Limits struct {
 	MinScale int
 	// MaxShards caps Spec.Shards (0 means 64).
 	MaxShards int
+	// MaxFanIn caps Spec.FanIn (0 means 16).
+	MaxFanIn int
 }
 
 func (l Limits) minScale() int {
@@ -98,6 +106,13 @@ func (l Limits) maxShards() int {
 	return l.MaxShards
 }
 
+func (l Limits) maxFanIn() int {
+	if l.MaxFanIn < 1 {
+		return 16
+	}
+	return l.MaxFanIn
+}
+
 // generators maps figure names to their exp runners. Table1 ignores options
 // (it renders fixed machine parameters) but is dispatched uniformly.
 var generators = map[string]func(exp.Options) exp.Table{
@@ -110,6 +125,18 @@ var generators = map[string]func(exp.Options) exp.Table{
 	"fig11":  exp.Fig11,
 	"fig12":  exp.Fig12,
 	"fig13":  exp.Fig13,
+	"fig14":  exp.Fig14,
+}
+
+// topologyFigures names the figures with a topology axis: only these accept
+// Spec.Topology / Spec.FanIn.
+var topologyFigures = map[string]bool{"fig14": true}
+
+// topologyNames lists the accepted Spec.Topology values
+// (multinode.ParseTopology's vocabulary, minus the legacy-only hypercube
+// spelling fig14 does not sweep).
+var topologyNames = map[string]bool{
+	"": true, "flat": true, "tree": true, "tree+comb": true, "mesh": true, "mesh+comb": true,
 }
 
 // Figures returns the accepted figure names, sorted (for error messages and
@@ -165,6 +192,15 @@ func (sp Spec) Validate(l Limits) (Request, error) {
 	if sp.Faults < 0 || sp.Faults > 1 {
 		return Request{}, fmt.Errorf("faults %g invalid (want 0 .. 1)", sp.Faults)
 	}
+	if !topologyNames[sp.Topology] {
+		return Request{}, fmt.Errorf("topology %q invalid (want flat, tree, tree+comb, mesh, or mesh+comb)", sp.Topology)
+	}
+	if sp.FanIn != 0 && (sp.FanIn < 2 || sp.FanIn > l.maxFanIn()) {
+		return Request{}, fmt.Errorf("fan_in %d invalid (want 0 or 2 .. %d)", sp.FanIn, l.maxFanIn())
+	}
+	if (sp.Topology != "" || sp.FanIn != 0) && !topologyFigures[sp.Figure] {
+		return Request{}, fmt.Errorf("figure %q has no topology axis (topology/fan_in apply to fig14)", sp.Figure)
+	}
 	format := sp.Format
 	if format == "" {
 		format = "json"
@@ -193,6 +229,8 @@ func (sp Spec) Validate(l Limits) (Request, error) {
 			SpanRate:     sp.SpanRate,
 			Legacy:       sp.Legacy,
 			Faults:       fc,
+			Topology:     sp.Topology,
+			FanIn:        sp.FanIn,
 		},
 		gen: gen,
 	}, nil
@@ -275,6 +313,10 @@ func specFromQuery(q url.Values) (Spec, error) {
 			sp.Faults, err = strconv.ParseFloat(v, 64)
 		case "fault_seed":
 			sp.FaultSeed, err = strconv.ParseUint(v, 10, 64)
+		case "topology":
+			sp.Topology = v
+		case "fan_in":
+			sp.FanIn, err = strconv.Atoi(v)
 		default:
 			return Spec{}, fmt.Errorf("unknown query parameter %q", key)
 		}

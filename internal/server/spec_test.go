@@ -27,6 +27,11 @@ func TestValidateRejections(t *testing.T) {
 		{"faults over 1", Spec{Figure: "fig6", Faults: 1.5}, Limits{}, "faults"},
 		{"negative faults", Spec{Figure: "fig6", Faults: -0.1}, Limits{}, "faults"},
 		{"bad format", Spec{Figure: "fig6", Format: "xml"}, Limits{}, "format"},
+		{"bad topology", Spec{Figure: "fig14", Topology: "torus"}, Limits{}, "topology"},
+		{"topology off figure", Spec{Figure: "fig6", Topology: "tree"}, Limits{}, "topology"},
+		{"fan_in off figure", Spec{Figure: "fig13", FanIn: 4}, Limits{}, "topology"},
+		{"fan_in of 1", Spec{Figure: "fig14", FanIn: 1}, Limits{}, "fan_in"},
+		{"fan_in over cap", Spec{Figure: "fig14", FanIn: 32}, Limits{MaxFanIn: 8}, "fan_in"},
 	}
 	for _, tc := range cases {
 		_, err := tc.sp.Validate(tc.l)
@@ -56,6 +61,19 @@ func TestValidateDefaults(t *testing.T) {
 	unfaulted := validated(t, Spec{Figure: "fig6", FaultSeed: 7})
 	if unfaulted.Opts.Faults != (validated(t, Spec{Figure: "fig6"}).Opts.Faults) {
 		t.Fatal("fault_seed without faults>0 must be inert (mirrors the CLI)")
+	}
+}
+
+// TestValidateTopology: topology and fan_in reach exp.Options on fig14 and
+// participate in the cache key (different topologies are different results).
+func TestValidateTopology(t *testing.T) {
+	req := validated(t, Spec{Figure: "fig14", Scale: 64, Topology: "tree+comb", FanIn: 8})
+	if req.Opts.Topology != "tree+comb" || req.Opts.FanIn != 8 {
+		t.Fatalf("topology options not threaded: %+v", req.Opts)
+	}
+	plain := validated(t, Spec{Figure: "fig14", Scale: 64})
+	if req.CacheKey() == plain.CacheKey() {
+		t.Fatal("topology does not reach the cache key")
 	}
 }
 
@@ -124,7 +142,7 @@ func TestParseSpecQueryAndBody(t *testing.T) {
 // table1, sorted for stable error messages.
 func TestFiguresInventory(t *testing.T) {
 	got := Figures()
-	want := []string{"fig10", "fig11", "fig12", "fig13", "fig6", "fig7", "fig8", "fig9", "table1"}
+	want := []string{"fig10", "fig11", "fig12", "fig13", "fig14", "fig6", "fig7", "fig8", "fig9", "table1"}
 	if len(got) != len(want) {
 		t.Fatalf("figures %v", got)
 	}

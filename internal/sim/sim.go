@@ -357,3 +357,20 @@ func (r *RoundRobin) Pick(want func(i int) bool) int {
 	}
 	return -1
 }
+
+// Start returns the current priority pointer: the index Pick would test
+// first. Together with Grant it lets a caller that already knows the ready
+// set reproduce Pick's choice without probing every requester — the wide
+// crossbars use this to arbitrate in O(ready) instead of O(n).
+func (r *RoundRobin) Start() int { return r.next }
+
+// Grant advances the priority pointer past requester i, exactly as a
+// successful Pick of i would. A caller that selects from a known ready set
+// must call Grant for the arbiter to stay fair (and to match Pick's state
+// transitions bit-for-bit).
+func (r *RoundRobin) Grant(i int) {
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("sim: round-robin grant %d outside %d requesters", i, r.n))
+	}
+	r.next = (i + 1) % r.n
+}

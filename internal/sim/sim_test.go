@@ -192,6 +192,54 @@ func TestRoundRobinFairness(t *testing.T) {
 	}
 }
 
+// TestRoundRobinStartGrant proves the Start/Grant pair tracks Pick exactly:
+// a caller selecting the cyclically-first ready index from Start and then
+// Granting it leaves the arbiter in the same state as Pick over the same
+// ready set — the contract the crossbar's fast arbitration path relies on.
+func TestRoundRobinStartGrant(t *testing.T) {
+	byPick, byGrant := NewRoundRobin(5), NewRoundRobin(5)
+	rng := uint64(1)
+	for step := 0; step < 200; step++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		ready := rng % 32 // bitmask of ready requesters
+		want := func(i int) bool { return ready&(1<<i) != 0 }
+		picked := byPick.Pick(want)
+
+		start := byGrant.Start()
+		best, bestKey := -1, 5
+		for i := 0; i < 5; i++ {
+			if !want(i) {
+				continue
+			}
+			k := i - start
+			if k < 0 {
+				k += 5
+			}
+			if k < bestKey {
+				best, bestKey = i, k
+			}
+		}
+		if best >= 0 {
+			byGrant.Grant(best)
+		}
+		if picked != best || byPick.Start() != byGrant.Start() {
+			t.Fatalf("step %d ready=%05b: Pick=%d Start/Grant=%d (pointers %d vs %d)",
+				step, ready, picked, best, byPick.Start(), byGrant.Start())
+		}
+	}
+}
+
+func TestRoundRobinGrantOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRoundRobin(3).Grant(3)
+}
+
 func TestRoundRobinSkipsIdle(t *testing.T) {
 	rr := NewRoundRobin(4)
 	only2 := func(i int) bool { return i == 2 }

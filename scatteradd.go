@@ -238,12 +238,56 @@ type (
 	MultiNodeResult = multinode.Result
 )
 
+// Interconnect topology: the switch graph the nodes sit on and where
+// scatter-add combining happens (in the sending node's cache, inside every
+// switch of a multi-hop fabric, or nowhere).
+type (
+	// Topology selects the multi-node interconnect and combining placement.
+	Topology = multinode.Topology
+	// TopologyKind names an interconnect arrangement (flat, hypercube,
+	// tree, mesh).
+	TopologyKind = multinode.TopologyKind
+)
+
+// Topology kinds.
+const (
+	TopoDefault   = multinode.TopoDefault
+	TopoFlat      = multinode.TopoFlat
+	TopoHypercube = multinode.TopoHypercube
+	TopoTree      = multinode.TopoTree
+	TopoMesh      = multinode.TopoMesh
+)
+
+// Topology constructors.
+var (
+	// FlatTopology is the paper's single full crossbar (§4.5).
+	FlatTopology = multinode.Flat
+	// FlatCombiningTopology is the flat crossbar with the paper's
+	// cache-combining + sum-back mode.
+	FlatCombiningTopology = multinode.FlatCombining
+	// HypercubeTopology routes sum-backs along logical hypercube
+	// dimensions, merging partial lines at every hop (§5 future work).
+	HypercubeTopology = multinode.Hypercube
+	// TreeTopology is a multi-hop fat-tree of small crossbar switches with
+	// the given fan-in (0 = 4), optionally combining same-address
+	// scatter-adds inside every switch.
+	TreeTopology = multinode.Tree
+	// MeshTopology is a multi-hop 2D mesh of per-node switches with XY
+	// routing, optionally combining inside every switch.
+	MeshTopology = multinode.Mesh
+	// ParseTopology maps a CLI/server name (flat, flat+comb, hypercube,
+	// tree, tree+comb, mesh, mesh+comb) onto a Topology.
+	ParseTopology = multinode.ParseTopology
+)
+
 // DefaultMultiNodeConfig returns nodes Table 1 nodes over a crossbar with
 // the given per-port bandwidth in words/cycle (1 = the paper's low
 // configuration, 8 = high), each owning span words of the address space.
 // Set Faults on the returned config to inject network, DRAM, and
 // combining-store faults; the link layer recovers them with acknowledged,
-// sequence-numbered retransmission and bit-exact idempotent replay.
+// sequence-numbered retransmission and bit-exact idempotent replay. Set
+// Topology (or build with NewMultiNodeWith(WithTopology(...))) to replace
+// the flat crossbar with a multi-hop fabric.
 func DefaultMultiNodeConfig(nodes, wordsPerCyc int, span Addr) MultiNodeConfig {
 	return multinode.DefaultConfig(nodes, wordsPerCyc, span)
 }
@@ -251,6 +295,34 @@ func DefaultMultiNodeConfig(nodes, wordsPerCyc int, span Addr) MultiNodeConfig {
 // NewMultiNode constructs the multi-node system for traces of the given
 // combine kind.
 func NewMultiNode(cfg MultiNodeConfig, kind Kind) *MultiNode {
+	return multinode.New(cfg, kind)
+}
+
+// MultiNodeOption customizes a MultiNode built with NewMultiNodeWith.
+type MultiNodeOption func(*MultiNodeConfig)
+
+// WithTopology selects the interconnect topology and combining placement,
+// replacing the deprecated Combining/Hierarchical bool pair:
+//
+//	s := scatteradd.NewMultiNodeWith(cfg, scatteradd.AddI64,
+//		scatteradd.WithTopology(scatteradd.TreeTopology(4, true)))
+func WithTopology(t Topology) MultiNodeOption {
+	return func(cfg *MultiNodeConfig) { cfg.Topology = t }
+}
+
+// WithMultiNodeFaults enables deterministic fault injection on the
+// multi-node system (per-hop packet drops and duplications, DRAM stalls,
+// combining-store parity scrubs); recovery keeps every reduction bit-exact.
+func WithMultiNodeFaults(fc FaultConfig) MultiNodeOption {
+	return func(cfg *MultiNodeConfig) { cfg.Faults = fc }
+}
+
+// NewMultiNodeWith constructs the multi-node system after applying opts to
+// cfg — the option-style twin of NewMultiNode.
+func NewMultiNodeWith(cfg MultiNodeConfig, kind Kind, opts ...MultiNodeOption) *MultiNode {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	return multinode.New(cfg, kind)
 }
 
